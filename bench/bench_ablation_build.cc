@@ -1,0 +1,129 @@
+// Ablation A3: construction costs — label assignment (both schemes),
+// clustered relation + index build, TGrep2 binary image build and
+// save/load, and bracketed-text serialization/parsing. These are the
+// "preprocessing" costs each system pays before its first query.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_util/fixtures.h"
+#include "label/labeler.h"
+#include "tree/bracket_io.h"
+
+namespace lpath {
+namespace bench {
+
+void BuildRegister() {
+  const EngineSet& fx = GetFixture(Dataset::kWsj);
+  const Corpus& corpus = fx.corpus;
+
+  benchmark::RegisterBenchmark("LabelLPath", [&corpus](benchmark::State& st) {
+    std::vector<Label> labels;
+    size_t total = 0;
+    for (auto _ : st) {
+      total = 0;
+      for (TreeId tid = 0; tid < static_cast<TreeId>(corpus.size()); ++tid) {
+        ComputeLPathLabels(corpus.tree(tid), &labels);
+        total += labels.size();
+      }
+      benchmark::DoNotOptimize(total);
+    }
+    st.counters["nodes/s"] = benchmark::Counter(
+        static_cast<double>(total), benchmark::Counter::kIsIterationInvariantRate);
+  });
+
+  benchmark::RegisterBenchmark("LabelXPath", [&corpus](benchmark::State& st) {
+    std::vector<Label> labels;
+    size_t total = 0;
+    for (auto _ : st) {
+      total = 0;
+      for (TreeId tid = 0; tid < static_cast<TreeId>(corpus.size()); ++tid) {
+        ComputeXPathLabels(corpus.tree(tid), &labels);
+        total += labels.size();
+      }
+      benchmark::DoNotOptimize(total);
+    }
+    st.counters["nodes/s"] = benchmark::Counter(
+        static_cast<double>(total), benchmark::Counter::kIsIterationInvariantRate);
+  });
+
+  benchmark::RegisterBenchmark("RelationBuild",
+                               [&corpus](benchmark::State& st) {
+                                 for (auto _ : st) {
+                                   Result<NodeRelation> rel =
+                                       NodeRelation::Build(corpus);
+                                   if (!rel.ok()) {
+                                     st.SkipWithError("build failed");
+                                     return;
+                                   }
+                                   benchmark::DoNotOptimize(rel->row_count());
+                                 }
+                               });
+
+  benchmark::RegisterBenchmark("TgrepImageBuild",
+                               [&corpus](benchmark::State& st) {
+                                 for (auto _ : st) {
+                                   tgrep::TgrepCorpus tc =
+                                       tgrep::TgrepCorpus::Build(corpus);
+                                   benchmark::DoNotOptimize(tc.size());
+                                 }
+                               });
+
+  benchmark::RegisterBenchmark(
+      "TgrepImageSaveLoad", [&corpus](benchmark::State& st) {
+        tgrep::TgrepCorpus tc = tgrep::TgrepCorpus::Build(corpus);
+        const std::string path = "/tmp/lpathdb_bench_image.ltg2";
+        for (auto _ : st) {
+          if (!tc.Save(path).ok()) {
+            st.SkipWithError("save failed");
+            return;
+          }
+          Result<tgrep::TgrepCorpus> loaded = tgrep::TgrepCorpus::Load(path);
+          if (!loaded.ok()) {
+            st.SkipWithError("load failed");
+            return;
+          }
+          benchmark::DoNotOptimize(loaded->size());
+        }
+        std::remove(path.c_str());
+      });
+
+  benchmark::RegisterBenchmark("BracketWrite",
+                               [&corpus](benchmark::State& st) {
+                                 for (auto _ : st) {
+                                   std::string text =
+                                       WriteBracketCorpus(corpus);
+                                   benchmark::DoNotOptimize(text.size());
+                                 }
+                               });
+
+  benchmark::RegisterBenchmark(
+      "BracketParse", [&corpus](benchmark::State& st) {
+        const std::string text = WriteBracketCorpus(corpus);
+        for (auto _ : st) {
+          Corpus reparsed;
+          if (!ParseBracketText(text, &reparsed).ok()) {
+            st.SkipWithError("parse failed");
+            return;
+          }
+          benchmark::DoNotOptimize(reparsed.TotalNodes());
+        }
+      });
+}
+
+}  // namespace bench
+}  // namespace lpath
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  lpath::bench::BuildRegister();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  std::printf("(corpus: %d WSJ-profile sentences, %zu nodes)\n",
+              lpath::bench::BenchmarkSentences(),
+              lpath::bench::GetFixture(lpath::bench::Dataset::kWsj)
+                  .corpus.TotalNodes());
+  return 0;
+}

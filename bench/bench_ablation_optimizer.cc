@@ -1,0 +1,83 @@
+// Ablation A1 (§5.2 of the paper discusses how low-selectivity tags hurt
+// the relational plans): executor configurations on the queries most
+// sensitive to join order and intermediate-result size.
+//
+//   greedy        — statistics-driven join order + distinct early exit
+//   left-to-right — join in query-step order (what a naive translation
+//                   would ship), early exit on
+//   no-early-exit — greedy order, but materialize every binding and
+//                   deduplicate at the end (the classic RDBMS DISTINCT
+//                   plan the paper's engine suffered under on Q3/Q18/Q22)
+//   direct-plan   — greedy, skipping the SQL text round trip (measures the
+//                   cost of the LPath→SQL→parse detour)
+
+#include "bench_common.h"
+
+namespace lpath {
+namespace bench {
+
+ReportTable& AblTable() {
+  static ReportTable* table =
+      new ReportTable("Ablation — executor configurations, WSJ profile");
+  return *table;
+}
+
+std::vector<std::unique_ptr<LPathEngine>>& Engines() {
+  static auto* engines = new std::vector<std::unique_ptr<LPathEngine>>();
+  return *engines;
+}
+
+void AblRegister() {
+  const EngineSet& fx = GetFixture(Dataset::kWsj);
+
+  LPathEngine::Options greedy;
+  LPathEngine::Options ltr;
+  ltr.exec.join_order = sql::ExecOptions::JoinOrder::kLeftToRight;
+  LPathEngine::Options naive;
+  naive.exec.distinct_early_exit = false;
+  LPathEngine::Options direct;
+  direct.via_sql_text = false;
+  LPathEngine::Options nested;
+  nested.unnest_predicates = false;
+
+  Engines().push_back(
+      std::make_unique<LPathEngine>(*fx.lpath_relation, greedy));
+  Engines().push_back(std::make_unique<LPathEngine>(*fx.lpath_relation, ltr));
+  Engines().push_back(
+      std::make_unique<LPathEngine>(*fx.lpath_relation, naive));
+  Engines().push_back(
+      std::make_unique<LPathEngine>(*fx.lpath_relation, direct));
+  Engines().push_back(
+      std::make_unique<LPathEngine>(*fx.lpath_relation, nested));
+  const char* names[] = {"greedy", "left-to-right", "no-early-exit",
+                         "direct-plan", "no-unnesting"};
+
+  for (int id : {1, 3, 6, 9, 12, 18, 22}) {
+    const BenchmarkQuery& q = QueryById(id);
+    const std::string row = "Q" + std::to_string(q.id);
+    for (size_t e = 0; e < Engines().size(); ++e) {
+      RegisterQueryBench(&AblTable(), row, names[e], Engines()[e].get(),
+                         q.lpath);
+    }
+  }
+}
+
+void AblPrint() {
+  printf("%s", AblTable()
+                   .Render({"greedy", "left-to-right", "no-early-exit",
+                            "direct-plan", "no-unnesting"})
+                   .c_str());
+}
+
+}  // namespace bench
+}  // namespace lpath
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  lpath::bench::AblRegister();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  lpath::bench::AblPrint();
+  return 0;
+}

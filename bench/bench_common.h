@@ -1,0 +1,68 @@
+// Shared helpers for the per-figure benchmark binaries: register a
+// (query, engine) cell as a google-benchmark and record its mean time and
+// result count into a ReportTable printed after the run.
+
+#ifndef LPATHDB_BENCH_BENCH_COMMON_H_
+#define LPATHDB_BENCH_BENCH_COMMON_H_
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "bench_util/fixtures.h"
+#include "bench_util/report.h"
+#include "bench_util/suite.h"
+#include "common/timer.h"
+
+namespace lpath {
+namespace bench {
+
+/// Registers a benchmark that repeatedly evaluates `query` on `engine`,
+/// recording the mean wall time into `table` at (row, column).
+inline void RegisterQueryBench(ReportTable* table, const std::string& row,
+                               const std::string& column,
+                               const QueryEngine* engine, std::string query) {
+  const std::string name = row + "/" + column;
+  benchmark::RegisterBenchmark(
+      name.c_str(),
+      [table, row, column, engine, query = std::move(query)](
+          benchmark::State& st) {
+        double total = 0.0;
+        uint64_t iters = 0;
+        size_t count = 0;
+        for (auto _ : st) {
+          Timer timer;
+          Result<QueryResult> r = engine->Run(query);
+          total += timer.ElapsedSeconds();
+          if (!r.ok()) {
+            table->RecordUnsupported(row, column);
+            st.SkipWithError(r.status().ToString().c_str());
+            return;
+          }
+          count = r->count();
+          ++iters;
+          benchmark::DoNotOptimize(count);
+        }
+        st.counters["results"] = static_cast<double>(count);
+        if (iters > 0) {
+          table->Record(row, column, Measurement{total / iters, count, true});
+        }
+      });
+}
+
+/// Standard main body: init benchmark, run, print the tables.
+#define LPATHDB_BENCH_MAIN(print_stmt)                  \
+  int main(int argc, char** argv) {                     \
+    benchmark::Initialize(&argc, argv);                 \
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
+    RegisterAll();                                      \
+    benchmark::RunSpecifiedBenchmarks();                \
+    benchmark::Shutdown();                              \
+    print_stmt;                                         \
+    return 0;                                           \
+  }
+
+}  // namespace bench
+}  // namespace lpath
+
+#endif  // LPATHDB_BENCH_BENCH_COMMON_H_

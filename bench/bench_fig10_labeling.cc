@@ -1,0 +1,49 @@
+// Figure 10: the LPath labeling scheme vs. the XPath tag-position labeling
+// (DeHaan et al.) on the 11 XPath-expressible queries, WSJ profile, with
+// every other component identical (same optimizer, same executor).
+//
+// Expected shape: near-parity per query — the paper's conclusion is that
+// the LPath labeling adds the immediate axes, scoping and alignment
+// *without* degrading XPath-fragment performance.
+
+#include "bench_common.h"
+
+namespace lpath {
+namespace bench {
+
+ReportTable& Fig10Table() {
+  static ReportTable* table = new ReportTable(
+      "Figure 10 — LPath vs XPath labeling scheme, WSJ profile");
+  return *table;
+}
+
+void Fig10Register() {
+  const EngineSet& fx = GetFixture(Dataset::kWsj);
+  for (const BenchmarkQuery& q : XPathExpressibleQueries()) {
+    const std::string row = "Q" + std::to_string(q.id);
+    RegisterQueryBench(&Fig10Table(), row, "LPath labeling", fx.lpath.get(),
+                       q.lpath);
+    RegisterQueryBench(&Fig10Table(), row, "XPath labeling", fx.xpath.get(),
+                       q.lpath);
+  }
+}
+
+void Fig10Print() {
+  printf("%s",
+         Fig10Table().Render({"LPath labeling", "XPath labeling"}).c_str());
+  printf("\n(the remaining 12 queries are not XPath-expressible — "
+         "Lemma 3.1 — and the XPath labeling rejects them)\n");
+}
+
+}  // namespace bench
+}  // namespace lpath
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  lpath::bench::Fig10Register();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  lpath::bench::Fig10Print();
+  return 0;
+}

@@ -1,0 +1,140 @@
+// Figure 6: the data sets and the query workload.
+//   (a) corpus characteristics (file size, node count, unique tags, depth)
+//   (b) top-10 tag frequencies
+//   (c) the 23 queries' result sizes — measured on our synthetic profiles
+//       for LPath / TGrep2 / CorpusSearch (cross-checked for agreement),
+//       next to the sizes the paper reports for the original corpora.
+//
+// The registered google-benchmarks time the expensive pipeline pieces:
+// corpus generation, labeling + relation build, TGrep2 image compilation.
+
+#include "bench_common.h"
+#include "common/str_util.h"
+#include "gen/generator.h"
+#include "tree/stats.h"
+
+namespace lpath {
+namespace bench {
+
+using lpath::FormatWithCommas;
+
+void Fig6Register() {
+  for (Dataset d : {Dataset::kWsj, Dataset::kSwb}) {
+    const std::string suffix = DatasetName(d);
+    benchmark::RegisterBenchmark(
+        ("Generate/" + suffix).c_str(), [d](benchmark::State& st) {
+          for (auto _ : st) {
+            Result<Corpus> corpus =
+                d == Dataset::kWsj
+                    ? gen::GenerateWsj(BenchmarkSentences() / 4)
+                    : gen::GenerateSwb(BenchmarkSentences() / 4);
+            if (!corpus.ok()) {
+              st.SkipWithError("generation failed");
+              return;
+            }
+            benchmark::DoNotOptimize(corpus->TotalNodes());
+          }
+        });
+    benchmark::RegisterBenchmark(
+        ("BuildRelation/" + suffix).c_str(), [d](benchmark::State& st) {
+          const EngineSet& fx = GetFixture(d);
+          for (auto _ : st) {
+            Result<NodeRelation> rel = NodeRelation::Build(fx.corpus);
+            if (!rel.ok()) {
+              st.SkipWithError("build failed");
+              return;
+            }
+            benchmark::DoNotOptimize(rel->row_count());
+          }
+        });
+    benchmark::RegisterBenchmark(
+        ("BuildTgrepImage/" + suffix).c_str(), [d](benchmark::State& st) {
+          const EngineSet& fx = GetFixture(d);
+          for (auto _ : st) {
+            tgrep::TgrepCorpus tc = tgrep::TgrepCorpus::Build(fx.corpus);
+            benchmark::DoNotOptimize(tc.size());
+          }
+        });
+  }
+}
+
+void PrintFig6a() {
+  printf("\n=== Figure 6(a) — data set characteristics ===\n");
+  printf("  %-18s | %14s | %14s\n", "", "WSJ profile", "SWB profile");
+  CorpusStats wsj = ComputeStats(GetFixture(Dataset::kWsj).corpus);
+  CorpusStats swb = ComputeStats(GetFixture(Dataset::kSwb).corpus);
+  auto line = [](const char* label, const std::string& a,
+                 const std::string& b) {
+    printf("  %-18s | %14s | %14s\n", label, a.c_str(), b.c_str());
+  };
+  line("File Size (bytes)", FormatWithCommas(wsj.file_size_bytes),
+       FormatWithCommas(swb.file_size_bytes));
+  line("Trees", FormatWithCommas(wsj.tree_count),
+       FormatWithCommas(swb.tree_count));
+  line("Tree Nodes", FormatWithCommas(wsj.node_count),
+       FormatWithCommas(swb.node_count));
+  line("Words", FormatWithCommas(wsj.word_count),
+       FormatWithCommas(swb.word_count));
+  line("Unique Tags", FormatWithCommas(wsj.unique_tags),
+       FormatWithCommas(swb.unique_tags));
+  line("Maximum Depth", std::to_string(wsj.max_depth),
+       std::to_string(swb.max_depth));
+  printf("  (paper, full corpora: 35,983kB / 35,880kB; 3,484,899 / "
+         "3,972,148 nodes; 1,274 / 715 tags; depth 36 / 36)\n");
+
+  printf("\n=== Figure 6(b) — top 10 tags ===\n");
+  printf("  %-4s | %-18s | %-18s\n", "#", "WSJ profile", "SWB profile");
+  auto wt = wsj.TopTags(10);
+  auto st = swb.TopTags(10);
+  for (size_t i = 0; i < 10; ++i) {
+    std::string a = i < wt.size()
+                        ? wt[i].first + " " + FormatWithCommas(wt[i].second)
+                        : "";
+    std::string b = i < st.size()
+                        ? st[i].first + " " + FormatWithCommas(st[i].second)
+                        : "";
+    printf("  %-4zu | %-18s | %-18s\n", i + 1, a.c_str(), b.c_str());
+  }
+  printf("  (paper WSJ: NP VP NN IN NNP S DT NP-SBJ -NONE- JJ;\n"
+         "   paper SWB: -DFL- VP NP-SBJ . , S NP PRP NN RB)\n");
+}
+
+void PrintFig6c() {
+  printf("\n=== Figure 6(c) — query result sizes ===\n");
+  printf("  %-4s | %-10s | %-10s | %-10s | %-10s || %-10s | %-10s\n", "Q",
+         "WSJ LPath", "WSJ TGrep2", "WSJ CS", "paper WSJ", "SWB LPath",
+         "paper SWB");
+  const EngineSet& wsj = GetFixture(Dataset::kWsj);
+  const EngineSet& swb = GetFixture(Dataset::kSwb);
+  int mismatches = 0;
+  for (const BenchmarkQuery& q : The23Queries()) {
+    auto count = [&](const QueryEngine* e, const char* text) -> std::string {
+      Result<QueryResult> r = e->Run(text);
+      if (!r.ok()) return "err";
+      return FormatWithCommas(static_cast<int64_t>(r->count()));
+    };
+    const std::string l = count(wsj.lpath.get(), q.lpath);
+    const std::string t = count(wsj.tgrep.get(), q.tgrep);
+    const std::string c = count(wsj.cs.get(), q.cs);
+    const std::string sl = count(swb.lpath.get(), q.lpath);
+    if (l != t || l != c) ++mismatches;
+    printf("  Q%-3d | %-10s | %-10s | %-10s | %-10zu || %-10s | %-10zu %s\n",
+           q.id, l.c_str(), t.c_str(), c.c_str(), q.paper_wsj, sl.c_str(),
+           q.paper_swb, (l != t || l != c) ? "  <-- engines disagree!" : "");
+  }
+  printf("  cross-engine mismatches: %d (expected 0)\n", mismatches);
+}
+
+}  // namespace bench
+}  // namespace lpath
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  lpath::bench::Fig6Register();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  lpath::bench::PrintFig6a();
+  lpath::bench::PrintFig6c();
+  return 0;
+}

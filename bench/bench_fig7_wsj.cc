@@ -1,0 +1,56 @@
+// Figure 7: per-query execution time on the WSJ-profile corpus for the
+// LPath engine, TGrep2 and CorpusSearch (all 23 queries of Figure 6c).
+//
+// Expected shape (paper §5.2): LPath fastest almost everywhere; its lead
+// shrinks (and can flip) on queries dominated by low-selectivity tags
+// (Q3, Q18, Q22 in the paper's data) and is largest on high-selectivity
+// value predicates (Q12, Q13).
+
+#include "bench_common.h"
+
+namespace lpath {
+namespace bench {
+
+ReportTable& Fig7Table() {
+  static ReportTable* table =
+      new ReportTable("Figure 7 — query execution time, WSJ profile");
+  return *table;
+}
+
+void Fig7Register() {
+  const EngineSet& fx = GetFixture(Dataset::kWsj);
+  for (const BenchmarkQuery& q : The23Queries()) {
+    const std::string row = "Q" + std::to_string(q.id);
+    RegisterQueryBench(&Fig7Table(), row, "LPath", fx.lpath.get(), q.lpath);
+    RegisterQueryBench(&Fig7Table(), row, "TGrep2", fx.tgrep.get(), q.tgrep);
+    RegisterQueryBench(&Fig7Table(), row, "CorpusSearch", fx.cs.get(), q.cs);
+  }
+}
+
+void Fig7Print() {
+  std::map<std::string, std::string> annotations;
+  for (const BenchmarkQuery& q : The23Queries()) {
+    annotations["Q" + std::to_string(q.id)] =
+        "paper WSJ count: " + std::to_string(q.paper_wsj);
+  }
+  printf("%s",
+         Fig7Table()
+             .Render({"LPath", "TGrep2", "CorpusSearch"}, annotations)
+             .c_str());
+  printf("\n(scale: %d sentences; set LPATHDB_SENTENCES=49000 for paper "
+         "scale)\n",
+         BenchmarkSentences());
+}
+
+}  // namespace bench
+}  // namespace lpath
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  lpath::bench::Fig7Register();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  lpath::bench::Fig7Print();
+  return 0;
+}

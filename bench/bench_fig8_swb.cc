@@ -1,0 +1,56 @@
+// Figure 8: per-query execution time on the SWB-profile corpus, same three
+// systems as Figure 7.
+//
+// Expected shape: the LPath engine is fastest across the board here — the
+// paper attributes this to the WSJ-frequent query tags being much rarer in
+// Switchboard, so the relational plans never degenerate into huge
+// intermediate results.
+
+#include "bench_common.h"
+
+namespace lpath {
+namespace bench {
+
+ReportTable& Fig8Table() {
+  static ReportTable* table =
+      new ReportTable("Figure 8 — query execution time, SWB profile");
+  return *table;
+}
+
+void Fig8Register() {
+  const EngineSet& fx = GetFixture(Dataset::kSwb);
+  for (const BenchmarkQuery& q : The23Queries()) {
+    const std::string row = "Q" + std::to_string(q.id);
+    RegisterQueryBench(&Fig8Table(), row, "LPath", fx.lpath.get(), q.lpath);
+    RegisterQueryBench(&Fig8Table(), row, "TGrep2", fx.tgrep.get(), q.tgrep);
+    RegisterQueryBench(&Fig8Table(), row, "CorpusSearch", fx.cs.get(), q.cs);
+  }
+}
+
+void Fig8Print() {
+  std::map<std::string, std::string> annotations;
+  for (const BenchmarkQuery& q : The23Queries()) {
+    annotations["Q" + std::to_string(q.id)] =
+        "paper SWB count: " + std::to_string(q.paper_swb);
+  }
+  printf("%s",
+         Fig8Table()
+             .Render({"LPath", "TGrep2", "CorpusSearch"}, annotations)
+             .c_str());
+  printf("\n(scale: %d sentences; set LPATHDB_SENTENCES=49000 for paper "
+         "scale)\n",
+         BenchmarkSentences());
+}
+
+}  // namespace bench
+}  // namespace lpath
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  lpath::bench::Fig8Register();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  lpath::bench::Fig8Print();
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Figure 9: query time as the WSJ data size grows — the corpus replicated
+// to 0.5x, 1x, 2x, 3x, 4x — for the paper's representative queries Q3
+// (low-selectivity tags), Q6 (scoped edge alignment) and Q11 (scoped word
+// bigram), on LPath / TGrep2 / CorpusSearch.
+//
+// Expected shape: near-linear growth for every system, with the LPath
+// engine's curve lowest and flattest for the selective queries.
+
+#include "bench_common.h"
+
+namespace lpath {
+namespace bench {
+
+ReportTable& Fig9Table() {
+  static ReportTable* table =
+      new ReportTable("Figure 9 — scalability on replicated WSJ data");
+  return *table;
+}
+
+void Fig9Register() {
+  const double factors[] = {0.5, 1.0, 2.0, 3.0, 4.0};
+  const int query_ids[] = {3, 6, 11};
+  for (int id : query_ids) {
+    const BenchmarkQuery& q = QueryById(id);
+    for (double f : factors) {
+      const EngineSet& fx = GetScaledWsj(f);
+      char row[32];
+      std::snprintf(row, sizeof(row), "Q%d@%.1fx", id, f);
+      RegisterQueryBench(&Fig9Table(), row, "LPath", fx.lpath.get(), q.lpath);
+      RegisterQueryBench(&Fig9Table(), row, "TGrep2", fx.tgrep.get(),
+                         q.tgrep);
+      RegisterQueryBench(&Fig9Table(), row, "CorpusSearch", fx.cs.get(),
+                         q.cs);
+    }
+  }
+}
+
+void Fig9Print() {
+  printf("%s",
+         Fig9Table().Render({"LPath", "TGrep2", "CorpusSearch"}).c_str());
+  printf("\n(base scale: %d sentences; factors replicate whole corpora as "
+         "in the paper)\n",
+         BenchmarkSentences());
+}
+
+}  // namespace bench
+}  // namespace lpath
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  lpath::bench::Fig9Register();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  lpath::bench::Fig9Print();
+  return 0;
+}

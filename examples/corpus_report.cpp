@@ -1,0 +1,100 @@
+// corpus_report — generate both evaluation corpora and print their
+// characteristics next to the paper's Figure 6(a)/(b), then save them as
+// Penn-bracketed files and a TGrep2 binary image (so the other tools can
+// reuse them).
+//
+//   ./examples/corpus_report [sentences] [output-dir]
+
+#include <cstdio>
+#include <string>
+
+#include "common/str_util.h"
+#include "gen/generator.h"
+#include "tgrep/corpus_file.h"
+#include "tree/bracket_io.h"
+#include "tree/stats.h"
+
+int main(int argc, char** argv) {
+  using namespace lpath;
+
+  const int sentences = argc > 1 ? std::atoi(argv[1]) : 2000;
+  const std::string outdir = argc > 2 ? argv[2] : "";
+
+  struct Entry {
+    const char* name;
+    Result<Corpus> corpus;
+  };
+  Entry corpora[] = {
+      {"WSJ", gen::GenerateWsj(sentences)},
+      {"SWB", gen::GenerateSwb(sentences)},
+  };
+
+  std::printf("Figure 6(a)-style characteristics (%d sentences each):\n\n",
+              sentences);
+  std::printf("  %-18s", "");
+  for (const Entry& e : corpora) std::printf(" | %12s", e.name);
+  std::printf("\n");
+
+  CorpusStats stats[2];
+  for (int i = 0; i < 2; ++i) {
+    if (!corpora[i].corpus.ok()) {
+      std::fprintf(stderr, "generation failed: %s\n",
+                   corpora[i].corpus.status().ToString().c_str());
+      return 1;
+    }
+    stats[i] = ComputeStats(corpora[i].corpus.value());
+  }
+  auto row = [&](const char* label, auto getter) {
+    std::printf("  %-18s", label);
+    for (int i = 0; i < 2; ++i) {
+      std::printf(" | %12s", FormatWithCommas(getter(stats[i])).c_str());
+    }
+    std::printf("\n");
+  };
+  row("File Size (bytes)", [](const CorpusStats& s) {
+    return static_cast<int64_t>(s.file_size_bytes);
+  });
+  row("Tree Nodes", [](const CorpusStats& s) {
+    return static_cast<int64_t>(s.node_count);
+  });
+  row("Words", [](const CorpusStats& s) {
+    return static_cast<int64_t>(s.word_count);
+  });
+  row("Unique Tags", [](const CorpusStats& s) {
+    return static_cast<int64_t>(s.unique_tags);
+  });
+  row("Maximum Depth",
+      [](const CorpusStats& s) { return static_cast<int64_t>(s.max_depth); });
+
+  std::printf("\nTop 10 tags (Figure 6(b)-style):\n");
+  for (int i = 0; i < 2; ++i) {
+    std::printf("  %s:", corpora[i].name);
+    for (const auto& [tag, n] : stats[i].TopTags(10)) {
+      std::printf(" %s(%s)", tag.c_str(), FormatWithCommas(n).c_str());
+    }
+    std::printf("\n");
+  }
+
+  if (!outdir.empty()) {
+    for (int i = 0; i < 2; ++i) {
+      const std::string base =
+          outdir + "/" + AsciiToLower(corpora[i].name);
+      const std::string mrg = base + ".mrg";
+      Status s = SaveBracketFile(corpora[i].corpus.value(), mrg);
+      if (!s.ok()) {
+        std::fprintf(stderr, "%s\n", s.ToString().c_str());
+        return 1;
+      }
+      tgrep::TgrepCorpus image =
+          tgrep::TgrepCorpus::Build(corpora[i].corpus.value());
+      const std::string t2c = base + ".ltg2";
+      s = image.Save(t2c);
+      if (!s.ok()) {
+        std::fprintf(stderr, "%s\n", s.ToString().c_str());
+        return 1;
+      }
+      std::printf("\nwrote %s and %s\n", mrg.c_str(), t2c.c_str());
+    }
+  }
+  return 0;
+}

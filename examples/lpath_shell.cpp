@@ -1,0 +1,163 @@
+// lpath_shell — an interactive LPath console over a generated or loaded
+// treebank, in the spirit of the query tools the paper's linguists used.
+//
+//   ./examples/lpath_shell [--wsj N | --swb N | --corpus FILE.mrg]
+//
+// Commands:
+//   <lpath query>      evaluate and print the match count + a few matches
+//   .sql <query>       show the SQL translation (what goes to the RDBMS)
+//   .plan <query>      show the execution plan IR
+//   .engines <query>   run on all engines that can express it and compare
+//   .stats             corpus statistics (Figure 6a/6b style)
+//   .help              this text
+//   .quit              exit
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "common/str_util.h"
+#include "common/timer.h"
+#include "gen/generator.h"
+#include "lpath/engines.h"
+#include "lpath/eval_nav.h"
+#include "tree/bracket_io.h"
+#include "tree/stats.h"
+
+namespace {
+
+void PrintHelp() {
+  std::printf(
+      "commands:\n"
+      "  <lpath query>     e.g. //VP{/VB-->NN}\n"
+      "  .sql <query>      show the SQL translation\n"
+      "  .plan <query>     show the execution-plan IR\n"
+      "  .engines <query>  compare the relational and navigational engines\n"
+      "  .stats            corpus statistics\n"
+      "  .help  .quit\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace lpath;
+
+  std::string profile = "wsj";
+  std::string corpus_path;
+  int sentences = 1000;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if ((arg == "--wsj" || arg == "--swb") && i + 1 < argc) {
+      profile = arg.substr(2);
+      sentences = std::atoi(argv[++i]);
+    } else if (arg == "--corpus" && i + 1 < argc) {
+      corpus_path = argv[++i];
+    }
+  }
+
+  Corpus corpus;
+  if (!corpus_path.empty()) {
+    Status s = LoadBracketFile(corpus_path, &corpus);
+    if (!s.ok()) {
+      std::fprintf(stderr, "cannot load %s: %s\n", corpus_path.c_str(),
+                   s.ToString().c_str());
+      return 1;
+    }
+  } else {
+    Result<Corpus> generated = profile == "wsj"
+                                   ? gen::GenerateWsj(sentences)
+                                   : gen::GenerateSwb(sentences);
+    if (!generated.ok()) {
+      std::fprintf(stderr, "%s\n", generated.status().ToString().c_str());
+      return 1;
+    }
+    corpus = std::move(generated).value();
+  }
+
+  Result<NodeRelation> rel = NodeRelation::Build(corpus);
+  if (!rel.ok()) {
+    std::fprintf(stderr, "%s\n", rel.status().ToString().c_str());
+    return 1;
+  }
+  LPathEngine engine(rel.value());
+  NavigationalEngine nav(corpus);
+
+  std::printf("lpath_shell — %zu trees, %zu nodes. Type .help for help.\n",
+              corpus.size(), corpus.TotalNodes());
+
+  std::string line;
+  while (std::printf("lpath> "), std::fflush(stdout),
+         std::getline(std::cin, line)) {
+    std::string input(StripWhitespace(line));
+    if (input.empty()) continue;
+    if (input == ".quit" || input == ".exit" || input == "q") break;
+    if (input == ".help") {
+      PrintHelp();
+      continue;
+    }
+    if (input == ".stats") {
+      CorpusStats stats = ComputeStats(corpus);
+      std::printf("trees %zu, nodes %zu, words %zu, unique tags %zu, "
+                  "max depth %d, bracketed size %s bytes\n",
+                  stats.tree_count, stats.node_count, stats.word_count,
+                  stats.unique_tags, stats.max_depth,
+                  FormatWithCommas(stats.file_size_bytes).c_str());
+      for (const auto& [tag, n] : stats.TopTags(10)) {
+        std::printf("  %-12s %s\n", tag.c_str(),
+                    FormatWithCommas(n).c_str());
+      }
+      continue;
+    }
+    if (StartsWith(input, ".sql ")) {
+      Result<std::string> sql = engine.TranslateToSql(input.substr(5));
+      std::printf("%s\n", sql.ok() ? sql->c_str()
+                                   : sql.status().ToString().c_str());
+      continue;
+    }
+    if (StartsWith(input, ".plan ")) {
+      Result<ExecPlan> plan = engine.Translate(input.substr(6));
+      std::printf("%s\n", plan.ok() ? plan->DebugString().c_str()
+                                    : plan.status().ToString().c_str());
+      continue;
+    }
+    if (StartsWith(input, ".engines ")) {
+      const std::string q = input.substr(9);
+      for (const QueryEngine* e :
+           std::initializer_list<const QueryEngine*>{&engine, &nav}) {
+        Timer timer;
+        Result<QueryResult> r = e->Run(q);
+        const double secs = timer.ElapsedSeconds();
+        if (r.ok()) {
+          std::printf("  %-14s %8zu matches   %.3f ms\n", e->name().c_str(),
+                      r->count(), secs * 1e3);
+        } else {
+          std::printf("  %-14s %s\n", e->name().c_str(),
+                      r.status().ToString().c_str());
+        }
+      }
+      continue;
+    }
+
+    Timer timer;
+    Result<QueryResult> r = engine.Run(input);
+    if (!r.ok()) {
+      std::printf("error: %s\n", r.status().ToString().c_str());
+      continue;
+    }
+    std::printf("%zu matches (%.3f ms)\n", r->count(),
+                timer.ElapsedSeconds() * 1e3);
+    int shown = 0;
+    int32_t last_tid = -1;
+    for (const Hit& hit : r->hits) {
+      if (hit.tid == last_tid) continue;
+      last_tid = hit.tid;
+      if (shown++ >= 3) break;
+      std::string text;
+      WriteBracketTree(corpus.tree(hit.tid), corpus.interner(), &text);
+      if (text.size() > 140) text = text.substr(0, 137) + "...";
+      std::printf("  [%d] %s\n", hit.tid, text.c_str());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Quickstart: the paper's running example, end to end.
+//
+// Builds the Figure 1 syntax tree ("I saw the old man with a dog today")
+// from Penn-bracketed text, prints its relational representation (the
+// Figure 5 table), then runs every Figure 2 query through the LPath engine
+// — also showing the SQL each query translates to.
+//
+//   ./examples/quickstart
+
+#include <cstdio>
+
+#include "lpath/engines.h"
+#include "storage/relation.h"
+#include "tree/bracket_io.h"
+
+int main() {
+  using namespace lpath;
+
+  // 1. Load the Figure 1 tree.
+  Corpus corpus;
+  Status s = ParseBracketText(
+      "(S (NP I)"
+      " (VP (V saw)"
+      "  (NP (NP (Det the) (Adj old) (N man))"
+      "      (PP (Prep with) (NP (Det a) (N dog)))))"
+      " (N today))",
+      &corpus);
+  if (!s.ok()) {
+    std::fprintf(stderr, "parse failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  // 2. Label it (Definition 4.1) and build the node relation.
+  Result<NodeRelation> rel = NodeRelation::Build(corpus);
+  if (!rel.ok()) {
+    std::fprintf(stderr, "build failed: %s\n", rel.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("Figure 5 — relational representation of the Figure 1 tree\n");
+  std::printf("%5s %5s %5s %4s %4s  %-6s %s\n", "left", "right", "depth",
+              "id", "pid", "name", "value");
+  for (Row r = 0; r < rel->row_count(); ++r) {
+    const Interner& in = rel->interner();
+    std::printf("%5d %5d %5d %4d %4d  %-6s %s\n", rel->left(r), rel->right(r),
+                rel->depth(r), rel->id(r), rel->pid(r),
+                std::string(in.name(rel->name(r))).c_str(),
+                rel->value(r) == kNoSymbol
+                    ? ""
+                    : std::string(in.name(rel->value(r))).c_str());
+  }
+
+  // 3. Run the Figure 2 queries.
+  LPathEngine engine(rel.value());
+  const char* queries[] = {
+      "//S[//_[@lex=saw]]",  // sentences containing "saw"
+      "//V==>NP",            // NP = immediate following sibling of a verb
+      "//V->NP",             // NP immediately following a verb
+      "//VP/V-->N",          // nouns following a verb under a VP
+      "//VP{/V-->N}",        // ... within that VP (subtree scoping)
+      "//VP{/NP$}",          // rightmost NP child of a VP (edge alignment)
+      "//VP{//NP$}",         // rightmost NP descendant of a VP
+  };
+  std::printf("\nFigure 2 — example linguistic queries\n");
+  for (const char* q : queries) {
+    Result<QueryResult> result = engine.Run(q);
+    if (!result.ok()) {
+      std::printf("  %-24s -> error: %s\n", q,
+                  result.status().ToString().c_str());
+      continue;
+    }
+    std::printf("  %-24s -> nodes {", q);
+    for (size_t i = 0; i < result->hits.size(); ++i) {
+      std::printf("%s%d", i ? ", " : "", result->hits[i].id);
+    }
+    std::printf("}  (%zu match%s)\n", result->count(),
+                result->count() == 1 ? "" : "es");
+  }
+
+  // 4. Show a translation — the SQL the paper's engine would ship.
+  Result<std::string> sql = engine.TranslateToSql("//VP{/V-->N}");
+  if (sql.ok()) {
+    std::printf("\nSQL for //VP{/V-->N}:\n  %s\n", sql->c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,153 @@
+// treebank_search — run a query against a treebank with any of the four
+// engines, the way a corpus linguist would.
+//
+// Usage:
+//   treebank_search [--engine lpath|nav|tgrep|cs] [--corpus FILE.mrg]
+//                   [--wsj N | --swb N] [--show K] QUERY
+//
+//   --corpus FILE.mrg   load Penn-bracketed trees from a file
+//   --wsj N / --swb N   generate N sentences from the WSJ / SWB profile
+//                       (default: --wsj 1000)
+//   --engine            which engine evaluates QUERY (default lpath);
+//                       the query language follows the engine: LPath for
+//                       lpath/nav, TGrep2 patterns for tgrep, CorpusSearch
+//                       query files for cs
+//   --show K            print the first K matching trees (default 3)
+//
+// Examples:
+//   treebank_search --wsj 2000 '//VP{/VB-->NN}'
+//   treebank_search --engine tgrep --wsj 2000 'NN ,, (VB > VP)'
+//   treebank_search --engine cs --swb 500 '(S Doms saw)'
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "cs/engine.h"
+#include "gen/generator.h"
+#include "lpath/engines.h"
+#include "lpath/eval_nav.h"
+#include "tgrep/engine.h"
+#include "tree/bracket_io.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: treebank_search [--engine lpath|nav|tgrep|cs] "
+               "[--corpus FILE | --wsj N | --swb N] [--show K] QUERY\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace lpath;
+
+  std::string engine_name = "lpath";
+  std::string corpus_path;
+  std::string profile = "wsj";
+  int sentences = 1000;
+  int show = 3;
+  std::string query;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--engine") {
+      const char* v = next();
+      if (!v) return Usage();
+      engine_name = v;
+    } else if (arg == "--corpus") {
+      const char* v = next();
+      if (!v) return Usage();
+      corpus_path = v;
+    } else if (arg == "--wsj" || arg == "--swb") {
+      const char* v = next();
+      if (!v) return Usage();
+      profile = arg.substr(2);
+      sentences = std::atoi(v);
+    } else if (arg == "--show") {
+      const char* v = next();
+      if (!v) return Usage();
+      show = std::atoi(v);
+    } else if (!arg.empty() && arg[0] == '-') {
+      return Usage();
+    } else {
+      query = arg;
+    }
+  }
+  if (query.empty()) return Usage();
+
+  // Assemble the corpus.
+  Corpus corpus;
+  if (!corpus_path.empty()) {
+    Status s = LoadBracketFile(corpus_path, &corpus);
+    if (!s.ok()) {
+      std::fprintf(stderr, "cannot load %s: %s\n", corpus_path.c_str(),
+                   s.ToString().c_str());
+      return 1;
+    }
+    std::printf("loaded %zu trees from %s\n", corpus.size(),
+                corpus_path.c_str());
+  } else {
+    Result<Corpus> generated = profile == "wsj"
+                                   ? gen::GenerateWsj(sentences)
+                                   : gen::GenerateSwb(sentences);
+    if (!generated.ok()) {
+      std::fprintf(stderr, "generation failed: %s\n",
+                   generated.status().ToString().c_str());
+      return 1;
+    }
+    corpus = std::move(generated).value();
+    std::printf("generated %zu %s-profile sentences (%zu nodes)\n",
+                corpus.size(), profile.c_str(), corpus.TotalNodes());
+  }
+
+  // Build the requested engine.
+  std::unique_ptr<NodeRelation> relation;
+  std::unique_ptr<QueryEngine> engine;
+  if (engine_name == "lpath") {
+    Result<NodeRelation> rel = NodeRelation::Build(corpus);
+    if (!rel.ok()) {
+      std::fprintf(stderr, "relation build failed: %s\n",
+                   rel.status().ToString().c_str());
+      return 1;
+    }
+    relation = std::make_unique<NodeRelation>(std::move(rel).value());
+    engine = std::make_unique<LPathEngine>(*relation);
+  } else if (engine_name == "nav") {
+    engine = std::make_unique<NavigationalEngine>(corpus);
+  } else if (engine_name == "tgrep") {
+    engine = std::make_unique<tgrep::TGrep2Engine>(corpus);
+  } else if (engine_name == "cs") {
+    engine = std::make_unique<cs::CorpusSearchEngine>(corpus);
+  } else {
+    return Usage();
+  }
+
+  // Run.
+  Result<QueryResult> result = engine->Run(query);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s: %s\n", engine->name().c_str(),
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s: %zu matches\n", engine->name().c_str(), result->count());
+
+  // Show a few matching trees.
+  int shown = 0;
+  int32_t last_tid = -1;
+  for (const Hit& hit : result->hits) {
+    if (hit.tid == last_tid) continue;  // one line per tree
+    last_tid = hit.tid;
+    if (shown++ >= show) break;
+    std::string text;
+    WriteBracketTree(corpus.tree(hit.tid), corpus.interner(), &text);
+    if (text.size() > 160) text = text.substr(0, 157) + "...";
+    std::printf("  tree %d node %d: %s\n", hit.tid, hit.id, text.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Shared benchmark fixtures: lazily built, cached corpora and engines.
+//
+// Scale: the paper's corpora hold ~49k sentences (1M words). The default
+// benchmark scale is 4000 sentences per corpus (set LPATHDB_SENTENCES to
+// override; use 49000 to approximate paper scale). Relative shapes — which
+// engine wins where — are stable across scales; see EXPERIMENTS.md.
+
+#ifndef LPATHDB_BENCH_UTIL_FIXTURES_H_
+#define LPATHDB_BENCH_UTIL_FIXTURES_H_
+
+#include <memory>
+#include <string>
+
+#include "cs/engine.h"
+#include "lpath/engines.h"
+#include "lpath/eval_nav.h"
+#include "tgrep/engine.h"
+#include "tree/corpus.h"
+
+namespace lpath {
+namespace bench {
+
+/// Which evaluation corpus.
+enum class Dataset { kWsj, kSwb };
+
+const char* DatasetName(Dataset d);
+
+/// Benchmark scale in sentences (env LPATHDB_SENTENCES, default 4000).
+int BenchmarkSentences();
+
+/// A corpus with every engine built over it. Construction is expensive;
+/// use Fixture::Get for process-lifetime caching.
+struct EngineSet {
+  Corpus corpus;
+  std::unique_ptr<NodeRelation> lpath_relation;   // LPath labeling
+  std::unique_ptr<NodeRelation> xpath_relation;   // XPath labeling
+  std::unique_ptr<LPathEngine> lpath;
+  std::unique_ptr<LPathEngine> xpath;
+  std::unique_ptr<NavigationalEngine> navigational;
+  std::unique_ptr<tgrep::TGrep2Engine> tgrep;
+  std::unique_ptr<cs::CorpusSearchEngine> cs;
+};
+
+/// Builds every engine over `corpus` (consumes it).
+std::unique_ptr<EngineSet> BuildEngineSet(Corpus corpus);
+
+/// Process-lifetime cache keyed by (dataset, sentences). `sentences <= 0`
+/// means BenchmarkSentences().
+const EngineSet& GetFixture(Dataset dataset, int sentences = 0);
+
+/// A WSJ fixture replicated to `factor` × the base sentence count
+/// (Figure 9; factor may be fractional via `half` = 0.5x).
+const EngineSet& GetScaledWsj(double factor);
+
+}  // namespace bench
+}  // namespace lpath
+
+#endif  // LPATHDB_BENCH_UTIL_FIXTURES_H_

@@ -1,0 +1,85 @@
+#include "bench_util/report.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/str_util.h"
+
+namespace lpath {
+namespace bench {
+
+void ReportTable::Record(const std::string& row, const std::string& column,
+                         Measurement m) {
+  if (!cells_.count(row)) row_order_.push_back(row);
+  cells_[row][column] = m;
+}
+
+void ReportTable::RecordUnsupported(const std::string& row,
+                                    const std::string& column) {
+  Measurement m;
+  m.supported = false;
+  Record(row, column, m);
+}
+
+bool ReportTable::has_row(const std::string& row) const {
+  return cells_.count(row) > 0;
+}
+
+std::string FormatSeconds(double seconds) {
+  char buf[64];
+  if (seconds < 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%8.1fus", seconds * 1e6);
+  } else if (seconds < 1.0) {
+    std::snprintf(buf, sizeof(buf), "%8.2fms", seconds * 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%8.2fs ", seconds);
+  }
+  return buf;
+}
+
+std::string ReportTable::Render(
+    const std::vector<std::string>& columns,
+    const std::map<std::string, std::string>& annotations) const {
+  std::ostringstream os;
+  os << "\n=== " << title_ << " ===\n";
+  os << "  " << std::string(6, ' ');
+  for (const std::string& c : columns) {
+    os << " | " << c << std::string(c.size() < 18 ? 18 - c.size() : 0, ' ');
+  }
+  os << "\n";
+  for (const std::string& row : row_order_) {
+    char head[32];
+    std::snprintf(head, sizeof(head), "  %-6s", row.c_str());
+    os << head;
+    const auto& row_cells = cells_.at(row);
+    for (const std::string& c : columns) {
+      os << " | ";
+      auto it = row_cells.find(c);
+      if (it == row_cells.end()) {
+        os << std::string(18, ' ');
+        continue;
+      }
+      const Measurement& m = it->second;
+      if (!m.supported) {
+        os << "       n/a        ";
+        continue;
+      }
+      std::string t = FormatSeconds(m.seconds);
+      char cell[64];
+      std::snprintf(cell, sizeof(cell), "%s %-7s", t.c_str(),
+                    FormatWithCommas(static_cast<int64_t>(m.result_count))
+                        .c_str());
+      os << cell;
+    }
+    auto ann = annotations.find(row);
+    if (ann != annotations.end()) {
+      os << " | " << ann->second;
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace bench
+}  // namespace lpath

@@ -1,0 +1,58 @@
+// Paper-style result tables. Benchmarks record (figure row, system) → time
+// and result size while they run; PrintReport() renders the same rows the
+// paper's figures plot, side by side with the paper's numbers where they
+// exist. EXPERIMENTS.md is written from these tables.
+
+#ifndef LPATHDB_BENCH_UTIL_REPORT_H_
+#define LPATHDB_BENCH_UTIL_REPORT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace lpath {
+namespace bench {
+
+/// One measured cell.
+struct Measurement {
+  double seconds = 0.0;       ///< mean wall time per query evaluation
+  size_t result_count = 0;
+  bool supported = true;      ///< false: engine cannot express the query
+};
+
+/// Collects measurements for one report (usually one figure).
+class ReportTable {
+ public:
+  explicit ReportTable(std::string title) : title_(std::move(title)) {}
+
+  /// Records a cell; `row` is e.g. "Q3" and `column` e.g. "LPath".
+  void Record(const std::string& row, const std::string& column,
+              Measurement m);
+
+  /// Marks a query an engine cannot run.
+  void RecordUnsupported(const std::string& row, const std::string& column);
+
+  /// Renders the table: one line per row, one time column per system, plus
+  /// result counts. Optionally a trailing per-row annotation (e.g. the
+  /// paper's result sizes).
+  std::string Render(const std::vector<std::string>& columns,
+                     const std::map<std::string, std::string>& annotations =
+                         {}) const;
+
+  const std::string& title() const { return title_; }
+  bool has_row(const std::string& row) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> row_order_;
+  std::map<std::string, std::map<std::string, Measurement>> cells_;
+};
+
+/// Formats seconds with an adaptive unit (µs / ms / s).
+std::string FormatSeconds(double seconds);
+
+}  // namespace bench
+}  // namespace lpath
+
+#endif  // LPATHDB_BENCH_UTIL_REPORT_H_

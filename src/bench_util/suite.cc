@@ -1,0 +1,95 @@
+#include "bench_util/suite.h"
+
+#include <cassert>
+
+namespace lpath {
+namespace bench {
+
+const std::vector<BenchmarkQuery>& The23Queries() {
+  static const std::vector<BenchmarkQuery> kQueries = {
+      {1, "//S[//_[@lex=saw]]", "S << saw", "(S Doms saw)", true, 153, 339,
+       "sentences containing the word saw"},
+      {2, "//VB->NP", "NP , VB", "focus: NP\nquery: (NP iFollows VB)", false,
+       23618, 16557, "NPs immediately following a verb"},
+      {3, "//VP/VB-->NN", "NN ,, (VB > VP)",
+       "focus: NN\nquery: (NN Follows VB) AND (VP iDoms VB)", false, 63857,
+       32386, "nouns following a verb that is a child of a VP"},
+      {4, "//VP{/VB-->NN}", "NN=n ,, (VB > (VP << =n))",
+       "focus: NN\nquery: (NN Follows VB) AND (VP iDoms VB) AND (VP Doms NN)",
+       false, 46116, 25305, "same, scoped within the VP"},
+      {5, "//VP{/NP$}", "NP >- VP", "focus: NP\nquery: (VP iDomsLast NP)",
+       false, 29923, 22554, "rightmost NP child of a VP"},
+      {6, "//VP{//NP$}", "NP >>- VP", "focus: NP\nquery: (VP domsLast NP)",
+       false, 215104, 112159, "rightmost NP descendant of a VP"},
+      {7, "//VP[{//^VB->NP->PP$}]", "VP=v <<, (VB . (NP . (PP >>- =v)))",
+       "focus: VP\nquery: (VP domsFirst VB) AND (VB iPrecedes NP) AND "
+       "(NP iPrecedes PP) AND (VP domsLast PP)",
+       false, 2831, 1963, "VP spanned exactly by VB NP PP"},
+      {8, "//S[//NP/ADJP]", "S << (ADJP > NP)",
+       "focus: S\nquery: (S Doms ADJP) AND (NP iDoms ADJP)", true, 7832, 2900,
+       "sentences with an ADJP under an NP"},
+      {9, "//NP[not(//JJ)]", "NP !<< JJ",
+       "(NP exists) AND NOT (NP Doms JJ)", true, 211392, 109311,
+       "NPs containing no adjective"},
+      {10, "//NP[->PP[//IN[@lex=of]]=>VP]", "NP . (PP << (IN < of) $. VP)",
+       "focus: NP\nquery: (NP iPrecedes PP) AND (PP Doms IN) AND "
+       "(IN iDoms of) AND (PP iSisterPrecedes VP)",
+       false, 192, 31, "NP before an of-PP whose next sister is a VP"},
+      {11, "//S[{//_[@lex=what]->_[@lex=building]}]",
+       "S=s << (what . (building >> =s))",
+       "focus: S\nquery: (S Doms what) AND (what iPrecedes building) AND "
+       "(S Doms building)",
+       false, 2, 5, "sentences with the bigram what building"},
+      {12, "//_[@lex=rapprochement]", "__ < rapprochement",
+       "(* iDoms rapprochement)", true, 1, 0, "a very rare word"},
+      {13, "//_[@lex=1929]", "__ < 1929", "(* iDoms 1929)", true, 14, 0,
+       "a rare numeral"},
+      {14, "//ADVP-LOC-CLR", "ADVP-LOC-CLR", "(ADVP-LOC-CLR exists)", true,
+       60, 0, "rare tag"},
+      {15, "//WHPP", "WHPP", "(WHPP exists)", true, 87, 20, "rare tag"},
+      {16, "//RRC/PP-TMP", "PP-TMP > RRC",
+       "focus: PP-TMP\nquery: (RRC iDoms PP-TMP)", true, 8, 3,
+       "rare parent/child pair"},
+      {17, "//UCP-PRD/ADJP-PRD", "ADJP-PRD > UCP-PRD",
+       "focus: ADJP-PRD\nquery: (UCP-PRD iDoms ADJP-PRD)", true, 17, 4,
+       "rare parent/child pair"},
+      {18, "//NP/NP/NP/NP/NP", "NP > (NP > (NP > (NP > NP)))",
+       "focus: NP=e\nquery: (NP=a iDoms NP=b) AND (NP=b iDoms NP=c) AND "
+       "(NP=c iDoms NP=d) AND (NP=d iDoms NP=e)",
+       true, 254, 12, "five NPs vertically"},
+      {19, "//VP/VP/VP", "VP > (VP > VP)",
+       "focus: VP=c\nquery: (VP=a iDoms VP=b) AND (VP=b iDoms VP=c)", true,
+       8769, 6093, "three VPs vertically"},
+      {20, "//PP=>SBAR", "SBAR $, PP",
+       "focus: SBAR\nquery: (PP iSisterPrecedes SBAR)", false, 640, 651,
+       "SBAR right after a sister PP"},
+      {21, "//ADVP=>ADJP", "ADJP $, ADVP",
+       "focus: ADJP\nquery: (ADVP iSisterPrecedes ADJP)", false, 15, 37,
+       "ADJP right after a sister ADVP"},
+      {22, "//NP=>NP=>NP", "NP $, (NP $, NP)",
+       "focus: NP=c\nquery: (NP=a iSisterPrecedes NP=b) AND "
+       "(NP=b iSisterPrecedes NP=c)",
+       false, 7, 7, "three adjacent sister NPs"},
+      {23, "//VP=>VP", "VP $, VP",
+       "focus: VP=b\nquery: (VP=a iSisterPrecedes VP=b)", false, 20, 72,
+       "two adjacent sister VPs"},
+  };
+  return kQueries;
+}
+
+std::vector<BenchmarkQuery> XPathExpressibleQueries() {
+  std::vector<BenchmarkQuery> out;
+  for (const BenchmarkQuery& q : The23Queries()) {
+    if (q.xpath_expressible) out.push_back(q);
+  }
+  return out;
+}
+
+const BenchmarkQuery& QueryById(int id) {
+  const auto& all = The23Queries();
+  assert(id >= 1 && id <= static_cast<int>(all.size()));
+  return all[id - 1];
+}
+
+}  // namespace bench
+}  // namespace lpath

@@ -1,0 +1,40 @@
+// The paper's evaluation workload: the 23 queries of Figure 6(c), each in
+// LPath plus hand translations into the TGrep2 and CorpusSearch dialects
+// (result node = the LPath output node, so all engines count the same
+// set), the Figure 6(c) result sizes reported for the original WSJ/SWB
+// corpora, and the Figure 10 XPath-expressibility flags.
+
+#ifndef LPATHDB_BENCH_UTIL_SUITE_H_
+#define LPATHDB_BENCH_UTIL_SUITE_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace lpath {
+namespace bench {
+
+struct BenchmarkQuery {
+  int id = 0;                 ///< 1-based, as in Figure 6(c).
+  const char* lpath = "";
+  const char* tgrep = "";     ///< empty: not translated
+  const char* cs = "";        ///< empty: not translated
+  bool xpath_expressible = false;  ///< in the Figure 10 set of 11
+  size_t paper_wsj = 0;       ///< result size on the original WSJ corpus
+  size_t paper_swb = 0;       ///< ... and on the original SWB corpus
+  const char* note = "";
+};
+
+/// The 23 queries, ordered by id.
+const std::vector<BenchmarkQuery>& The23Queries();
+
+/// Queries in the Figure 10 comparison (Q1, Q8, Q9, Q12–Q19).
+std::vector<BenchmarkQuery> XPathExpressibleQueries();
+
+/// Lookup by id (1..23).
+const BenchmarkQuery& QueryById(int id);
+
+}  // namespace bench
+}  // namespace lpath
+
+#endif  // LPATHDB_BENCH_UTIL_SUITE_H_

@@ -1,0 +1,30 @@
+#include "common/interner.h"
+
+#include <cassert>
+
+namespace lpath {
+
+Interner::Interner() {
+  strings_.emplace_back();  // Reserve id 0 = kNoSymbol.
+}
+
+Symbol Interner::Intern(std::string_view s) {
+  auto it = index_.find(s);
+  if (it != index_.end()) return it->second;
+  strings_.emplace_back(s);
+  Symbol id = static_cast<Symbol>(strings_.size() - 1);
+  index_.emplace(std::string_view(strings_.back()), id);
+  return id;
+}
+
+Symbol Interner::Lookup(std::string_view s) const {
+  auto it = index_.find(s);
+  return it == index_.end() ? kNoSymbol : it->second;
+}
+
+std::string_view Interner::name(Symbol id) const {
+  assert(id != kNoSymbol && id < strings_.size());
+  return strings_[id];
+}
+
+}  // namespace lpath

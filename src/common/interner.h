@@ -1,0 +1,54 @@
+// Interner: maps strings (tag names, attribute names, word values) to dense
+// 32-bit symbol ids and back. Shared by a whole corpus so that the node
+// relation can be dictionary-encoded.
+
+#ifndef LPATHDB_COMMON_INTERNER_H_
+#define LPATHDB_COMMON_INTERNER_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace lpath {
+
+/// Dense symbol id. Id 0 is reserved for "no symbol" (e.g. the value column
+/// of an element row, which has no value).
+using Symbol = uint32_t;
+inline constexpr Symbol kNoSymbol = 0;
+
+/// Append-only string dictionary with stable string storage.
+///
+/// Not thread-safe for interning; concurrent read-only lookup is safe once
+/// loading has finished.
+class Interner {
+ public:
+  Interner();
+
+  /// Returns the id for `s`, interning it on first sight. Never returns
+  /// kNoSymbol.
+  Symbol Intern(std::string_view s);
+
+  /// Returns the id for `s`, or kNoSymbol if it was never interned.
+  Symbol Lookup(std::string_view s) const;
+
+  /// Returns the string for a valid id. `id` must be a value previously
+  /// returned by Intern (not kNoSymbol).
+  std::string_view name(Symbol id) const;
+
+  /// Number of distinct interned symbols (excluding the reserved id 0).
+  size_t size() const { return strings_.size() - 1; }
+
+  /// Largest valid id + 1 (ids are dense: 1..size()).
+  Symbol end_id() const { return static_cast<Symbol>(strings_.size()); }
+
+ private:
+  // deque gives stable addresses so string_view keys stay valid.
+  std::deque<std::string> strings_;
+  std::unordered_map<std::string_view, Symbol> index_;
+};
+
+}  // namespace lpath
+
+#endif  // LPATHDB_COMMON_INTERNER_H_

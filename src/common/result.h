@@ -1,0 +1,74 @@
+// Result<T>: a Status or a value, in the style of arrow::Result / absl::StatusOr.
+
+#ifndef LPATHDB_COMMON_RESULT_H_
+#define LPATHDB_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace lpath {
+
+/// Holds either an error Status or a value of type T.
+///
+///   Result<Ast> r = Parse(text);
+///   if (!r.ok()) return r.status();
+///   Ast ast = std::move(r).value();
+template <typename T>
+class Result {
+ public:
+  /// Constructs from an error status; `status.ok()` must be false.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT(runtime/explicit)
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+  /// Constructs from a value.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value or `fallback` if this holds an error.
+  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  Status status_;  // OK iff value_ engaged.
+  std::optional<T> value_;
+};
+
+}  // namespace lpath
+
+/// Evaluates a Result<T> expression; assigns the value to `lhs` or returns
+/// the error to the caller.
+#define LPATH_ASSIGN_OR_RETURN(lhs, expr)            \
+  LPATH_ASSIGN_OR_RETURN_IMPL_(                      \
+      LPATH_RESULT_CONCAT_(_lpath_result, __LINE__), lhs, expr)
+
+#define LPATH_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                 \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).value()
+
+#define LPATH_RESULT_CONCAT_(a, b) LPATH_RESULT_CONCAT_IMPL_(a, b)
+#define LPATH_RESULT_CONCAT_IMPL_(a, b) a##b
+
+#endif  // LPATHDB_COMMON_RESULT_H_

@@ -1,0 +1,113 @@
+// Status: error model for LPathDB.
+//
+// Library code does not throw exceptions (per the database-C++ house style);
+// fallible operations return Status, and value-returning fallible operations
+// return Result<T> (see common/result.h).
+
+#ifndef LPATHDB_COMMON_STATUS_H_
+#define LPATHDB_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace lpath {
+
+/// Canonical error space, modeled after the usual database-engine sets.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,  ///< Malformed query text, bad options, bad parameters.
+  kNotFound,         ///< Missing tag, file, tree, or index entry.
+  kNotSupported,     ///< Legal input outside this engine's supported subset.
+  kCorruption,       ///< Internal invariant violated in stored data.
+  kOutOfRange,       ///< Index or interval out of bounds.
+  kIOError,          ///< Filesystem failure.
+  kAlreadyExists,    ///< Duplicate key / duplicate definition.
+  kInternal,         ///< Bug: a "can't happen" branch was taken.
+};
+
+/// Human-readable name of a code, e.g. "InvalidArgument".
+std::string_view StatusCodeName(StatusCode code);
+
+/// A cheap, copyable success-or-error value.
+///
+/// The OK status carries no allocation; error statuses carry a code and a
+/// message. Typical use:
+///
+///   Status s = parser.Parse(text, &ast);
+///   if (!s.ok()) return s;
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsNotSupported() const { return code_ == StatusCode::kNotSupported; }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }
+  bool IsIOError() const { return code_ == StatusCode::kIOError; }
+  bool IsInternal() const { return code_ == StatusCode::kInternal; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+}  // namespace lpath
+
+/// Propagates a non-OK Status to the caller.
+#define LPATH_RETURN_IF_ERROR(expr)                 \
+  do {                                              \
+    ::lpath::Status _lpath_status = (expr);         \
+    if (!_lpath_status.ok()) return _lpath_status;  \
+  } while (0)
+
+#endif  // LPATHDB_COMMON_STATUS_H_

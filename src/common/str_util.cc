@@ -1,0 +1,79 @@
+#include "common/str_util.h"
+
+#include <cctype>
+
+namespace lpath {
+
+std::string_view StripWhitespace(std::string_view s) {
+  size_t b = 0;
+  while (b < s.size() && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  size_t e = s.size();
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::vector<std::string_view> Split(std::string_view s, char sep) {
+  std::vector<std::string_view> out;
+  size_t start = 0;
+  for (size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == sep) {
+      out.push_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool EndsWith(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+bool GlobMatch(std::string_view pattern, std::string_view text) {
+  // Iterative two-pointer glob matcher with backtracking over the last '*'.
+  size_t p = 0, t = 0;
+  size_t star = std::string_view::npos, mark = 0;
+  while (t < text.size()) {
+    if (p < pattern.size() &&
+        (pattern[p] == '?' || pattern[p] == text[t])) {
+      ++p;
+      ++t;
+    } else if (p < pattern.size() && pattern[p] == '*') {
+      star = p++;
+      mark = t;
+    } else if (star != std::string_view::npos) {
+      p = star + 1;
+      t = ++mark;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '*') ++p;
+  return p == pattern.size();
+}
+
+std::string AsciiToLower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+std::string FormatWithCommas(int64_t v) {
+  std::string digits = std::to_string(v < 0 ? -v : v);
+  std::string out;
+  if (v < 0) out.push_back('-');
+  int lead = static_cast<int>(digits.size()) % 3;
+  if (lead == 0) lead = 3;
+  out.append(digits, 0, lead);
+  for (size_t i = lead; i < digits.size(); i += 3) {
+    out.push_back(',');
+    out.append(digits, i, 3);
+  }
+  return out;
+}
+
+}  // namespace lpath

@@ -1,0 +1,36 @@
+// Small string helpers shared across modules.
+
+#ifndef LPATHDB_COMMON_STR_UTIL_H_
+#define LPATHDB_COMMON_STR_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lpath {
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view s);
+
+/// Splits on a single character; empty pieces are kept.
+std::vector<std::string_view> Split(std::string_view s, char sep);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// True if `s` ends with `suffix`.
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Glob match supporting '*' (any run, including empty) and '?' (any one
+/// character) — the pattern language CorpusSearch uses for tag arguments.
+bool GlobMatch(std::string_view pattern, std::string_view text);
+
+/// Lower-cases ASCII.
+std::string AsciiToLower(std::string_view s);
+
+/// Formats an integer with thousands separators ("1,234,567") for reports.
+std::string FormatWithCommas(int64_t v);
+
+}  // namespace lpath
+
+#endif  // LPATHDB_COMMON_STR_UTIL_H_

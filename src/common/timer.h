@@ -1,0 +1,35 @@
+// Wall-clock timing for the benchmark harness.
+
+#ifndef LPATHDB_COMMON_TIMER_H_
+#define LPATHDB_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace lpath {
+
+/// Monotonic stopwatch; starts on construction.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace lpath
+
+#endif  // LPATHDB_COMMON_TIMER_H_

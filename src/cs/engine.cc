@@ -1,0 +1,15 @@
+#include "cs/engine.h"
+
+#include "cs/matcher.h"
+#include "cs/parser.h"
+
+namespace lpath {
+namespace cs {
+
+Result<QueryResult> CorpusSearchEngine::Run(const std::string& query) const {
+  LPATH_ASSIGN_OR_RETURN(CsQuery parsed, ParseCsQuery(query));
+  return EvalCsQuery(corpus_, parsed);
+}
+
+}  // namespace cs
+}  // namespace lpath

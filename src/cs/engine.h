@@ -1,0 +1,34 @@
+// CorpusSearchEngine: the QueryEngine facade over the CorpusSearch-style
+// baseline.
+
+#ifndef LPATHDB_CS_ENGINE_H_
+#define LPATHDB_CS_ENGINE_H_
+
+#include <string>
+
+#include "lpath/engine.h"
+#include "tgrep/corpus_file.h"
+
+namespace lpath {
+namespace cs {
+
+/// Query engine speaking the CorpusSearch-style query-file language.
+/// Results are distinct focus-variable nodes mapped into the shared
+/// (tid, id) space.
+class CorpusSearchEngine : public QueryEngine {
+ public:
+  explicit CorpusSearchEngine(const Corpus& corpus)
+      : corpus_(tgrep::TgrepCorpus::Build(corpus)) {}
+
+  std::string name() const override { return "CorpusSearch"; }
+
+  Result<QueryResult> Run(const std::string& query) const override;
+
+ private:
+  tgrep::TgrepCorpus corpus_;
+};
+
+}  // namespace cs
+}  // namespace lpath
+
+#endif  // LPATHDB_CS_ENGINE_H_

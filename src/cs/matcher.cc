@@ -1,0 +1,347 @@
+#include "cs/matcher.h"
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/str_util.h"
+
+namespace lpath {
+namespace cs {
+
+namespace {
+
+using tgrep::TgrepTree;
+
+/// A resolved variable: identity, glob, appearance order.
+struct Var {
+  std::string identity;
+  std::string glob;
+};
+
+/// Analysis of the query: shared variables (in evaluation order, focus
+/// first) and which conditions form the conjunctive skeleton.
+struct Analysis {
+  std::vector<Var> vars;
+  int focus = 0;
+  std::vector<const Condition*> skeleton;  // AND-reachable conditions
+  const CsExpr* root = nullptr;
+};
+
+void CollectConditions(const CsExpr& e, bool conjunctive,
+                       std::vector<const Condition*>* all,
+                       std::vector<const Condition*>* skeleton) {
+  switch (e.kind) {
+    case CsExpr::Kind::kAnd:
+      CollectConditions(*e.lhs, conjunctive, all, skeleton);
+      CollectConditions(*e.rhs, conjunctive, all, skeleton);
+      return;
+    case CsExpr::Kind::kOr:
+      CollectConditions(*e.lhs, false, all, skeleton);
+      CollectConditions(*e.rhs, false, all, skeleton);
+      return;
+    case CsExpr::Kind::kNot:
+      CollectConditions(*e.lhs, false, all, skeleton);
+      return;
+    case CsExpr::Kind::kCond:
+      all->push_back(&e.cond);
+      if (conjunctive) skeleton->push_back(&e.cond);
+      return;
+  }
+}
+
+// NOLINTNEXTLINE(readability-function-size)
+Result<Analysis> Analyze(const CsQuery& query) {
+  Analysis out;
+  out.root = query.expr.get();
+  std::vector<const Condition*> all;
+  CollectConditions(*query.expr, true, &all, &out.skeleton);
+  if (all.empty()) return Status::InvalidArgument("query has no conditions");
+
+  // Occurrence counts decide same-instance sharing.
+  std::map<std::string, int> count;
+  std::map<std::string, bool> is_first_or_named;
+  std::map<std::string, std::string> glob_of;
+  auto visit = [&](const Arg& arg, bool first_pos) -> Status {
+    const std::string id = arg.Identity();
+    count[id] += 1;
+    if (first_pos || !arg.name.empty()) is_first_or_named[id] = true;
+    auto it = glob_of.find(id);
+    if (it == glob_of.end()) {
+      glob_of[id] = arg.glob;
+    } else if (it->second != arg.glob) {
+      return Status::InvalidArgument("variable " + id +
+                                     " used with conflicting patterns '" +
+                                     it->second + "' and '" + arg.glob + "'");
+    }
+    return Status::OK();
+  };
+  for (const Condition* c : all) {
+    LPATH_RETURN_IF_ERROR(visit(c->a, /*first_pos=*/true));
+    if (c->has_b) LPATH_RETURN_IF_ERROR(visit(c->b, /*first_pos=*/false));
+  }
+
+  // Variables in appearance order; locals (unnamed, single second-arg
+  // occurrence) are handled inside condition evaluation. Declaring a focus
+  // promotes that identity to a shared variable.
+  std::set<std::string> added;
+  auto consider = [&](const Arg& arg, bool first_pos) {
+    const std::string id = arg.Identity();
+    const bool shared = first_pos || is_first_or_named[id] ||
+                        count[id] >= 2 || id == query.focus;
+    if (shared && !added.count(id)) {
+      added.insert(id);
+      out.vars.push_back(Var{id, arg.glob});
+    }
+  };
+  for (const Condition* c : all) {
+    consider(c->a, true);
+    if (c->has_b) consider(c->b, false);
+  }
+
+  // Focus: explicit, else the first variable.
+  if (!query.focus.empty()) {
+    int idx = -1;
+    for (size_t i = 0; i < out.vars.size(); ++i) {
+      if (out.vars[i].identity == query.focus) idx = static_cast<int>(i);
+    }
+    if (idx < 0) {
+      return Status::InvalidArgument("focus variable " + query.focus +
+                                     " does not occur as a shared variable");
+    }
+    out.focus = idx;
+  }
+  // Evaluate the focus variable first so matches can be deduplicated with
+  // early exit over the remaining assignment search.
+  if (out.focus != 0) std::swap(out.vars[0], out.vars[out.focus]);
+  out.focus = 0;
+  return out;
+}
+
+/// Per-tree evaluation context.
+class TreeEval {
+ public:
+  TreeEval(const TgrepTree& tree, const Interner& interner,
+           const Analysis& analysis)
+      : t_(tree), interner_(interner), a_(analysis) {}
+
+  /// Collects satisfied focus nodes within the subtree of `boundary`.
+  void Search(int32_t boundary, std::set<int32_t>* focus_elems) {
+    boundary_ = boundary;
+    subtree_end_ = SubtreeEnd(boundary);
+    assignment_.assign(a_.vars.size(), -1);
+    SearchVar(0, focus_elems);
+  }
+
+ private:
+  bool GlobLabel(int32_t node, const std::string& glob) const {
+    return GlobMatch(glob, interner_.name(t_.label[node]));
+  }
+
+  int32_t SubtreeEnd(int32_t node) const {
+    int32_t cur = node;
+    for (;;) {
+      if (t_.next_sibling[cur] >= 0) return t_.next_sibling[cur];
+      cur = t_.parent[cur];
+      if (cur < 0) return static_cast<int32_t>(t_.size());
+    }
+  }
+
+  bool InBoundary(int32_t node) const {
+    return node >= boundary_ && node < subtree_end_;
+  }
+
+  void SearchVar(size_t vi, std::set<int32_t>* focus_elems) {
+    if (vi == a_.vars.size()) {
+      if (EvalExpr(*a_.root)) {
+        focus_elems->insert(t_.elem_id[assignment_[0]]);
+      }
+      return;
+    }
+    for (int32_t node = boundary_; node < subtree_end_; ++node) {
+      if (!GlobLabel(node, a_.vars[vi].glob)) continue;
+      assignment_[vi] = node;
+      // Prune with skeleton conditions that just became fully assigned.
+      bool ok = true;
+      for (const Condition* c : a_.skeleton) {
+        if (!ConditionAssigned(*c)) continue;
+        if (!EvalCondition(*c)) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) {
+        // Early exit: once the focus value is known to succeed, stop
+        // exploring alternative assignments for it.
+        if (vi == 0 &&
+            focus_elems->count(t_.elem_id[node]) > 0) {
+          assignment_[vi] = -1;
+          continue;
+        }
+        SearchVar(vi + 1, focus_elems);
+      }
+      assignment_[vi] = -1;
+    }
+  }
+
+  int VarIndex(const std::string& identity) const {
+    for (size_t i = 0; i < a_.vars.size(); ++i) {
+      if (a_.vars[i].identity == identity) return static_cast<int>(i);
+    }
+    return -1;
+  }
+
+  bool ConditionAssigned(const Condition& c) const {
+    const int ia = VarIndex(c.a.Identity());
+    if (ia < 0 || assignment_[ia] < 0) return false;
+    if (c.has_b) {
+      const int ib = VarIndex(c.b.Identity());
+      if (ib >= 0 && assignment_[ib] < 0) return false;  // shared, unbound
+    }
+    return true;
+  }
+
+  bool EvalExpr(const CsExpr& e) const {
+    switch (e.kind) {
+      case CsExpr::Kind::kAnd:
+        return EvalExpr(*e.lhs) && EvalExpr(*e.rhs);
+      case CsExpr::Kind::kOr:
+        return EvalExpr(*e.lhs) || EvalExpr(*e.rhs);
+      case CsExpr::Kind::kNot:
+        return !EvalExpr(*e.lhs);
+      case CsExpr::Kind::kCond:
+        return EvalCondition(e.cond);
+    }
+    return false;
+  }
+
+  bool EvalCondition(const Condition& c) const {
+    const int ia = VarIndex(c.a.Identity());
+    const int32_t na = assignment_[ia];
+    if (na < 0) return false;
+    if (c.rel == CsRel::kExists) return true;
+    if (c.rel == CsRel::kHasSister && !c.has_b) {
+      const int32_t p = t_.parent[na];
+      return p >= 0 && t_.first_child[p] != t_.last_child[p];
+    }
+    const int ib = c.has_b ? VarIndex(c.b.Identity()) : -1;
+    if (ib >= 0) {
+      const int32_t nb = assignment_[ib];
+      return nb >= 0 && Rel(c, na, nb);
+    }
+    // Local existential: scan the boundary subtree.
+    for (int32_t nb = boundary_; nb < subtree_end_; ++nb) {
+      if (GlobLabel(nb, c.b.glob) && Rel(c, na, nb)) return true;
+    }
+    return false;
+  }
+
+  bool OnChain(int32_t from, int32_t to,
+               const std::vector<int32_t>& next) const {
+    for (int32_t c = next[from]; c >= 0; c = next[c]) {
+      if (c == to) return true;
+    }
+    return false;
+  }
+
+  bool Rel(const Condition& c, int32_t a, int32_t b) const {
+    switch (c.rel) {
+      case CsRel::kExists:
+        return true;
+      case CsRel::kIDoms:
+        return t_.parent[b] == a;
+      case CsRel::kDoms: {
+        for (int32_t p = t_.parent[b]; p >= 0; p = t_.parent[p]) {
+          if (p == a) return true;
+        }
+        return false;
+      }
+      case CsRel::kIDomsFirst:
+        return t_.first_child[a] == b;
+      case CsRel::kIDomsLast:
+        return t_.last_child[a] == b;
+      case CsRel::kIDomsOnly:
+        return t_.first_child[a] == b && t_.last_child[a] == b;
+      case CsRel::kIDomsNumber: {
+        if (t_.parent[b] != a) return false;
+        int pos = 1;
+        for (int32_t s = t_.prev_sibling[b]; s >= 0; s = t_.prev_sibling[s]) {
+          ++pos;
+        }
+        if (c.n > 0) return pos == c.n;
+        int rpos = 1;
+        for (int32_t s = t_.next_sibling[b]; s >= 0; s = t_.next_sibling[s]) {
+          ++rpos;
+        }
+        return rpos == -c.n;
+      }
+      case CsRel::kDomsFirst:
+        return OnChain(a, b, t_.first_child);
+      case CsRel::kDomsLast:
+        return OnChain(a, b, t_.last_child);
+      case CsRel::kIPrecedes:
+        return t_.left[b] == t_.right[a];
+      case CsRel::kPrecedes:
+        return t_.left[b] >= t_.right[a];
+      case CsRel::kIFollows:
+        return t_.left[a] == t_.right[b];
+      case CsRel::kFollows:
+        return t_.left[a] >= t_.right[b];
+      case CsRel::kISisterPrecedes:
+        return t_.next_sibling[a] == b;
+      case CsRel::kSisterPrecedes:
+        return OnChain(a, b, t_.next_sibling);
+      case CsRel::kISisterFollows:
+        return t_.prev_sibling[a] == b;
+      case CsRel::kSisterFollows:
+        return OnChain(a, b, t_.prev_sibling);
+      case CsRel::kHasSister:
+        return t_.parent[a] >= 0 && t_.parent[b] == t_.parent[a] && a != b;
+    }
+    return false;
+  }
+
+  const TgrepTree& t_;
+  const Interner& interner_;
+  const Analysis& a_;
+  int32_t boundary_ = 0;
+  int32_t subtree_end_ = 0;
+  std::vector<int32_t> assignment_;
+};
+
+}  // namespace
+
+Result<QueryResult> EvalCsQuery(const tgrep::TgrepCorpus& corpus,
+                                const CsQuery& query) {
+  LPATH_ASSIGN_OR_RETURN(Analysis analysis, Analyze(query));
+  const bool root_boundary = query.boundary_glob == "$ROOT";
+
+  QueryResult out;
+  for (size_t tid = 0; tid < corpus.size(); ++tid) {
+    const TgrepTree& tree = corpus.tree(tid);
+    if (tree.size() == 0) continue;
+    TreeEval eval(tree, corpus.interner(), analysis);
+    std::set<int32_t> focus_elems;
+    if (root_boundary) {
+      eval.Search(0, &focus_elems);
+    } else {
+      for (int32_t node = 0; node < static_cast<int32_t>(tree.size());
+           ++node) {
+        if (!tree.is_word[node] &&
+            GlobMatch(query.boundary_glob,
+                      corpus.interner().name(tree.label[node]))) {
+          eval.Search(node, &focus_elems);
+        }
+      }
+    }
+    for (int32_t elem : focus_elems) {
+      out.hits.push_back(Hit{static_cast<int32_t>(tid), elem});
+    }
+  }
+  out.Normalize();
+  return out;
+}
+
+}  // namespace cs
+}  // namespace lpath

@@ -1,0 +1,24 @@
+// CorpusSearch-style evaluator: per-boundary interpreted search with
+// same-instance variables — the per-tree-scan cost model the paper's
+// Figures 7–9 show for CorpusSearch.
+
+#ifndef LPATHDB_CS_MATCHER_H_
+#define LPATHDB_CS_MATCHER_H_
+
+#include "common/result.h"
+#include "cs/query.h"
+#include "lpath/engine.h"
+#include "tgrep/corpus_file.h"
+
+namespace lpath {
+namespace cs {
+
+/// Evaluates a query against the word-leaf view of the corpus. Returns the
+/// distinct focus-variable matches as (tid, element id) hits.
+Result<QueryResult> EvalCsQuery(const tgrep::TgrepCorpus& corpus,
+                                const CsQuery& query);
+
+}  // namespace cs
+}  // namespace lpath
+
+#endif  // LPATHDB_CS_MATCHER_H_

@@ -1,0 +1,21 @@
+// Parser for CorpusSearch-style query files (see cs/query.h).
+
+#ifndef LPATHDB_CS_PARSER_H_
+#define LPATHDB_CS_PARSER_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "cs/query.h"
+
+namespace lpath {
+namespace cs {
+
+/// Parses a query. Accepts the full file form ("node:"/"focus:"/"query:"
+/// lines, in any order, query last) or a bare query expression.
+Result<CsQuery> ParseCsQuery(std::string_view text);
+
+}  // namespace cs
+}  // namespace lpath
+
+#endif  // LPATHDB_CS_PARSER_H_

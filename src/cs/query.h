@@ -1,0 +1,88 @@
+// CorpusSearch-style query language (Randall's tool, the paper's second
+// baseline). A query file looks like:
+//
+//   node:  $ROOT            // boundary: glob over tags, or $ROOT
+//   focus: NP=b             // which variable's matches are counted
+//   query: (NP=a iDoms NP=b) AND NOT (NP=a Doms JJ)
+//
+// Argument patterns are globs ('*'/'?') with optional '=name' suffixes.
+// Same-instance semantics as in CorpusSearch: two occurrences of the same
+// pattern text (or the same '=name') denote the same node; a pattern that
+// occurs only once as a second argument is a local existential.
+//
+// Relations: exists, iDoms, Doms, iDomsFirst, iDomsLast, iDomsOnly,
+// iDomsNumber <n>, domsFirst, domsLast (transitive edge alignment — our
+// documented extension so the full 23-query suite is expressible),
+// iPrecedes, Precedes, iFollows, Follows, iSisterPrecedes, sisterPrecedes,
+// iSisterFollows, sisterFollows, hasSister. Words are leaf nodes, so
+// (IN iDoms of) tests the word under a pre-terminal.
+
+#ifndef LPATHDB_CS_QUERY_H_
+#define LPATHDB_CS_QUERY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace lpath {
+namespace cs {
+
+enum class CsRel {
+  kExists,
+  kIDoms,
+  kDoms,
+  kIDomsFirst,
+  kIDomsLast,
+  kIDomsOnly,
+  kIDomsNumber,
+  kDomsFirst,
+  kDomsLast,
+  kIPrecedes,
+  kPrecedes,
+  kIFollows,
+  kFollows,
+  kISisterPrecedes,
+  kSisterPrecedes,
+  kISisterFollows,
+  kSisterFollows,
+  kHasSister,
+};
+
+/// An argument pattern: glob + optional variable name.
+struct Arg {
+  std::string glob;
+  std::string name;  // from "=name"; empty if unnamed
+
+  /// Variable identity: the name if given, otherwise the glob text.
+  std::string Identity() const { return name.empty() ? glob : name; }
+};
+
+struct Condition {
+  Arg a;
+  CsRel rel = CsRel::kExists;
+  int n = 0;  // kIDomsNumber
+  Arg b;      // unused for kExists / kHasSister-without-pattern
+  bool has_b = false;
+};
+
+/// Boolean expression over conditions.
+struct CsExpr {
+  enum class Kind { kAnd, kOr, kNot, kCond };
+  Kind kind = Kind::kCond;
+  std::unique_ptr<CsExpr> lhs, rhs;
+  Condition cond;
+
+  explicit CsExpr(Kind k) : kind(k) {}
+};
+
+/// A parsed query.
+struct CsQuery {
+  std::string boundary_glob = "$ROOT";  // "$ROOT" or a tag glob
+  std::string focus;                     // variable identity; empty = first
+  std::unique_ptr<CsExpr> expr;
+};
+
+}  // namespace cs
+}  // namespace lpath
+
+#endif  // LPATHDB_CS_QUERY_H_

@@ -1,0 +1,44 @@
+#include "gen/generator.h"
+
+namespace lpath {
+namespace gen {
+
+Result<Corpus> GenerateCorpus(const TreebankProfile& profile,
+                              const GeneratorOptions& options) {
+  if (options.sentences < 0) {
+    return Status::InvalidArgument("negative sentence count");
+  }
+  Corpus corpus;
+  for (int i = 0; i < options.sentences; ++i) {
+    // Derive a per-sentence seed so tree i is identical regardless of the
+    // corpus size (Figure 9 replication keeps prefixes stable).
+    uint64_t state = options.seed + 0x9e3779b97f4a7c15ULL *
+                                        static_cast<uint64_t>(i + 1);
+    Rng rng(SplitMix64(&state));
+    LPATH_ASSIGN_OR_RETURN(
+        Tree tree, profile.grammar.Generate(profile.start_symbol,
+                                            options.max_depth, &rng,
+                                            corpus.mutable_interner()));
+    corpus.Add(std::move(tree));
+  }
+  return corpus;
+}
+
+Result<Corpus> GenerateWsj(int sentences, uint64_t seed) {
+  static const TreebankProfile& profile = *new TreebankProfile(WsjProfile());
+  GeneratorOptions options;
+  options.seed = seed;
+  options.sentences = sentences;
+  return GenerateCorpus(profile, options);
+}
+
+Result<Corpus> GenerateSwb(int sentences, uint64_t seed) {
+  static const TreebankProfile& profile = *new TreebankProfile(SwbProfile());
+  GeneratorOptions options;
+  options.seed = seed;
+  options.sentences = sentences;
+  return GenerateCorpus(profile, options);
+}
+
+}  // namespace gen
+}  // namespace lpath

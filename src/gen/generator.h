@@ -1,0 +1,32 @@
+// Corpus generation: expands a profile's grammar sentence by sentence with
+// per-sentence derived seeds, so corpora are reproducible and individual
+// trees are independent of how many came before them.
+
+#ifndef LPATHDB_GEN_GENERATOR_H_
+#define LPATHDB_GEN_GENERATOR_H_
+
+#include "common/result.h"
+#include "gen/profiles.h"
+#include "tree/corpus.h"
+
+namespace lpath {
+namespace gen {
+
+struct GeneratorOptions {
+  uint64_t seed = 2006;  ///< ICDE 2006.
+  int sentences = 2000;
+  int max_depth = 36;  ///< Figure 6(a): "Maximum Depth 36".
+};
+
+/// Generates `options.sentences` trees from `profile`.
+Result<Corpus> GenerateCorpus(const TreebankProfile& profile,
+                              const GeneratorOptions& options);
+
+/// Convenience: the two evaluation corpora.
+Result<Corpus> GenerateWsj(int sentences, uint64_t seed = 2006);
+Result<Corpus> GenerateSwb(int sentences, uint64_t seed = 2006);
+
+}  // namespace gen
+}  // namespace lpath
+
+#endif  // LPATHDB_GEN_GENERATOR_H_

@@ -1,0 +1,177 @@
+#include "gen/grammar.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace lpath {
+namespace gen {
+
+namespace {
+constexpr int kInfDepth = std::numeric_limits<int>::max() / 4;
+}  // namespace
+
+int Pcfg::SymbolId(const std::string& name) {
+  auto it = index_.find(name);
+  if (it != index_.end()) return it->second;
+  const int id = static_cast<int>(symbols_.size());
+  SymbolInfo info;
+  info.name = name;
+  symbols_.push_back(std::move(info));
+  index_.emplace(name, id);
+  return id;
+}
+
+void Pcfg::AddRule(const std::string& lhs, std::vector<std::string> rhs,
+                   double weight) {
+  const int lhs_id = SymbolId(lhs);
+  Rule rule;
+  rule.weight = weight;
+  rule.rhs.reserve(rhs.size());
+  for (const std::string& s : rhs) rule.rhs.push_back(SymbolId(s));
+  symbols_[lhs_id].rules.push_back(std::move(rule));
+  finalized_ = false;
+}
+
+void Pcfg::SetVocabulary(const std::string& tag, Vocabulary vocab,
+                         double emit_weight) {
+  const int id = SymbolId(tag);
+  symbols_[id].vocab.emplace(std::move(vocab));
+  symbols_[id].emit_weight = emit_weight;
+  finalized_ = false;
+}
+
+size_t Pcfg::num_rules() const {
+  size_t n = 0;
+  for (const SymbolInfo& s : symbols_) n += s.rules.size();
+  return n;
+}
+
+Status Pcfg::Finalize() {
+  // Fixpoint for minimum derivation depth.
+  for (SymbolInfo& s : symbols_) {
+    s.min_depth = s.vocab.has_value() ? 1 : kInfDepth;
+    for (Rule& r : s.rules) r.min_depth = kInfDepth;
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (SymbolInfo& s : symbols_) {
+      for (Rule& r : s.rules) {
+        int deepest_child = 0;
+        for (int child : r.rhs) {
+          deepest_child = std::max(deepest_child, symbols_[child].min_depth);
+        }
+        const int d = deepest_child >= kInfDepth ? kInfDepth
+                                                 : 1 + deepest_child;
+        if (d < r.min_depth) {
+          r.min_depth = d;
+          changed = true;
+        }
+        if (d < s.min_depth) {
+          s.min_depth = d;
+          changed = true;
+        }
+      }
+    }
+  }
+  for (const SymbolInfo& s : symbols_) {
+    if (s.rules.empty() && !s.vocab.has_value()) {
+      return Status::InvalidArgument("symbol " + s.name +
+                                     " has no rules and no vocabulary");
+    }
+    if (s.min_depth >= kInfDepth) {
+      return Status::InvalidArgument("symbol " + s.name +
+                                     " cannot derive a finite tree");
+    }
+    for (const Rule& r : s.rules) {
+      if (r.weight <= 0.0) {
+        return Status::InvalidArgument("rule of " + s.name +
+                                       " has non-positive weight");
+      }
+      if (r.rhs.empty()) {
+        return Status::InvalidArgument("epsilon rule for " + s.name +
+                                       " (not supported)");
+      }
+    }
+  }
+  finalized_ = true;
+  return Status::OK();
+}
+
+Result<int> Pcfg::MinDepth(const std::string& symbol) const {
+  auto it = index_.find(symbol);
+  if (it == index_.end()) return Status::NotFound("unknown symbol " + symbol);
+  return symbols_[it->second].min_depth;
+}
+
+Result<Tree> Pcfg::Generate(const std::string& start, int max_depth, Rng* rng,
+                            Interner* interner) const {
+  if (!finalized_) return Status::Internal("Pcfg::Finalize not called");
+  auto it = index_.find(start);
+  if (it == index_.end()) {
+    return Status::NotFound("unknown start symbol " + start);
+  }
+  const int sym = it->second;
+  if (symbols_[sym].min_depth > max_depth) {
+    return Status::InvalidArgument("max_depth too small for " + start);
+  }
+  Tree tree;
+  tree.AddRoot(interner->Intern(start));
+  LPATH_RETURN_IF_ERROR(ExpandInto(sym, max_depth, &tree, 0, rng, interner));
+  return tree;
+}
+
+Status Pcfg::ExpandInto(int sym, int budget, Tree* tree, NodeId node,
+                        Rng* rng, Interner* interner) const {
+  const SymbolInfo& info = symbols_[sym];
+
+  // Choose among options that fit the depth budget: emit a word (if this is
+  // a pre-terminal) or apply a rule whose minimum depth fits.
+  double total = 0.0;
+  if (info.vocab.has_value()) total += info.emit_weight;
+  for (const Rule& r : info.rules) {
+    if (r.min_depth <= budget) total += r.weight;
+  }
+  if (total <= 0.0) {
+    return Status::Internal("no viable expansion for " + info.name +
+                            " at depth budget " + std::to_string(budget));
+  }
+  double pick = rng->NextDouble() * total;
+  if (info.vocab.has_value()) {
+    if (pick < info.emit_weight) {
+      const std::string& word = info.vocab->Sample(rng);
+      tree->AddAttr(node, interner->Intern("@lex"), interner->Intern(word));
+      return Status::OK();
+    }
+    pick -= info.emit_weight;
+  }
+  for (const Rule& r : info.rules) {
+    if (r.min_depth > budget) continue;
+    if (pick < r.weight) {
+      for (int child_sym : r.rhs) {
+        const NodeId child =
+            tree->AddChild(node, interner->Intern(symbols_[child_sym].name));
+        LPATH_RETURN_IF_ERROR(
+            ExpandInto(child_sym, budget - 1, tree, child, rng, interner));
+      }
+      return Status::OK();
+    }
+    pick -= r.weight;
+  }
+  // Floating-point edge: fall through to the last viable rule.
+  for (auto rit = info.rules.rbegin(); rit != info.rules.rend(); ++rit) {
+    if (rit->min_depth <= budget) {
+      for (int child_sym : rit->rhs) {
+        const NodeId child =
+            tree->AddChild(node, interner->Intern(symbols_[child_sym].name));
+        LPATH_RETURN_IF_ERROR(
+            ExpandInto(child_sym, budget - 1, tree, child, rng, interner));
+      }
+      return Status::OK();
+    }
+  }
+  return Status::Internal("expansion fell through for " + info.name);
+}
+
+}  // namespace gen
+}  // namespace lpath

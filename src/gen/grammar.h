@@ -1,0 +1,84 @@
+// Probabilistic context-free grammars for the synthetic treebank generator.
+// The licensing-CFG view is exactly the paper's Section 2.2.1 framing: the
+// generated derivation trees are what LPath's proper-analysis semantics is
+// defined over.
+//
+// Depth is bounded by construction: Finalize() computes each symbol's
+// minimum derivation depth (a fixpoint), and expansion only samples rules
+// that fit the remaining depth budget — so the corpus honors the paper's
+// "Maximum Depth 36" characteristic without rejection sampling.
+
+#ifndef LPATHDB_GEN_GRAMMAR_H_
+#define LPATHDB_GEN_GRAMMAR_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "gen/vocab.h"
+#include "tree/tree.h"
+
+namespace lpath {
+namespace gen {
+
+/// A weighted PCFG with pre-terminal vocabularies.
+class Pcfg {
+ public:
+  /// Adds a production `lhs -> rhs` with the given weight (weights are
+  /// relative per lhs).
+  void AddRule(const std::string& lhs, std::vector<std::string> rhs,
+               double weight);
+
+  /// Makes `tag` a pre-terminal emitting words from `vocab` (as @lex).
+  /// A symbol may be both (e.g. with mixed rules); pre-terminal emission is
+  /// chosen with `emit_weight` relative to its rule weights.
+  void SetVocabulary(const std::string& tag, Vocabulary vocab,
+                     double emit_weight = 1.0);
+
+  /// Validates (every symbol derivable, finite min-depth) and builds
+  /// samplers. Must be called before Generate.
+  Status Finalize();
+
+  /// Expands `start` into a tree (root tagged `start`) of depth at most
+  /// `max_depth`, interning tags/words into `interner`. Deterministic in
+  /// the Rng state.
+  Result<Tree> Generate(const std::string& start, int max_depth, Rng* rng,
+                        Interner* interner) const;
+
+  /// Minimum derivation depth of a symbol (root counts as depth 1).
+  Result<int> MinDepth(const std::string& symbol) const;
+
+  size_t num_symbols() const { return symbols_.size(); }
+  size_t num_rules() const;
+
+ private:
+  struct Rule {
+    std::vector<int> rhs;
+    double weight = 1.0;
+    int min_depth = 0;  // depth of the shallowest tree this rule can head
+  };
+  struct SymbolInfo {
+    std::string name;
+    std::vector<Rule> rules;
+    std::optional<Vocabulary> vocab;
+    double emit_weight = 1.0;
+    int min_depth = 0;
+  };
+
+  int SymbolId(const std::string& name);
+
+  std::vector<SymbolInfo> symbols_;
+  std::map<std::string, int> index_;
+  bool finalized_ = false;
+
+  Status ExpandInto(int sym, int budget, Tree* tree, NodeId parent, Rng* rng,
+                    Interner* interner) const;
+};
+
+}  // namespace gen
+}  // namespace lpath
+
+#endif  // LPATHDB_GEN_GRAMMAR_H_

@@ -1,0 +1,298 @@
+#include "gen/profiles.h"
+
+#include <cassert>
+
+namespace lpath {
+namespace gen {
+
+namespace {
+
+// --- Shared vocabularies ------------------------------------------------------
+
+Vocabulary Nouns(bool wsj) {
+  std::vector<VocabEntry> extra = {
+      {"man", 0.004},   {"dog", 0.003},    {"building", 0.008},
+      {"time", 0.006},  {"year", 0.006},   {"company", 0.005},
+  };
+  if (wsj) {
+    // Figure 6(c): //_[@lex=rapprochement] returns 1 on WSJ, 0 on SWB.
+    extra.push_back({"rapprochement", 0.00002});
+  }
+  return Vocabulary::Synthetic("noun", 2400, 1.05, std::move(extra));
+}
+
+Vocabulary ProperNouns() {
+  return Vocabulary::Synthetic("Name", 1600, 1.02);
+}
+
+Vocabulary PastVerbs() {
+  return Vocabulary::Synthetic("verbed", 700, 1.05,
+                               {{"said", 0.06}, {"saw", 0.004}});
+}
+
+Vocabulary BaseVerbs() {
+  return Vocabulary::Synthetic("verb", 500, 1.05,
+                               {{"be", 0.08}, {"buy", 0.01}});
+}
+
+Vocabulary PresentVerbs() {
+  return Vocabulary::Synthetic("verbs", 500, 1.05, {{"is", 0.12}});
+}
+
+Vocabulary Prepositions() {
+  return Vocabulary(std::vector<VocabEntry>{
+      {"of", 30}, {"in", 18}, {"for", 10}, {"to", 10}, {"with", 7},
+      {"on", 7},  {"at", 5},  {"by", 5},   {"from", 4}, {"about", 2},
+      {"after", 1}, {"under", 1}});
+}
+
+Vocabulary Determiners() {
+  return Vocabulary(std::vector<VocabEntry>{
+      {"the", 58}, {"a", 22}, {"an", 4}, {"this", 5}, {"that", 4},
+      {"these", 2}, {"some", 2}, {"no", 1}, {"each", 1}, {"any", 1}});
+}
+
+Vocabulary Adjectives() {
+  return Vocabulary::Synthetic("adj", 900, 1.05,
+                               {{"old", 0.01}, {"new", 0.03}, {"big", 0.01}});
+}
+
+Vocabulary Adverbs(bool wsj) {
+  return Vocabulary::Synthetic("adv", 300, 1.05,
+                               wsj ? std::vector<VocabEntry>{{"also", 0.05}}
+                                   : std::vector<VocabEntry>{{"really", 0.06},
+                                                             {"just", 0.06}});
+}
+
+Vocabulary Pronouns() {
+  return Vocabulary(std::vector<VocabEntry>{
+      {"it", 20}, {"he", 14}, {"they", 12}, {"I", 16}, {"you", 14},
+      {"we", 10}, {"she", 7}, {"that", 5}});
+}
+
+Vocabulary Numbers(bool wsj) {
+  std::vector<VocabEntry> extra;
+  if (wsj) {
+    // //_[@lex=1929]: 14 on WSJ, 0 on SWB.
+    extra.push_back({"1929", 0.02});
+  }
+  return Vocabulary::Synthetic("num", 500, 1.0, std::move(extra));
+}
+
+Vocabulary Conjunctions() {
+  return Vocabulary(
+      std::vector<VocabEntry>{{"and", 60}, {"or", 20}, {"but", 20}});
+}
+
+Vocabulary WhWords(bool wsj) {
+  // Q11 counts "what building" adjacencies: 2 on WSJ, 5 on SWB — what-
+  // questions are more common in speech.
+  return Vocabulary(std::vector<VocabEntry>{{"what", wsj ? 35.0 : 50.0},
+                                            {"who", 30},
+                                            {"which", 30},
+                                            {"whom", 5}});
+}
+
+Vocabulary Traces() {
+  return Vocabulary(std::vector<VocabEntry>{
+      {"*T*-1", 40}, {"*", 30}, {"*U*", 10}, {"0", 20}});
+}
+
+Vocabulary Disfluencies() {
+  return Vocabulary(std::vector<VocabEntry>{
+      {"E_S", 40}, {"N_S", 35}, {"--", 15}, {"+", 10}});
+}
+
+// Shared NP body: the same expansions serve NP and NP-SBJ (Penn tags them
+// differently but builds them alike).
+void AddNounPhraseRules(Pcfg* g, const std::string& lhs, bool wsj) {
+  g->AddRule(lhs, {"DT", "NN"}, wsj ? 22 : 15);
+  g->AddRule(lhs, {"DT", "JJ", "NN"}, 13);
+  g->AddRule(lhs, {"DT", "ADJP", "NN"}, wsj ? 2.5 : 1.5);
+  g->AddRule(lhs, {"NN"}, 10);
+  g->AddRule(lhs, {"NNP"}, wsj ? 13 : 4);
+  g->AddRule(lhs, {"NNP", "NNP"}, wsj ? 8 : 2);
+  g->AddRule(lhs, {"PRP"}, wsj ? 4 : 24);
+  g->AddRule(lhs, {"NP", "PP"}, wsj ? 17 : 6);
+  g->AddRule(lhs, {"NP", "SBAR"}, 2);
+  g->AddRule(lhs, {"NP", ",", "NP"}, 1.5);
+  // NP => NP adjacency without a conjunction — rare (Q22/Q23 shapes).
+  g->AddRule(lhs, {"NP", "NP"}, 0.05);
+  g->AddRule(lhs, {"NP", "NP", "NP"}, 0.015);
+  g->AddRule(lhs, {"DT", "JJ", "JJ", "NN"}, 2.5);
+  g->AddRule(lhs, {"CD", "NN"}, wsj ? 3 : 0.5);
+  g->AddRule(lhs, {"JJ", "NN"}, 7);
+  g->AddRule(lhs, {"NP", "RRC"}, 0.035);
+  g->AddRule(lhs, {"-NONE-"}, wsj ? 9 : 2);
+}
+
+void AddSharedPhraseRules(Pcfg* g, bool wsj) {
+  AddNounPhraseRules(g, "NP", wsj);
+  AddNounPhraseRules(g, "NP-SBJ", wsj);
+  // Subjects skew pronominal/empty.
+  g->AddRule("NP-SBJ", {"-NONE-"}, wsj ? 38 : 4);
+  g->AddRule("NP-SBJ", {"PRP"}, wsj ? 10 : 55);
+
+  g->AddRule("PP", {"IN", "NP"}, 96);
+  g->AddRule("PP", {"IN", "S"}, 4);
+  g->AddRule("PP-TMP", {"IN", "NP"}, 1);
+
+  g->AddRule("SBAR", {"IN", "S"}, 45);
+  g->AddRule("SBAR", {"WHNP", "S"}, 22);
+  g->AddRule("SBAR", {"-NONE-", "S"}, 25);
+  // WHPP: 87 on WSJ, 20 on SWB (Figure 6c, Q15) — rare either way.
+  g->AddRule("SBAR", {"WHPP", "S"}, wsj ? 0.6 : 0.25);
+  g->AddRule("WHNP", {"WP"}, 82);
+  // "what building": WHNP -> WP NN with the right word draws (Q11).
+  g->AddRule("WHNP", {"WP", "NN"}, wsj ? 9.0 : 14.0);
+  g->AddRule("WHNP", {"WP", "JJ", "NN"}, 2);
+  g->AddRule("WHPP", {"IN", "WHNP"}, 1);
+
+  g->AddRule("ADJP", {"JJ"}, 64);
+  g->AddRule("ADJP", {"RB", "JJ"}, 26);
+  g->AddRule("ADJP", {"JJ", "PP"}, 10);
+  g->AddRule("ADVP", {"RB"}, 88);
+  g->AddRule("ADVP", {"RB", "RB"}, 12);
+  g->AddRule("ADJP-PRD", {"JJ"}, 78);
+  g->AddRule("ADJP-PRD", {"RB", "JJ"}, 22);
+  // UCP-PRD/ADJP-PRD: 17 on WSJ, 4 on SWB (Q17).
+  g->AddRule("UCP-PRD", {"ADJP-PRD", "CC", "NP"}, 60);
+  g->AddRule("UCP-PRD", {"NP", "CC", "ADJP-PRD"}, 40);
+  // RRC/PP-TMP: 8 on WSJ, 3 on SWB (Q16).
+  g->AddRule("RRC", {"ADJP", "PP-TMP"}, 55);
+  g->AddRule("RRC", {"VBN", "NP", "PP-TMP"}, 45);
+}
+
+void AddVerbPhraseRules(Pcfg* g, bool wsj) {
+  g->AddRule("VP", {"VBD", "NP"}, wsj ? 20 : 16);
+  g->AddRule("VP", {"VBZ", "NP"}, 11);
+  g->AddRule("VP", {"VBD", "NP", "PP"}, 8);
+  g->AddRule("VP", {"VBD", "PP"}, 5);
+  g->AddRule("VP", {"MD", "VP"}, 8);     // VP/VP chains (Q19)
+  g->AddRule("VP", {"VBZ", "VP"}, 6);
+  g->AddRule("VP", {"VBD", "VP"}, 3);
+  g->AddRule("VP", {"VB", "NP"}, 6);     // VB under VP (Q2–Q4, Q7)
+  g->AddRule("VP", {"VB", "NP", "PP"}, 2.5);
+  g->AddRule("VP", {"VB", "PP"}, 2);
+  g->AddRule("VP", {"VB"}, 1.5);
+  g->AddRule("VP", {"VBD", "SBAR"}, 4);
+  g->AddRule("VP", {"VBD", "NP", "PP", "SBAR"}, wsj ? 0.6 : 1.2);  // PP => SBAR (Q20)
+  g->AddRule("VP", {"VBD", "NP", "PP", "VP"}, 0.35);  // NP->PP=>VP (Q10)
+  g->AddRule("VP", {"VBD", "ADVP"}, wsj ? 2 : 7);
+  g->AddRule("VP", {"VBD", "ADVP", "ADJP"}, 0.06);     // ADVP => ADJP (Q21)
+  g->AddRule("VP", {"VBZ", "ADJP-PRD"}, 2);
+  g->AddRule("VP", {"VBZ", "UCP-PRD"}, 0.05);
+  g->AddRule("VP", {"VP", "CC", "VP"}, 1.5);
+  g->AddRule("VP", {"VP", "VP"}, 0.02);  // VP => VP (Q23)
+  if (wsj) {
+    g->AddRule("VP", {"VBD", "NP", "ADVP-LOC-CLR"}, 0.06);  // Q14
+    g->AddRule("ADVP-LOC-CLR", {"RB"}, 1);
+  }
+}
+
+}  // namespace
+
+TreebankProfile WsjProfile() {
+  TreebankProfile profile;
+  profile.name = "WSJ";
+  Pcfg& g = profile.grammar;
+
+  // Sentences.
+  g.AddRule("S", {"NP-SBJ", "VP", "."}, 52);
+  g.AddRule("S", {"NP-SBJ", "VP"}, 12);
+  g.AddRule("S", {"PP", ",", "NP-SBJ", "VP", "."}, 7);
+  g.AddRule("S", {"ADVP", ",", "NP-SBJ", "VP", "."}, 3);
+  g.AddRule("S", {"SBAR", ",", "NP-SBJ", "VP", "."}, 2);
+  g.AddRule("S", {"S", "CC", "S"}, 2.5);
+  g.AddRule("S", {"NP-SBJ", "VP", "VP", "."}, 0.03);  // VP => VP at S level
+
+  AddSharedPhraseRules(&g, /*wsj=*/true);
+  AddVerbPhraseRules(&g, /*wsj=*/true);
+
+  g.SetVocabulary("NN", Nouns(/*wsj=*/true));
+  g.SetVocabulary("NNP", ProperNouns());
+  g.SetVocabulary("VBD", PastVerbs());
+  g.SetVocabulary("VB", BaseVerbs());
+  g.SetVocabulary("VBZ", PresentVerbs());
+  g.SetVocabulary("VBN", PastVerbs());
+  g.SetVocabulary("MD", Vocabulary::Uniform({"will", "would", "can", "may",
+                                             "could", "should"}));
+  g.SetVocabulary("IN", Prepositions());
+  g.SetVocabulary("DT", Determiners());
+  g.SetVocabulary("JJ", Adjectives());
+  g.SetVocabulary("RB", Adverbs(/*wsj=*/true));
+  g.SetVocabulary("PRP", Pronouns());
+  g.SetVocabulary("CD", Numbers(/*wsj=*/true));
+  g.SetVocabulary("CC", Conjunctions());
+  g.SetVocabulary("WP", WhWords(/*wsj=*/true));
+  g.SetVocabulary("-NONE-", Traces());
+  g.SetVocabulary(".", Vocabulary::Uniform({"."}));
+  g.SetVocabulary(",", Vocabulary::Uniform({","}));
+
+  const Status s = g.Finalize();
+  assert(s.ok() && "WSJ grammar must finalize");
+  (void)s;
+  return profile;
+}
+
+TreebankProfile SwbProfile() {
+  TreebankProfile profile;
+  profile.name = "SWB";
+  Pcfg& g = profile.grammar;
+
+  // Utterances: disfluency markers everywhere; -DFL- must top the tag
+  // ranking (Figure 6b).
+  g.AddRule("S", {"NP-SBJ", "VP", "."}, 18);
+  g.AddRule("S", {"-DFL-", "NP-SBJ", "VP", "."}, 24);
+  g.AddRule("S", {"NP-SBJ", "-DFL-", "VP", "."}, 12);
+  g.AddRule("S", {"NP-SBJ", "VP", "-DFL-", "."}, 12);
+  g.AddRule("S", {"-DFL-", "NP-SBJ", "VP", "-DFL-", "."}, 8);
+  g.AddRule("S", {"-DFL-", ",", "NP-SBJ", "VP", "."}, 10);
+  g.AddRule("S", {"-DFL-", "S"}, 14);
+  g.AddRule("S", {"INTJ", ",", "NP-SBJ", "VP", "."}, 13);
+  g.AddRule("S", {"NP-SBJ", "VP", ",", "-DFL-", "."}, 9);
+  g.AddRule("S", {"S", "CC", "S"}, 2);
+  g.AddRule("S", {"NP-SBJ", "VP", "VP", "."}, 0.12);  // VP => VP, Q23 > WSJ
+
+  AddSharedPhraseRules(&g, /*wsj=*/false);
+  AddVerbPhraseRules(&g, /*wsj=*/false);
+  // Spoken embellishments.
+  g.AddRule("VP", {"VBD", "-DFL-", "NP"}, 16);
+  g.AddRule("VP", {"VBD", "NP", "-DFL-"}, 12);
+  g.AddRule("VP", {"-DFL-", "VP"}, 16);
+  g.AddRule("NP", {"NP", "-DFL-"}, 8);
+  g.AddRule("INTJ", {"UH"}, 1);
+
+  g.SetVocabulary("NN", Nouns(/*wsj=*/false));
+  g.SetVocabulary("NNP", ProperNouns());
+  // "saw" is a bit more frequent in speech (Q1: 339 vs 153).
+  g.SetVocabulary("VBD",
+                  Vocabulary::Synthetic("verbed", 700, 1.05,
+                                        {{"said", 0.05}, {"saw", 0.009}}));
+  g.SetVocabulary("VB", BaseVerbs());
+  g.SetVocabulary("VBZ", PresentVerbs());
+  g.SetVocabulary("VBN", PastVerbs());
+  g.SetVocabulary("MD", Vocabulary::Uniform({"will", "would", "can", "could"}));
+  g.SetVocabulary("IN", Prepositions());
+  g.SetVocabulary("DT", Determiners());
+  g.SetVocabulary("JJ", Adjectives());
+  g.SetVocabulary("RB", Adverbs(/*wsj=*/false));
+  g.SetVocabulary("PRP", Pronouns());
+  g.SetVocabulary("CD", Numbers(/*wsj=*/false));
+  g.SetVocabulary("CC", Conjunctions());
+  g.SetVocabulary("WP", WhWords(/*wsj=*/false));
+  g.SetVocabulary("-NONE-", Traces());
+  g.SetVocabulary("-DFL-", Disfluencies());
+  g.SetVocabulary("UH", Vocabulary::Uniform({"uh", "um", "well", "yeah",
+                                             "right", "okay"}));
+  g.SetVocabulary(".", Vocabulary::Uniform({"."}));
+  g.SetVocabulary(",", Vocabulary::Uniform({","}));
+
+  const Status s = g.Finalize();
+  assert(s.ok() && "SWB grammar must finalize");
+  (void)s;
+  return profile;
+}
+
+}  // namespace gen
+}  // namespace lpath

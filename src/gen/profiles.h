@@ -1,0 +1,43 @@
+// Corpus profiles calibrated to the paper's Figure 6 data sets:
+//
+//   WsjProfile — newswire-like: top tags NP > VP > NN > IN > NNP > S > DT >
+//     NP-SBJ > -NONE- > JJ, the rare tags the query suite probes
+//     (ADVP-LOC-CLR, WHPP, RRC/PP-TMP, UCP-PRD/ADJP-PRD), deep NP/PP
+//     recursion, and the pinned rare words "rapprochement" and "1929".
+//
+//   SwbProfile — conversational-speech-like: disfluency tag -DFL- the most
+//     frequent, punctuation tags "." and ",", heavy PRP/RB use; contains
+//     neither "rapprochement" nor "1929" nor ADVP-LOC-CLR, so queries
+//     Q12–Q14 return 0 as in Figure 6(c).
+//
+// These are substitutes for the licensed Penn Treebank-3 corpora; see
+// DESIGN.md §2 for why matching the tag/word frequency profile preserves
+// the benchmark behaviour.
+
+#ifndef LPATHDB_GEN_PROFILES_H_
+#define LPATHDB_GEN_PROFILES_H_
+
+#include <string>
+
+#include "gen/grammar.h"
+
+namespace lpath {
+namespace gen {
+
+/// A named grammar + start symbol.
+struct TreebankProfile {
+  std::string name;
+  Pcfg grammar;  // finalized
+  std::string start_symbol = "S";
+};
+
+/// Wall Street Journal profile (Figure 6's WSJ column).
+TreebankProfile WsjProfile();
+
+/// Switchboard profile (Figure 6's SWB column).
+TreebankProfile SwbProfile();
+
+}  // namespace gen
+}  // namespace lpath
+
+#endif  // LPATHDB_GEN_PROFILES_H_

@@ -1,0 +1,56 @@
+#include "gen/vocab.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace lpath {
+namespace gen {
+
+namespace {
+
+std::vector<double> Weights(const std::vector<VocabEntry>& entries) {
+  std::vector<double> w;
+  w.reserve(entries.size());
+  for (const VocabEntry& e : entries) w.push_back(e.weight);
+  return w;
+}
+
+}  // namespace
+
+Vocabulary::Vocabulary(std::vector<VocabEntry> entries)
+    : entries_(std::move(entries)), sampler_(Weights(entries_)) {
+  assert(!entries_.empty());
+}
+
+Vocabulary Vocabulary::Synthetic(const std::string& prefix, size_t n,
+                                 double s, std::vector<VocabEntry> extra) {
+  std::vector<VocabEntry> entries;
+  entries.reserve(n + extra.size());
+  double total = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double w = 1.0 / std::pow(static_cast<double>(i + 1), s);
+    entries.push_back(VocabEntry{prefix + std::to_string(i), w});
+    total += w;
+  }
+  // Normalize the synthetic mass to 1 so the extras' weights read as
+  // fractions of all draws.
+  for (size_t i = 0; i < n; ++i) entries[i].weight /= total;
+  for (VocabEntry& e : extra) entries.push_back(std::move(e));
+  return Vocabulary(std::move(entries));
+}
+
+Vocabulary Vocabulary::Uniform(std::vector<std::string> words) {
+  std::vector<VocabEntry> entries;
+  entries.reserve(words.size());
+  for (std::string& w : words) {
+    entries.push_back(VocabEntry{std::move(w), 1.0});
+  }
+  return Vocabulary(std::move(entries));
+}
+
+const std::string& Vocabulary::Sample(Rng* rng) const {
+  return entries_[sampler_.Sample(rng)].word;
+}
+
+}  // namespace gen
+}  // namespace lpath

@@ -1,0 +1,49 @@
+// Vocabularies for the synthetic treebank generator: Zipf-distributed
+// synthetic word lists plus pinned special words (the rare words the
+// benchmark queries test for: "saw", "of", "what", "building",
+// "rapprochement", "1929").
+
+#ifndef LPATHDB_GEN_VOCAB_H_
+#define LPATHDB_GEN_VOCAB_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace lpath {
+namespace gen {
+
+/// A word with an unnormalized sampling weight.
+struct VocabEntry {
+  std::string word;
+  double weight = 1.0;
+};
+
+/// Weighted word list with O(log n) sampling.
+class Vocabulary {
+ public:
+  explicit Vocabulary(std::vector<VocabEntry> entries);
+
+  /// `n` synthetic words "<prefix>0".."<prefix>n-1" with Zipf(s) weights
+  /// (total weight 1), plus `extra` pinned words whose weights are
+  /// *fractions of the total* (e.g. 0.003 ≈ 0.3% of draws).
+  static Vocabulary Synthetic(const std::string& prefix, size_t n, double s,
+                              std::vector<VocabEntry> extra = {});
+
+  /// Fixed list with equal weights.
+  static Vocabulary Uniform(std::vector<std::string> words);
+
+  const std::string& Sample(Rng* rng) const;
+  size_t size() const { return entries_.size(); }
+  const std::vector<VocabEntry>& entries() const { return entries_; }
+
+ private:
+  std::vector<VocabEntry> entries_;
+  DiscreteSampler sampler_;
+};
+
+}  // namespace gen
+}  // namespace lpath
+
+#endif  // LPATHDB_GEN_VOCAB_H_

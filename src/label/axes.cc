@@ -1,0 +1,236 @@
+#include "label/axes.h"
+
+namespace lpath {
+
+std::string_view AxisName(Axis axis) {
+  switch (axis) {
+    case Axis::kSelf: return "self";
+    case Axis::kChild: return "child";
+    case Axis::kDescendant: return "descendant";
+    case Axis::kDescendantOrSelf: return "descendant-or-self";
+    case Axis::kParent: return "parent";
+    case Axis::kAncestor: return "ancestor";
+    case Axis::kAncestorOrSelf: return "ancestor-or-self";
+    case Axis::kFollowing: return "following";
+    case Axis::kFollowingOrSelf: return "following-or-self";
+    case Axis::kImmediateFollowing: return "immediate-following";
+    case Axis::kPreceding: return "preceding";
+    case Axis::kPrecedingOrSelf: return "preceding-or-self";
+    case Axis::kImmediatePreceding: return "immediate-preceding";
+    case Axis::kFollowingSibling: return "following-sibling";
+    case Axis::kFollowingSiblingOrSelf: return "following-sibling-or-self";
+    case Axis::kImmediateFollowingSibling:
+      return "immediate-following-sibling";
+    case Axis::kPrecedingSibling: return "preceding-sibling";
+    case Axis::kPrecedingSiblingOrSelf: return "preceding-sibling-or-self";
+    case Axis::kImmediatePrecedingSibling:
+      return "immediate-preceding-sibling";
+    case Axis::kAttribute: return "attribute";
+  }
+  return "?";
+}
+
+std::string_view AxisAbbreviation(Axis axis) {
+  switch (axis) {
+    case Axis::kSelf: return ".";
+    case Axis::kChild: return "/";
+    case Axis::kParent: return "\\";
+    case Axis::kDescendant: return "//";  // informal; see parser
+    case Axis::kAncestor: return "\\\\";
+    case Axis::kFollowing: return "-->";
+    case Axis::kImmediateFollowing: return "->";
+    case Axis::kPreceding: return "<--";
+    case Axis::kImmediatePreceding: return "<-";
+    case Axis::kFollowingSibling: return "==>";
+    case Axis::kImmediateFollowingSibling: return "=>";
+    case Axis::kPrecedingSibling: return "<==";
+    case Axis::kImmediatePrecedingSibling: return "<=";
+    case Axis::kAttribute: return "@";
+    default: return "";
+  }
+}
+
+Axis InverseAxis(Axis axis) {
+  switch (axis) {
+    case Axis::kSelf: return Axis::kSelf;
+    case Axis::kChild: return Axis::kParent;
+    case Axis::kParent: return Axis::kChild;
+    case Axis::kDescendant: return Axis::kAncestor;
+    case Axis::kAncestor: return Axis::kDescendant;
+    case Axis::kDescendantOrSelf: return Axis::kAncestorOrSelf;
+    case Axis::kAncestorOrSelf: return Axis::kDescendantOrSelf;
+    case Axis::kFollowing: return Axis::kPreceding;
+    case Axis::kPreceding: return Axis::kFollowing;
+    case Axis::kFollowingOrSelf: return Axis::kPrecedingOrSelf;
+    case Axis::kPrecedingOrSelf: return Axis::kFollowingOrSelf;
+    case Axis::kImmediateFollowing: return Axis::kImmediatePreceding;
+    case Axis::kImmediatePreceding: return Axis::kImmediateFollowing;
+    case Axis::kFollowingSibling: return Axis::kPrecedingSibling;
+    case Axis::kPrecedingSibling: return Axis::kFollowingSibling;
+    case Axis::kFollowingSiblingOrSelf: return Axis::kPrecedingSiblingOrSelf;
+    case Axis::kPrecedingSiblingOrSelf: return Axis::kFollowingSiblingOrSelf;
+    case Axis::kImmediateFollowingSibling:
+      return Axis::kImmediatePrecedingSibling;
+    case Axis::kImmediatePrecedingSibling:
+      return Axis::kImmediateFollowingSibling;
+    case Axis::kAttribute: return Axis::kAttribute;
+  }
+  return axis;
+}
+
+bool AxisIncludesSelf(Axis axis) {
+  switch (axis) {
+    case Axis::kSelf:
+    case Axis::kDescendantOrSelf:
+    case Axis::kAncestorOrSelf:
+    case Axis::kFollowingOrSelf:
+    case Axis::kPrecedingOrSelf:
+    case Axis::kFollowingSiblingOrSelf:
+    case Axis::kPrecedingSiblingOrSelf:
+      return true;
+    default:
+      return false;
+  }
+}
+
+Axis AxisBase(Axis axis) {
+  switch (axis) {
+    case Axis::kDescendantOrSelf: return Axis::kDescendant;
+    case Axis::kAncestorOrSelf: return Axis::kAncestor;
+    case Axis::kFollowingOrSelf: return Axis::kFollowing;
+    case Axis::kPrecedingOrSelf: return Axis::kPreceding;
+    case Axis::kFollowingSiblingOrSelf: return Axis::kFollowingSibling;
+    case Axis::kPrecedingSiblingOrSelf: return Axis::kPrecedingSibling;
+    default: return axis;
+  }
+}
+
+bool IsImmediateAxis(Axis axis) {
+  switch (axis) {
+    case Axis::kImmediateFollowing:
+    case Axis::kImmediatePreceding:
+    case Axis::kImmediateFollowingSibling:
+    case Axis::kImmediatePrecedingSibling:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsSiblingAxis(Axis axis) {
+  switch (axis) {
+    case Axis::kFollowingSibling:
+    case Axis::kFollowingSiblingOrSelf:
+    case Axis::kImmediateFollowingSibling:
+    case Axis::kPrecedingSibling:
+    case Axis::kPrecedingSiblingOrSelf:
+    case Axis::kImmediatePrecedingSibling:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool LPathAxisMatches(Axis axis, const Label& x, const Label& y) {
+  switch (axis) {
+    case Axis::kSelf:
+      return y.id == x.id;
+    case Axis::kChild:
+      return y.pid == x.id;
+    case Axis::kParent:
+      return y.id == x.pid;
+    case Axis::kDescendant:
+      // Containment property + depth to resolve unary branching (§4).
+      return y.left >= x.left && y.right <= x.right && y.depth > x.depth;
+    case Axis::kDescendantOrSelf:
+      return y.id == x.id ||
+             (y.left >= x.left && y.right <= x.right && y.depth > x.depth);
+    case Axis::kAncestor:
+      return y.left <= x.left && y.right >= x.right && y.depth < x.depth;
+    case Axis::kAncestorOrSelf:
+      return y.id == x.id ||
+             (y.left <= x.left && y.right >= x.right && y.depth < x.depth);
+    case Axis::kFollowing:
+      return y.left >= x.right;
+    case Axis::kFollowingOrSelf:
+      return y.id == x.id || y.left >= x.right;
+    case Axis::kImmediateFollowing:
+      // Adjacency property: leftmost leaf of y immediately follows the
+      // rightmost leaf of x  <=>  y.left = x.right.
+      return y.left == x.right;
+    case Axis::kPreceding:
+      return y.right <= x.left;
+    case Axis::kPrecedingOrSelf:
+      return y.id == x.id || y.right <= x.left;
+    case Axis::kImmediatePreceding:
+      return y.right == x.left;
+    case Axis::kFollowingSibling:
+      return y.pid == x.pid && y.left >= x.right;
+    case Axis::kFollowingSiblingOrSelf:
+      return y.pid == x.pid && (y.id == x.id || y.left >= x.right);
+    case Axis::kImmediateFollowingSibling:
+      // Sibling intervals tile their parent's span, so the next sibling
+      // starts exactly where this one ends.
+      return y.pid == x.pid && y.left == x.right;
+    case Axis::kPrecedingSibling:
+      return y.pid == x.pid && y.right <= x.left;
+    case Axis::kPrecedingSiblingOrSelf:
+      return y.pid == x.pid && (y.id == x.id || y.right <= x.left);
+    case Axis::kImmediatePrecedingSibling:
+      return y.pid == x.pid && y.right == x.left;
+    case Axis::kAttribute:
+      // Attribute rows carry their element's label (Definition 4.1, rule 8);
+      // the kind/name restriction is applied by the caller.
+      return y.id == x.id;
+  }
+  return false;
+}
+
+bool XPathAxisMatches(Axis axis, const Label& x, const Label& y) {
+  switch (axis) {
+    case Axis::kSelf:
+      return y.id == x.id;
+    case Axis::kChild:
+      return y.pid == x.id;
+    case Axis::kParent:
+      return y.id == x.pid;
+    case Axis::kDescendant:
+      // Tag positions nest strictly, so no depth column is needed — the
+      // scheme's advertised strength [11].
+      return y.left > x.left && y.right < x.right;
+    case Axis::kDescendantOrSelf:
+      return y.id == x.id || (y.left > x.left && y.right < x.right);
+    case Axis::kAncestor:
+      return y.left < x.left && y.right > x.right;
+    case Axis::kAncestorOrSelf:
+      return y.id == x.id || (y.left < x.left && y.right > x.right);
+    case Axis::kFollowing:
+      return y.left > x.right;
+    case Axis::kFollowingOrSelf:
+      return y.id == x.id || y.left > x.right;
+    case Axis::kPreceding:
+      return y.right < x.left;
+    case Axis::kPrecedingOrSelf:
+      return y.id == x.id || y.right < x.left;
+    case Axis::kFollowingSibling:
+      return y.pid == x.pid && y.left > x.right;
+    case Axis::kFollowingSiblingOrSelf:
+      return y.pid == x.pid && (y.id == x.id || y.left > x.right);
+    case Axis::kPrecedingSibling:
+      return y.pid == x.pid && y.right < x.left;
+    case Axis::kPrecedingSiblingOrSelf:
+      return y.pid == x.pid && (y.id == x.id || y.right < x.left);
+    case Axis::kAttribute:
+      return y.id == x.id;
+    case Axis::kImmediateFollowing:
+    case Axis::kImmediatePreceding:
+    case Axis::kImmediateFollowingSibling:
+    case Axis::kImmediatePrecedingSibling:
+      return false;  // Not decidable from tag positions.
+  }
+  return false;
+}
+
+bool XPathLabelingSupports(Axis axis) { return !IsImmediateAxis(axis); }
+
+}  // namespace lpath

@@ -1,0 +1,97 @@
+// The LPath axis inventory (Table 1 of the paper) and the label-comparison
+// semantics of every axis (Table 2), for both labeling schemes:
+//
+//   - the LPath labeling of Definition 4.1 (leaf intervals), which decides
+//     every axis including immediate-following/-preceding and the sibling
+//     "immediate" variants;
+//   - the "XPath labeling" of DeHaan et al. [11] (start/end *tag positions*),
+//     which the paper compares against in Figure 10 and which cannot decide
+//     the immediate axes.
+
+#ifndef LPATHDB_LABEL_AXES_H_
+#define LPATHDB_LABEL_AXES_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace lpath {
+
+/// Node label per Definition 4.1: (left, right, depth, id, pid).
+/// `name`/`value` live in the relation, not here. The same struct is reused
+/// for the XPath tag-position labeling (left/right are tag positions there).
+struct Label {
+  int32_t left = 0;
+  int32_t right = 0;
+  int32_t depth = 0;
+  int32_t id = 0;   ///< Unique per tree, nonzero.
+  int32_t pid = 0;  ///< Parent id; 0 for the root.
+
+  bool operator==(const Label&) const = default;
+};
+
+/// All LPath axes (Table 1), including the or-self closures.
+enum class Axis : uint8_t {
+  kSelf,
+  kChild,
+  kDescendant,
+  kDescendantOrSelf,
+  kParent,
+  kAncestor,
+  kAncestorOrSelf,
+  kFollowing,
+  kFollowingOrSelf,
+  kImmediateFollowing,
+  kPreceding,
+  kPrecedingOrSelf,
+  kImmediatePreceding,
+  kFollowingSibling,
+  kFollowingSiblingOrSelf,
+  kImmediateFollowingSibling,
+  kPrecedingSibling,
+  kPrecedingSiblingOrSelf,
+  kImmediatePrecedingSibling,
+  kAttribute,
+};
+
+/// Full axis name, e.g. "immediate-following-sibling".
+std::string_view AxisName(Axis axis);
+
+/// LPath abbreviation from Table 1 ("->", "==>", "\\", ...); empty for axes
+/// with no abbreviation (or-self variants).
+std::string_view AxisAbbreviation(Axis axis);
+
+/// The inverse axis: child<->parent, immediate-following<->immediate-
+/// preceding, etc. self and attribute are their own inverses (attribute's
+/// inverse is only used internally by the executor).
+Axis InverseAxis(Axis axis);
+
+/// True for self / *-or-self axes.
+bool AxisIncludesSelf(Axis axis);
+
+/// The non-reflexive base of an or-self axis (identity otherwise).
+Axis AxisBase(Axis axis);
+
+/// True if the axis is one of the four immediate-* primitives, which only
+/// the LPath labeling scheme supports (Lemma 3.1 / Section 4).
+bool IsImmediateAxis(Axis axis);
+
+/// True for following/preceding-sibling family (needs pid equality).
+bool IsSiblingAxis(Axis axis);
+
+/// Table 2 — decides whether `cand` is on `axis` of `ctx` under the LPath
+/// labeling (Definition 4.1). Both labels must come from the same tree.
+/// Attribute rows share their element's label; callers must additionally
+/// constrain element-vs-attribute kind (see storage::NodeRelation::RowKind).
+bool LPathAxisMatches(Axis axis, const Label& ctx, const Label& cand);
+
+/// Same decision under the XPath tag-position labeling. Returns false for
+/// the immediate-* axes (they are not decidable in that scheme; callers
+/// should reject such queries up front via XPathLabelingSupports()).
+bool XPathAxisMatches(Axis axis, const Label& ctx, const Label& cand);
+
+/// Whether the XPath labeling scheme can decide `axis`.
+bool XPathLabelingSupports(Axis axis);
+
+}  // namespace lpath
+
+#endif  // LPATHDB_LABEL_AXES_H_

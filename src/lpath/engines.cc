@@ -1,0 +1,54 @@
+#include "lpath/engines.h"
+
+#include "lpath/parser.h"
+#include "plan/sql_gen.h"
+#include "sql/parser.h"
+
+namespace lpath {
+
+LPathEngine::LPathEngine(const NodeRelation& relation, Options options)
+    : relation_(relation),
+      options_(options),
+      executor_(relation, options.exec) {}
+
+std::string LPathEngine::name() const {
+  return relation_.scheme() == LabelScheme::kLPath ? "LPath" : "XPathLabel";
+}
+
+Result<ExecPlan> LPathEngine::Translate(const std::string& query) const {
+  LPATH_ASSIGN_OR_RETURN(LocationPath path, ParseLPath(query));
+  CompileOptions copts;
+  copts.scheme = relation_.scheme();
+  copts.unnest_predicates = options_.unnest_predicates;
+  return CompileLPath(path, copts);
+}
+
+Result<std::string> LPathEngine::TranslateToSql(const std::string& query) const {
+  LPATH_ASSIGN_OR_RETURN(ExecPlan plan, Translate(query));
+  return GenerateSql(plan);
+}
+
+Result<QueryResult> LPathEngine::Run(const std::string& query) const {
+  return RunWithStats(query, nullptr);
+}
+
+Result<QueryResult> LPathEngine::RunWithStats(const std::string& query,
+                                              sql::ExecStats* stats) const {
+  LPATH_ASSIGN_OR_RETURN(ExecPlan plan, Translate(query));
+  if (options_.via_sql_text) {
+    const std::string sql_text = GenerateSql(plan);
+    LPATH_ASSIGN_OR_RETURN(ExecPlan reparsed, sql::ParseSql(sql_text));
+    return executor_.Execute(reparsed, stats);
+  }
+  return executor_.Execute(plan, stats);
+}
+
+Result<QueryResult> RunSql(const NodeRelation& relation,
+                           const std::string& sql_text,
+                           sql::ExecOptions exec) {
+  LPATH_ASSIGN_OR_RETURN(ExecPlan plan, sql::ParseSql(sql_text));
+  sql::PlanExecutor executor(relation, exec);
+  return executor.Execute(plan);
+}
+
+}  // namespace lpath

@@ -1,0 +1,52 @@
+// The navigational reference evaluator: a direct tree-walking interpreter of
+// the full LPath language, including position()/last() predicates (needed
+// for the paper's XPath-equivalence examples such as
+// //V/following-sibling::_[position()=1][self::NP]).
+//
+// It is the ground truth the relational engines are differentially tested
+// against, and doubles as an "interpreted, tree-at-a-time" engine in
+// ablation benchmarks. Correctness first: axis enumeration is O(tree) per
+// step where necessary.
+
+#ifndef LPATHDB_LPATH_EVAL_NAV_H_
+#define LPATHDB_LPATH_EVAL_NAV_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "label/labeler.h"
+#include "lpath/ast.h"
+#include "lpath/engine.h"
+#include "tree/corpus.h"
+
+namespace lpath {
+
+/// Tree-walking LPath engine.
+class NavigationalEngine : public QueryEngine {
+ public:
+  /// Precomputes per-tree LPath labels (used for scope containment and edge
+  /// alignment). The corpus must outlive the engine.
+  explicit NavigationalEngine(const Corpus& corpus);
+
+  std::string name() const override { return "Navigational"; }
+
+  /// Parses and evaluates an LPath query.
+  Result<QueryResult> Run(const std::string& query) const override;
+
+  /// Evaluates a pre-parsed query.
+  Result<QueryResult> Eval(const LocationPath& path) const;
+
+  /// Evaluates on a single tree; returns matched node ids (1-based).
+  Result<std::vector<int32_t>> EvalTree(const LocationPath& path,
+                                        TreeId tid) const;
+
+ private:
+  const Corpus& corpus_;
+  // labels_[tid][node] — LPath labels for every tree.
+  std::vector<std::vector<Label>> labels_;
+};
+
+}  // namespace lpath
+
+#endif  // LPATHDB_LPATH_EVAL_NAV_H_

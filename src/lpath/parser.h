@@ -1,0 +1,23 @@
+// The LPath parser: hand-written contextual recursive descent over the raw
+// character stream. Tokenizing lazily in context resolves the ambiguities
+// between tag characters and operators (e.g. the tag "-NONE-" vs. the
+// immediate-following axis "->", or "PRP$" vs. right-edge alignment, which
+// requires quoting: //'PRP$').
+
+#ifndef LPATHDB_LPATH_PARSER_H_
+#define LPATHDB_LPATH_PARSER_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "lpath/ast.h"
+
+namespace lpath {
+
+/// Parses a complete top-level LPath query (it must be absolute, i.e. begin
+/// with '/' or '//'). Errors carry the byte offset.
+Result<LocationPath> ParseLPath(std::string_view query);
+
+}  // namespace lpath
+
+#endif  // LPATHDB_LPATH_PARSER_H_

@@ -1,0 +1,131 @@
+#include "plan/axis_map.h"
+
+namespace lpath {
+
+namespace {
+
+Conjunct Cmp(int var_a, PlanCol col_a, CmpOp op, int var_b, PlanCol col_b) {
+  Conjunct c;
+  c.lhs = Operand::Column(var_a, col_a);
+  c.op = op;
+  c.rhs = Operand::Column(var_b, col_b);
+  return c;
+}
+
+}  // namespace
+
+bool AxisNeedsDisjunction(Axis axis) { return AxisIncludesSelf(axis); }
+
+Status AppendAxisConjuncts(LabelScheme scheme, Axis axis, int from, int to,
+                           std::vector<Conjunct>* out) {
+  if (AxisNeedsDisjunction(axis) && axis != Axis::kSelf) {
+    return Status::Internal("or-self axes require AxisFilter");
+  }
+  if (scheme == LabelScheme::kXPath && !XPathLabelingSupports(axis)) {
+    return Status::NotSupported(
+        std::string("the XPath labeling scheme cannot evaluate the ") +
+        std::string(AxisName(axis)) + " axis (Lemma 3.1)");
+  }
+  const bool xp = scheme == LabelScheme::kXPath;
+  switch (axis) {
+    case Axis::kSelf:
+      out->push_back(Cmp(to, PlanCol::kId, CmpOp::kEq, from, PlanCol::kId));
+      return Status::OK();
+    case Axis::kChild:
+      out->push_back(Cmp(to, PlanCol::kPid, CmpOp::kEq, from, PlanCol::kId));
+      return Status::OK();
+    case Axis::kParent:
+      out->push_back(Cmp(to, PlanCol::kId, CmpOp::kEq, from, PlanCol::kPid));
+      return Status::OK();
+    case Axis::kDescendant:
+      if (xp) {
+        out->push_back(Cmp(to, PlanCol::kLeft, CmpOp::kGt, from, PlanCol::kLeft));
+        out->push_back(Cmp(to, PlanCol::kRight, CmpOp::kLt, from, PlanCol::kRight));
+      } else {
+        out->push_back(Cmp(to, PlanCol::kLeft, CmpOp::kGe, from, PlanCol::kLeft));
+        out->push_back(Cmp(to, PlanCol::kRight, CmpOp::kLe, from, PlanCol::kRight));
+        out->push_back(Cmp(to, PlanCol::kDepth, CmpOp::kGt, from, PlanCol::kDepth));
+      }
+      return Status::OK();
+    case Axis::kAncestor:
+      if (xp) {
+        out->push_back(Cmp(to, PlanCol::kLeft, CmpOp::kLt, from, PlanCol::kLeft));
+        out->push_back(Cmp(to, PlanCol::kRight, CmpOp::kGt, from, PlanCol::kRight));
+      } else {
+        out->push_back(Cmp(to, PlanCol::kLeft, CmpOp::kLe, from, PlanCol::kLeft));
+        out->push_back(Cmp(to, PlanCol::kRight, CmpOp::kGe, from, PlanCol::kRight));
+        out->push_back(Cmp(to, PlanCol::kDepth, CmpOp::kLt, from, PlanCol::kDepth));
+      }
+      return Status::OK();
+    case Axis::kFollowing:
+      out->push_back(Cmp(to, PlanCol::kLeft, xp ? CmpOp::kGt : CmpOp::kGe,
+                         from, PlanCol::kRight));
+      return Status::OK();
+    case Axis::kImmediateFollowing:
+      out->push_back(Cmp(to, PlanCol::kLeft, CmpOp::kEq, from, PlanCol::kRight));
+      return Status::OK();
+    case Axis::kPreceding:
+      out->push_back(Cmp(to, PlanCol::kRight, xp ? CmpOp::kLt : CmpOp::kLe,
+                         from, PlanCol::kLeft));
+      return Status::OK();
+    case Axis::kImmediatePreceding:
+      out->push_back(Cmp(to, PlanCol::kRight, CmpOp::kEq, from, PlanCol::kLeft));
+      return Status::OK();
+    case Axis::kFollowingSibling:
+      out->push_back(Cmp(to, PlanCol::kPid, CmpOp::kEq, from, PlanCol::kPid));
+      out->push_back(Cmp(to, PlanCol::kLeft, xp ? CmpOp::kGt : CmpOp::kGe,
+                         from, PlanCol::kRight));
+      return Status::OK();
+    case Axis::kImmediateFollowingSibling:
+      out->push_back(Cmp(to, PlanCol::kPid, CmpOp::kEq, from, PlanCol::kPid));
+      out->push_back(Cmp(to, PlanCol::kLeft, CmpOp::kEq, from, PlanCol::kRight));
+      return Status::OK();
+    case Axis::kPrecedingSibling:
+      out->push_back(Cmp(to, PlanCol::kPid, CmpOp::kEq, from, PlanCol::kPid));
+      out->push_back(Cmp(to, PlanCol::kRight, xp ? CmpOp::kLt : CmpOp::kLe,
+                         from, PlanCol::kLeft));
+      return Status::OK();
+    case Axis::kImmediatePrecedingSibling:
+      out->push_back(Cmp(to, PlanCol::kPid, CmpOp::kEq, from, PlanCol::kPid));
+      out->push_back(Cmp(to, PlanCol::kRight, CmpOp::kEq, from, PlanCol::kLeft));
+      return Status::OK();
+    case Axis::kAttribute:
+      // Attribute rows carry their element's label and id (Definition 4.1
+      // rule 8); kind/name constraints are added by the compiler.
+      out->push_back(Cmp(to, PlanCol::kId, CmpOp::kEq, from, PlanCol::kId));
+      return Status::OK();
+    default:
+      return Status::Internal("unexpected axis in AppendAxisConjuncts");
+  }
+}
+
+Result<std::unique_ptr<BoolExpr>> AxisFilter(LabelScheme scheme, Axis axis,
+                                             int from, int to) {
+  std::vector<Conjunct> base;
+  LPATH_RETURN_IF_ERROR(
+      AppendAxisConjuncts(scheme, AxisBase(axis), from, to, &base));
+
+  // base conjuncts AND-ed together.
+  std::unique_ptr<BoolExpr> conj;
+  for (const Conjunct& c : base) {
+    auto leaf = std::make_unique<BoolExpr>(BoolExpr::Kind::kCmp);
+    leaf->cmp = c;
+    if (!conj) {
+      conj = std::move(leaf);
+    } else {
+      auto node = std::make_unique<BoolExpr>(BoolExpr::Kind::kAnd);
+      node->lhs = std::move(conj);
+      node->rhs = std::move(leaf);
+      conj = std::move(node);
+    }
+  }
+  auto self = std::make_unique<BoolExpr>(BoolExpr::Kind::kCmp);
+  self->cmp = Conjunct{Operand::Column(to, PlanCol::kId), CmpOp::kEq,
+                       Operand::Column(from, PlanCol::kId)};
+  auto out = std::make_unique<BoolExpr>(BoolExpr::Kind::kOr);
+  out->lhs = std::move(conj);
+  out->rhs = std::move(self);
+  return out;
+}
+
+}  // namespace lpath

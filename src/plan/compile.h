@@ -1,0 +1,49 @@
+// LPath AST → ExecPlan compiler (the query-translation module of Section 4).
+//
+// One relation alias per location step; Table 2 conjuncts per axis edge;
+// subtree scoping compiles to descendant-or-self containment conjuncts
+// against the innermost scope variable; '^'/'$' to left/right equality with
+// the scope variable (or an implicit root variable, pid = 0, when no scope
+// is open); predicates to EXISTS / NOT EXISTS subplans correlated on the
+// context variable.
+//
+// Positive existential predicates (plain paths and attribute-value
+// equality) are *unnested* into the main join graph by default: because
+// the projection is DISTINCT (tid, id), a positive EXISTS is a semi-join
+// and can live in the same FROM list — which is exactly how the paper's
+// LPath→SQL translation ships value tests, and what lets the optimizer
+// anchor on the {value, tid, id} index for queries like //_[@lex=saw].
+// Negated or disjunctive predicates stay as (NOT) EXISTS filters.
+//
+// Rejections (Status::NotSupported):
+//   - position()/last()/[n] predicates (the relational translation has no
+//     order context — the paper's engine never receives them);
+//   - under the XPath labeling scheme: immediate-* axes and edge alignment
+//     (Lemma 3.1 — this is what Figure 10's "11 of 23 queries" restriction
+//     is about).
+
+#ifndef LPATHDB_PLAN_COMPILE_H_
+#define LPATHDB_PLAN_COMPILE_H_
+
+#include "common/result.h"
+#include "label/labeler.h"
+#include "lpath/ast.h"
+#include "plan/exec_plan.h"
+
+namespace lpath {
+
+struct CompileOptions {
+  LabelScheme scheme = LabelScheme::kLPath;
+  /// Unnest positive existential predicates into the main join graph
+  /// (semantically safe under DISTINCT projection). Disable for the
+  /// ablation benchmark.
+  bool unnest_predicates = true;
+};
+
+/// Compiles a top-level (absolute) LPath query.
+Result<ExecPlan> CompileLPath(const LocationPath& query,
+                              const CompileOptions& options = {});
+
+}  // namespace lpath
+
+#endif  // LPATHDB_PLAN_COMPILE_H_

@@ -1,0 +1,135 @@
+#include "plan/sql_gen.h"
+
+#include <sstream>
+
+namespace lpath {
+
+namespace {
+
+std::string_view OpText(CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq: return "=";
+    case CmpOp::kNe: return "!=";
+    case CmpOp::kLt: return "<";
+    case CmpOp::kLe: return "<=";
+    case CmpOp::kGt: return ">";
+    case CmpOp::kGe: return ">=";
+  }
+  return "?";
+}
+
+class Generator {
+ public:
+  explicit Generator(const SqlGenOptions& options) : options_(options) {}
+
+  std::string Top(const ExecPlan& plan) {
+    std::ostringstream os;
+    EmitSelect(plan, /*depth=*/0, /*exists=*/false, os);
+    return os.str();
+  }
+
+ private:
+  static char Prefix(int depth) { return static_cast<char>('a' + depth); }
+
+  std::string Alias(int var, int depth) const {
+    if (var >= Operand::kOuterVarBase) {
+      return std::string(1, Prefix(depth - 1)) +
+             std::to_string(var - Operand::kOuterVarBase);
+    }
+    return std::string(1, Prefix(depth)) + std::to_string(var);
+  }
+
+  void EmitOperand(const Operand& o, int depth, std::ostream& os) const {
+    if (o.is_literal()) {
+      if (o.is_string) {
+        os << '\'';
+        for (char c : o.str) {
+          os << c;
+          if (c == '\'') os << c;  // '' escaping
+        }
+        os << '\'';
+      } else {
+        os << o.num;
+      }
+      return;
+    }
+    os << Alias(o.var, depth) << '.' << PlanColName(o.col);
+  }
+
+  void EmitConjunct(const Conjunct& c, int depth, std::ostream& os) const {
+    EmitOperand(c.lhs, depth, os);
+    os << ' ' << OpText(c.op) << ' ';
+    EmitOperand(c.rhs, depth, os);
+  }
+
+  void EmitBool(const BoolExpr& e, int depth, std::ostream& os) const {
+    switch (e.kind) {
+      case BoolExpr::Kind::kAnd:
+        os << '(';
+        EmitBool(*e.lhs, depth, os);
+        os << " AND ";
+        EmitBool(*e.rhs, depth, os);
+        os << ')';
+        return;
+      case BoolExpr::Kind::kOr:
+        os << '(';
+        EmitBool(*e.lhs, depth, os);
+        os << " OR ";
+        EmitBool(*e.rhs, depth, os);
+        os << ')';
+        return;
+      case BoolExpr::Kind::kNot:
+        os << "NOT (";
+        EmitBool(*e.lhs, depth, os);
+        os << ')';
+        return;
+      case BoolExpr::Kind::kCmp:
+        EmitConjunct(e.cmp, depth, os);
+        return;
+      case BoolExpr::Kind::kExists:
+        EmitSelect(*e.sub, depth + 1, /*exists=*/true, os);
+        return;
+    }
+  }
+
+  void EmitSelect(const ExecPlan& plan, int depth, bool exists,
+                  std::ostream& os) const {
+    const char* sep = options_.pretty && depth == 0 ? "\n  " : " ";
+    if (exists) {
+      os << "EXISTS (SELECT 1";
+    } else {
+      const std::string out = Alias(plan.output_var, depth);
+      os << "SELECT DISTINCT " << out << ".tid, " << out << ".id";
+    }
+    os << sep << "FROM ";
+    for (int v = 0; v < plan.num_vars; ++v) {
+      if (v > 0) os << ", ";
+      os << options_.table << " AS " << Alias(v, depth);
+    }
+    bool first = true;
+    auto begin_term = [&]() {
+      os << (first ? std::string(sep) + "WHERE " : std::string(" AND "));
+      first = false;
+    };
+    for (const Conjunct& c : plan.conjuncts) {
+      begin_term();
+      EmitConjunct(c, depth, os);
+    }
+    for (const auto& f : plan.filters) {
+      begin_term();
+      EmitBool(*f, depth, os);
+    }
+    if (exists) os << ')';
+  }
+
+  const SqlGenOptions& options_;
+};
+
+}  // namespace
+
+std::string GenerateSql(const ExecPlan& plan, const SqlGenOptions& options) {
+  Generator gen(options);
+  return gen.Top(plan);
+}
+
+}  // namespace lpath

@@ -1,0 +1,449 @@
+#include "sql/executor.h"
+
+#include <limits>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace lpath {
+namespace sql {
+
+namespace {
+
+constexpr int32_t kMinInt = std::numeric_limits<int32_t>::min();
+constexpr int32_t kMaxInt = std::numeric_limits<int32_t>::max();
+
+bool IsLocal(const Operand& o) { return !o.is_literal() && !o.is_outer(); }
+
+/// One plan's binding frame; frames chain to parents for correlation.
+struct Frame {
+  const PreparedPlan* pp;
+  std::vector<Row> bound;
+  const Frame* parent = nullptr;
+};
+
+/// Bounds derived for a variable's columns from checkable conjuncts.
+struct Bounds {
+  bool has_tid = false;
+  int32_t tid = 0;
+  bool has_id = false;
+  int32_t id = 0;
+  bool has_pid = false;
+  int32_t pid = 0;
+  bool has_value = false;
+  Symbol value = kNoSymbol;
+  int64_t left_lo = kMinInt, left_hi = kMaxInt;    // half-open
+  int64_t right_lo = kMinInt, right_hi = kMaxInt;  // half-open
+};
+
+class Runner {
+ public:
+  Runner(const NodeRelation& rel, const ExecOptions& options, ExecStats* stats)
+      : rel_(rel), options_(options), stats_(stats) {}
+
+  Status Run(const PreparedPlan& pp, QueryResult* out) {
+    if (pp.always_empty) return Status::OK();
+    Frame frame;
+    frame.pp = &pp;
+    frame.bound.assign(pp.plan.num_vars, kNoRow);
+    out_set_.clear();
+    Extend(frame, 0, out);
+    for (uint64_t key : out_set_) {
+      out->hits.push_back(Hit{static_cast<int32_t>(key >> 32),
+                              static_cast<int32_t>(key & 0xffffffffu)});
+    }
+    out->Normalize();
+    return Status::OK();
+  }
+
+ private:
+  int64_t ColValue(Row r, PlanCol col) const {
+    switch (col) {
+      case PlanCol::kTid: return rel_.tid(r);
+      case PlanCol::kLeft: return rel_.left(r);
+      case PlanCol::kRight: return rel_.right(r);
+      case PlanCol::kDepth: return rel_.depth(r);
+      case PlanCol::kId: return rel_.id(r);
+      case PlanCol::kPid: return rel_.pid(r);
+      case PlanCol::kName: return rel_.name(r);
+      case PlanCol::kValue: return rel_.value(r);
+      case PlanCol::kKind: return static_cast<int64_t>(rel_.kind(r));
+    }
+    return 0;
+  }
+
+  /// Value of an operand under a frame (literal / local / outer).
+  bool OperandValue(const Frame& f, const Operand& o, int64_t* out) const {
+    if (o.is_literal()) {
+      *out = o.num;
+      return true;
+    }
+    Row r;
+    if (o.is_outer()) {
+      if (f.parent == nullptr) return false;
+      r = f.parent->bound[o.outer_index()];
+    } else {
+      r = f.bound[o.var];
+    }
+    if (r == kNoRow) return false;
+    *out = ColValue(r, o.col);
+    return true;
+  }
+
+  static bool Compare(int64_t a, CmpOp op, int64_t b) {
+    switch (op) {
+      case CmpOp::kEq: return a == b;
+      case CmpOp::kNe: return a != b;
+      case CmpOp::kLt: return a < b;
+      case CmpOp::kLe: return a <= b;
+      case CmpOp::kGt: return a > b;
+      case CmpOp::kGe: return a >= b;
+    }
+    return false;
+  }
+
+  bool EvalConjunct(const Frame& f, const Conjunct& c) const {
+    int64_t a, b;
+    if (!OperandValue(f, c.lhs, &a) || !OperandValue(f, c.rhs, &b)) {
+      return false;  // unbound operand: cannot hold
+    }
+    return Compare(a, c.op, b);
+  }
+
+  bool EvalBool(Frame& f, const BoolExpr& e) {
+    switch (e.kind) {
+      case BoolExpr::Kind::kAnd:
+        return EvalBool(f, *e.lhs) && EvalBool(f, *e.rhs);
+      case BoolExpr::Kind::kOr:
+        return EvalBool(f, *e.lhs) || EvalBool(f, *e.rhs);
+      case BoolExpr::Kind::kNot:
+        return !EvalBool(f, *e.lhs);
+      case BoolExpr::Kind::kCmp:
+        return EvalConjunct(f, e.cmp);
+      case BoolExpr::Kind::kExists:
+        return EvalExists(f, e);
+    }
+    return false;
+  }
+
+  bool EvalExists(Frame& f, const BoolExpr& e) {
+    const auto sub_it = f.pp->subs.find(&e);
+    const PreparedPlan& sub = *sub_it->second;
+    if (sub.always_empty) return false;
+
+    // Memoize on the single correlation variable when there is one.
+    const int outer_var = f.pp->sub_outer_var.at(&e);
+    uint64_t memo_key = 0;
+    std::unordered_map<uint64_t, bool>* memo = nullptr;
+    if (outer_var >= 0) {
+      memo = &memo_[&e];
+      memo_key = f.bound[outer_var];
+      auto it = memo->find(memo_key);
+      if (it != memo->end()) {
+        if (stats_ != nullptr) stats_->memo_hits += 1;
+        return it->second;
+      }
+    }
+    if (stats_ != nullptr) stats_->subqueries += 1;
+
+    Frame sub_frame;
+    sub_frame.pp = &sub;
+    sub_frame.bound.assign(sub.plan.num_vars, kNoRow);
+    sub_frame.parent = &f;
+    const bool found = Extend(sub_frame, 0, /*out=*/nullptr);
+    if (memo != nullptr) memo->emplace(memo_key, found);
+    return found;
+  }
+
+  /// Binds the variable at `pos` and recurses. Returns true if at least one
+  /// complete binding was reached below this point. `out == nullptr` means
+  /// existence mode (stop at the first complete binding).
+  bool Extend(Frame& f, int pos, QueryResult* out) {
+    const PreparedPlan& pp = *f.pp;
+    if (pos == static_cast<int>(pp.order.size())) {
+      if (out != nullptr) {
+        const Row r = f.bound[pp.plan.output_var];
+        out_set_.insert((static_cast<uint64_t>(rel_.tid(r)) << 32) |
+                        static_cast<uint32_t>(rel_.id(r)));
+      }
+      return true;
+    }
+    const int v = pp.order[pos];
+    bool found_any = false;
+
+    auto try_candidate = [&](Row cand) -> bool {
+      // returns true when the caller should stop enumerating
+      if (stats_ != nullptr) stats_->candidates += 1;
+      f.bound[v] = cand;
+      bool ok = true;
+      for (const Conjunct& c : pp.conjuncts_at[pos]) {
+        if (!EvalConjunct(f, c)) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) {
+        for (const BoolExpr* filter : pp.filters_at[pos]) {
+          if (!EvalBool(f, *filter)) {
+            ok = false;
+            break;
+          }
+        }
+      }
+      if (ok) {
+        if (stats_ != nullptr) stats_->bindings += 1;
+        const bool sub_found = Extend(f, pos + 1, out);
+        found_any |= sub_found;
+        if (sub_found) {
+          if (out == nullptr) return true;  // existence: done
+          if (options_.distinct_early_exit && pos > pp.output_pos) {
+            return true;  // deeper bindings cannot change DISTINCT output
+          }
+        }
+      }
+      f.bound[v] = kNoRow;
+      return false;
+    };
+
+    ForEachCandidate(f, pos, v, try_candidate);
+    f.bound[v] = kNoRow;
+    return found_any;
+  }
+
+  /// Derives bounds on var `v`'s columns from the conjuncts checkable at
+  /// `pos` whose other side is already bound.
+  Bounds DeriveBounds(const Frame& f, int pos, int v) const {
+    Bounds b;
+    for (const Conjunct& c : f.pp->conjuncts_at[pos]) {
+      if (!IsLocal(c.lhs) || c.lhs.var != v) continue;
+      int64_t rhs;
+      if (!OperandValue(f, c.rhs, &rhs)) continue;
+      switch (c.lhs.col) {
+        case PlanCol::kTid:
+          if (c.op == CmpOp::kEq) {
+            b.has_tid = true;
+            b.tid = static_cast<int32_t>(rhs);
+          }
+          break;
+        case PlanCol::kId:
+          if (c.op == CmpOp::kEq) {
+            b.has_id = true;
+            b.id = static_cast<int32_t>(rhs);
+          }
+          break;
+        case PlanCol::kPid:
+          if (c.op == CmpOp::kEq) {
+            b.has_pid = true;
+            b.pid = static_cast<int32_t>(rhs);
+          }
+          break;
+        case PlanCol::kValue:
+          if (c.op == CmpOp::kEq) {
+            b.has_value = true;
+            b.value = static_cast<Symbol>(rhs);
+          }
+          break;
+        case PlanCol::kLeft:
+          switch (c.op) {
+            case CmpOp::kEq:
+              b.left_lo = std::max(b.left_lo, rhs);
+              b.left_hi = std::min(b.left_hi, rhs + 1);
+              break;
+            case CmpOp::kGe: b.left_lo = std::max(b.left_lo, rhs); break;
+            case CmpOp::kGt: b.left_lo = std::max(b.left_lo, rhs + 1); break;
+            case CmpOp::kLe: b.left_hi = std::min(b.left_hi, rhs + 1); break;
+            case CmpOp::kLt: b.left_hi = std::min(b.left_hi, rhs); break;
+            default: break;
+          }
+          break;
+        case PlanCol::kRight:
+          switch (c.op) {
+            case CmpOp::kEq:
+              b.right_lo = std::max(b.right_lo, rhs);
+              b.right_hi = std::min(b.right_hi, rhs + 1);
+              break;
+            case CmpOp::kGe: b.right_lo = std::max(b.right_lo, rhs); break;
+            case CmpOp::kGt: b.right_lo = std::max(b.right_lo, rhs + 1); break;
+            case CmpOp::kLe: b.right_hi = std::min(b.right_hi, rhs + 1); break;
+            case CmpOp::kLt: b.right_hi = std::min(b.right_hi, rhs); break;
+            default: break;
+          }
+          break;
+        default:
+          break;
+      }
+    }
+    return b;
+  }
+
+  /// Static facts for variable v: name / kind equality with literals.
+  void StaticFacts(const PreparedPlan& pp, int v, Symbol* name,
+                   int* kind) const {
+    *name = kNoSymbol;
+    *kind = -1;
+    for (const Conjunct& c : pp.plan.conjuncts) {
+      if (!IsLocal(c.lhs) || c.lhs.var != v) continue;
+      if (!c.rhs.is_literal() || c.op != CmpOp::kEq) continue;
+      if (c.lhs.col == PlanCol::kName) *name = static_cast<Symbol>(c.rhs.num);
+      if (c.lhs.col == PlanCol::kKind) *kind = static_cast<int>(c.rhs.num);
+    }
+  }
+
+  template <typename Fn>
+  void ForEachCandidate(const Frame& f, int pos, int v, Fn&& fn) {
+    const PreparedPlan& pp = *f.pp;
+    Symbol name;
+    int kind;
+    StaticFacts(pp, v, &name, &kind);
+    Bounds b = DeriveBounds(f, pos, v);
+
+    // No direct tid conjunct available yet? Derive the tree through v's tid
+    // equivalence class: any bound class member, or the class's outer
+    // correlation, pins the tree.
+    if (!b.has_tid && v < static_cast<int>(pp.tid_class.size())) {
+      const int cls = pp.tid_class[v];
+      for (int u = 0; u < static_cast<int>(f.bound.size()) && !b.has_tid;
+           ++u) {
+        if (u != v && pp.tid_class[u] == cls && f.bound[u] != kNoRow) {
+          b.has_tid = true;
+          b.tid = rel_.tid(f.bound[u]);
+        }
+      }
+      if (!b.has_tid && pp.class_has_outer[cls]) {
+        int64_t tid_value = 0;
+        if (OperandValue(f, pp.class_outer_tid[cls], &tid_value)) {
+          b.has_tid = true;
+          b.tid = static_cast<int32_t>(tid_value);
+        }
+      }
+    }
+
+    const int32_t left_lo =
+        static_cast<int32_t>(std::max<int64_t>(b.left_lo, kMinInt + 1));
+    const int32_t left_hi =
+        static_cast<int32_t>(std::min<int64_t>(b.left_hi, kMaxInt - 1));
+    const int32_t right_lo =
+        static_cast<int32_t>(std::max<int64_t>(b.right_lo, kMinInt + 1));
+    const int32_t right_hi =
+        static_cast<int32_t>(std::min<int64_t>(b.right_hi, kMaxInt - 1));
+    const bool left_bounded = b.left_lo != kMinInt || b.left_hi != kMaxInt;
+    const bool right_bounded = b.right_lo != kMinInt || b.right_hi != kMaxInt;
+
+    // 1. Direct (tid, id) lookup.
+    if (b.has_id && b.has_tid) {
+      if (kind != 0) {
+        for (Row r : rel_.AttrRows(b.tid, b.id)) {
+          if (fn(r)) return;
+        }
+      }
+      if (kind != 1) {
+        const Row r = rel_.ElementRow(b.tid, b.id);
+        if (r != kNoRow && fn(r)) return;
+      }
+      return;
+    }
+    // 2. Value index.
+    if (b.has_value) {
+      auto rows = b.has_tid ? rel_.ValueRangeForTree(b.value, b.tid)
+                            : rel_.ValueRange(b.value);
+      for (Row r : rows) {
+        if (fn(r)) return;
+      }
+      return;
+    }
+    // Also use a *static* value fact (value = 'saw' conjunct at this pos is
+    // covered above; a value conjunct scheduled here with literal rhs is in
+    // DeriveBounds already).
+
+    // 3. pid equality (children / siblings).
+    if (b.has_pid && b.has_tid) {
+      if (name != kNoSymbol) {
+        for (Row r : rel_.RunPidRange(name, b.tid, b.pid)) {
+          if (fn(r)) return;
+        }
+        return;
+      }
+      if (b.pid == 0) {
+        const Row root = rel_.ElementRow(b.tid, 1);
+        if (root != kNoRow && fn(root)) return;
+        return;
+      }
+      const Row parent = rel_.ElementRow(b.tid, b.pid);
+      if (parent == kNoRow) return;
+      for (Row r : rel_.ElementsInLeftRange(b.tid, rel_.left(parent),
+                                            rel_.right(parent))) {
+        if (rel_.pid(r) == b.pid && fn(r)) return;
+      }
+      return;
+    }
+    // 4. Tag run with ranges.
+    if (name != kNoSymbol) {
+      if (b.has_tid) {
+        if (right_bounded && !left_bounded) {
+          for (Row r : rel_.RunRightRange(name, b.tid, right_lo, right_hi)) {
+            if (fn(r)) return;
+          }
+          return;
+        }
+        RowRange range =
+            left_bounded ? rel_.RunLeftRange(name, b.tid, left_lo, left_hi)
+                         : rel_.RunForTree(name, b.tid);
+        for (Row r = range.begin; r < range.end; ++r) {
+          if (fn(r)) return;
+        }
+        return;
+      }
+      const RowRange range = rel_.run(name);
+      for (Row r = range.begin; r < range.end; ++r) {
+        if (fn(r)) return;
+      }
+      return;
+    }
+    // 5. Wildcard within a tree.
+    if (b.has_tid) {
+      auto rows = left_bounded
+                      ? rel_.ElementsInLeftRange(b.tid, left_lo, left_hi)
+                      : rel_.ElementsOfTree(b.tid);
+      for (Row r : rows) {
+        if (kind != 1 && fn(r)) return;
+        if (kind != 0) {
+          for (Row a : rel_.AttrRows(b.tid, rel_.id(r))) {
+            if (fn(a)) return;
+          }
+        }
+      }
+      return;
+    }
+    // 6. Full scan.
+    for (Row r = 0; r < static_cast<Row>(rel_.row_count()); ++r) {
+      if (kind >= 0 && static_cast<int>(rel_.kind(r)) != kind) continue;
+      if (fn(r)) return;
+    }
+  }
+
+  const NodeRelation& rel_;
+  const ExecOptions& options_;
+  ExecStats* stats_;
+  std::unordered_set<uint64_t> out_set_;
+  std::unordered_map<const BoolExpr*, std::unordered_map<uint64_t, bool>>
+      memo_;
+};
+
+}  // namespace
+
+Result<QueryResult> PlanExecutor::Execute(const ExecPlan& plan,
+                                          ExecStats* stats) const {
+  LPATH_ASSIGN_OR_RETURN(std::unique_ptr<PreparedPlan> pp,
+                         Prepare(plan, rel_, options_));
+  return ExecutePrepared(*pp, stats);
+}
+
+Result<QueryResult> PlanExecutor::ExecutePrepared(const PreparedPlan& pp,
+                                                  ExecStats* stats) const {
+  Runner runner(rel_, options_, stats);
+  QueryResult out;
+  LPATH_RETURN_IF_ERROR(runner.Run(pp, &out));
+  return out;
+}
+
+}  // namespace sql
+}  // namespace lpath

@@ -1,0 +1,57 @@
+// The index-nested-loop executor over storage::NodeRelation.
+//
+// Binds plan variables in the optimizer's order; for each new variable it
+// derives the best available access path from the conjuncts whose other
+// side is already bound — the clustered tag runs, (tid,left)/(tid,right)
+// ranges, the pid and value indexes, or direct (tid,id) lookup — then
+// filters with the remaining conjuncts and boolean filters. EXISTS subplans
+// run recursively with memoization on their correlation variable. Output is
+// the DISTINCT (tid, id) set of the output variable.
+
+#ifndef LPATHDB_SQL_EXECUTOR_H_
+#define LPATHDB_SQL_EXECUTOR_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "lpath/engine.h"
+#include "sql/optimizer.h"
+
+namespace lpath {
+namespace sql {
+
+/// Work counters for ablation reports.
+struct ExecStats {
+  uint64_t candidates = 0;   ///< rows enumerated from access paths
+  uint64_t bindings = 0;     ///< rows surviving conjuncts + filters
+  uint64_t subqueries = 0;   ///< EXISTS evaluations (after memo hits)
+  uint64_t memo_hits = 0;
+};
+
+/// Executes prepared plans. Stateless between calls; one executor can be
+/// shared for many queries against the same relation.
+class PlanExecutor {
+ public:
+  explicit PlanExecutor(const NodeRelation& rel, ExecOptions options = {})
+      : rel_(rel), options_(options) {}
+
+  /// Prepares and runs `plan`.
+  Result<QueryResult> Execute(const ExecPlan& plan,
+                              ExecStats* stats = nullptr) const;
+
+  /// Runs an already prepared plan.
+  Result<QueryResult> ExecutePrepared(const PreparedPlan& pp,
+                                      ExecStats* stats = nullptr) const;
+
+  const ExecOptions& options() const { return options_; }
+  const NodeRelation& relation() const { return rel_; }
+
+ private:
+  const NodeRelation& rel_;
+  ExecOptions options_;
+};
+
+}  // namespace sql
+}  // namespace lpath
+
+#endif  // LPATHDB_SQL_EXECUTOR_H_

@@ -1,0 +1,118 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+
+namespace lpath {
+namespace sql {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(std::string_view text) {
+  std::vector<Token> out;
+  size_t i = 0;
+  const size_t n = text.size();
+  while (i < n) {
+    const char c = text[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    Token tok;
+    tok.pos = i;
+    if (IsIdentStart(c)) {
+      size_t start = i;
+      while (i < n && IsIdentChar(text[i])) ++i;
+      tok.kind = TokenKind::kIdent;
+      tok.text = std::string(text.substr(start, i - start));
+    } else if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = i;
+      while (i < n && std::isdigit(static_cast<unsigned char>(text[i]))) ++i;
+      tok.kind = TokenKind::kNumber;
+      tok.number = std::stoll(std::string(text.substr(start, i - start)));
+    } else if (c == '\'') {
+      ++i;
+      std::string s;
+      bool closed = false;
+      while (i < n) {
+        if (text[i] == '\'') {
+          if (i + 1 < n && text[i + 1] == '\'') {  // escaped quote
+            s.push_back('\'');
+            i += 2;
+            continue;
+          }
+          ++i;
+          closed = true;
+          break;
+        }
+        s.push_back(text[i]);
+        ++i;
+      }
+      if (!closed) {
+        return Status::InvalidArgument("unterminated string at offset " +
+                                       std::to_string(tok.pos));
+      }
+      tok.kind = TokenKind::kString;
+      tok.text = std::move(s);
+    } else {
+      switch (c) {
+        case '.': tok.kind = TokenKind::kDot; ++i; break;
+        case ',': tok.kind = TokenKind::kComma; ++i; break;
+        case '(': tok.kind = TokenKind::kLParen; ++i; break;
+        case ')': tok.kind = TokenKind::kRParen; ++i; break;
+        case '=': tok.kind = TokenKind::kEq; ++i; break;
+        case '!':
+          if (i + 1 < n && text[i + 1] == '=') {
+            tok.kind = TokenKind::kNe;
+            i += 2;
+          } else {
+            return Status::InvalidArgument("unexpected '!' at offset " +
+                                           std::to_string(i));
+          }
+          break;
+        case '<':
+          if (i + 1 < n && text[i + 1] == '=') {
+            tok.kind = TokenKind::kLe;
+            i += 2;
+          } else if (i + 1 < n && text[i + 1] == '>') {
+            tok.kind = TokenKind::kNe;
+            i += 2;
+          } else {
+            tok.kind = TokenKind::kLt;
+            ++i;
+          }
+          break;
+        case '>':
+          if (i + 1 < n && text[i + 1] == '=') {
+            tok.kind = TokenKind::kGe;
+            i += 2;
+          } else {
+            tok.kind = TokenKind::kGt;
+            ++i;
+          }
+          break;
+        default:
+          return Status::InvalidArgument(
+              std::string("unexpected character '") + c + "' at offset " +
+              std::to_string(i));
+      }
+    }
+    out.push_back(std::move(tok));
+  }
+  Token end;
+  end.kind = TokenKind::kEnd;
+  end.pos = n;
+  out.push_back(end);
+  return out;
+}
+
+}  // namespace sql
+}  // namespace lpath

@@ -1,0 +1,48 @@
+// Tokenizer for the SQL subset emitted by plan/sql_gen (SELECT DISTINCT /
+// FROM / WHERE with aliases, comparisons, AND/OR/NOT, EXISTS subqueries).
+
+#ifndef LPATHDB_SQL_LEXER_H_
+#define LPATHDB_SQL_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace lpath {
+namespace sql {
+
+enum class TokenKind {
+  kIdent,    // keywords resolved by the parser, case-insensitively
+  kNumber,
+  kString,   // '...' with '' escaping
+  kDot,
+  kComma,
+  kLParen,
+  kRParen,
+  kEq,       // =
+  kNe,       // != or <>
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;   // ident (original case) or string contents
+  int64_t number = 0;
+  size_t pos = 0;     // byte offset, for error messages
+};
+
+/// Tokenizes the whole input. Fails on unexpected characters or an
+/// unterminated string.
+Result<std::vector<Token>> Tokenize(std::string_view text);
+
+}  // namespace sql
+}  // namespace lpath
+
+#endif  // LPATHDB_SQL_LEXER_H_

@@ -1,0 +1,404 @@
+#include "sql/optimizer.h"
+
+#include <algorithm>
+#include <functional>
+#include <limits>
+#include <set>
+
+namespace lpath {
+namespace sql {
+
+namespace {
+
+bool IsLocal(const Operand& o) { return !o.is_literal() && !o.is_outer(); }
+
+/// Collects this plan's local variables referenced by an expression,
+/// including the correlation (outer) references made by nested subplans.
+void CollectVars(const Conjunct& c, std::set<int>* vars) {
+  if (IsLocal(c.lhs)) vars->insert(c.lhs.var);
+  if (IsLocal(c.rhs)) vars->insert(c.rhs.var);
+}
+
+void CollectOuterAsLocal(const ExecPlan& sub, std::set<int>* vars);
+
+void CollectVars(const BoolExpr& e, std::set<int>* vars) {
+  switch (e.kind) {
+    case BoolExpr::Kind::kAnd:
+    case BoolExpr::Kind::kOr:
+      CollectVars(*e.lhs, vars);
+      CollectVars(*e.rhs, vars);
+      return;
+    case BoolExpr::Kind::kNot:
+      CollectVars(*e.lhs, vars);
+      return;
+    case BoolExpr::Kind::kCmp:
+      CollectVars(e.cmp, vars);
+      return;
+    case BoolExpr::Kind::kExists:
+      CollectOuterAsLocal(*e.sub, vars);
+      return;
+  }
+}
+
+/// The outer references inside `sub` are *our* local variables.
+void CollectOuterAsLocal(const ExecPlan& sub, std::set<int>* vars) {
+  auto visit_op = [&](const Operand& o) {
+    if (o.is_outer()) vars->insert(o.outer_index());
+  };
+  for (const Conjunct& c : sub.conjuncts) {
+    visit_op(c.lhs);
+    visit_op(c.rhs);
+  }
+  std::vector<const BoolExpr*> stack;
+  for (const auto& f : sub.filters) stack.push_back(f.get());
+  while (!stack.empty()) {
+    const BoolExpr* e = stack.back();
+    stack.pop_back();
+    switch (e->kind) {
+      case BoolExpr::Kind::kAnd:
+      case BoolExpr::Kind::kOr:
+        stack.push_back(e->lhs.get());
+        stack.push_back(e->rhs.get());
+        break;
+      case BoolExpr::Kind::kNot:
+        stack.push_back(e->lhs.get());
+        break;
+      case BoolExpr::Kind::kCmp:
+        visit_op(e->cmp.lhs);
+        visit_op(e->cmp.rhs);
+        break;
+      case BoolExpr::Kind::kExists:
+        // A nested subplan's outer refs point at *sub*, not at us.
+        break;
+    }
+  }
+}
+
+/// Rewrites string literals to dictionary symbol ids in place; validates
+/// that string comparisons use only = / !=. Marks the plan empty if an
+/// equality names an unknown symbol.
+Status ResolveLiterals(ExecPlan* plan, const Interner& interner,
+                       bool* always_empty) {
+  auto resolve = [&](Conjunct* c) -> Status {
+    for (Operand* o : {&c->lhs, &c->rhs}) {
+      if (!o->is_literal() || !o->is_string) continue;
+      if (c->op != CmpOp::kEq && c->op != CmpOp::kNe) {
+        return Status::NotSupported(
+            "string literals support only = and != comparisons");
+      }
+      const Symbol sym = interner.Lookup(o->str);
+      if (sym == kNoSymbol && c->op == CmpOp::kEq) *always_empty = true;
+      o->num = static_cast<int64_t>(sym);
+      o->is_string = false;  // now a resolved symbol id
+    }
+    return Status::OK();
+  };
+  for (Conjunct& c : plan->conjuncts) {
+    LPATH_RETURN_IF_ERROR(resolve(&c));
+  }
+  std::vector<BoolExpr*> stack;
+  for (auto& f : plan->filters) stack.push_back(f.get());
+  while (!stack.empty()) {
+    BoolExpr* e = stack.back();
+    stack.pop_back();
+    switch (e->kind) {
+      case BoolExpr::Kind::kAnd:
+      case BoolExpr::Kind::kOr:
+        stack.push_back(e->lhs.get());
+        stack.push_back(e->rhs.get());
+        break;
+      case BoolExpr::Kind::kNot:
+        stack.push_back(e->lhs.get());
+        break;
+      case BoolExpr::Kind::kCmp: {
+        // Inside OR/NOT trees an unknown symbol does not empty the plan.
+        bool ignored = false;
+        LPATH_RETURN_IF_ERROR(resolve(&e->cmp));
+        (void)ignored;
+        break;
+      }
+      case BoolExpr::Kind::kExists: {
+        bool sub_empty = false;
+        LPATH_RETURN_IF_ERROR(
+            ResolveLiterals(e->sub.get(), interner, &sub_empty));
+        // An always-empty EXISTS is simply false at evaluation time; the
+        // executor handles it via the unknown symbol id.
+        break;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+/// Static per-variable access facts harvested from literal conjuncts.
+struct VarFacts {
+  Symbol name = kNoSymbol;
+  bool has_name = false;
+  Symbol value = kNoSymbol;
+  bool has_value = false;
+  int kind = -1;
+  bool has_pid0 = false;  // pid = 0 (root)
+};
+
+std::vector<VarFacts> HarvestFacts(const ExecPlan& plan) {
+  std::vector<VarFacts> facts(plan.num_vars);
+  for (const Conjunct& c : plan.conjuncts) {
+    if (!IsLocal(c.lhs) || !c.rhs.is_literal() || c.op != CmpOp::kEq) continue;
+    VarFacts& f = facts[c.lhs.var];
+    switch (c.lhs.col) {
+      case PlanCol::kName:
+        f.name = static_cast<Symbol>(c.rhs.num);
+        f.has_name = true;
+        break;
+      case PlanCol::kValue:
+        f.value = static_cast<Symbol>(c.rhs.num);
+        f.has_value = true;
+        break;
+      case PlanCol::kKind:
+        f.kind = static_cast<int>(c.rhs.num);
+        break;
+      case PlanCol::kPid:
+        if (c.rhs.num == 0) f.has_pid0 = true;
+        break;
+      default:
+        break;
+    }
+  }
+  return facts;
+}
+
+/// Estimated rows produced when binding `v` given the `bound` set (join
+/// links give discounts). All heuristic — the point is the *ranking*.
+double EstimateCost(const ExecPlan& plan, const std::vector<VarFacts>& facts,
+                    const NodeRelation& rel, int v,
+                    const std::vector<bool>& bound, bool anything_bound) {
+  const VarFacts& f = facts[v];
+  const double trees = std::max<double>(1.0, rel.tree_count());
+  double base;
+  if (f.has_value) {
+    base = std::max<double>(1.0, rel.ValueCardinality(f.value));
+  } else if (f.has_name) {
+    base = std::max<double>(1.0, rel.NameCardinality(f.name));
+  } else {
+    base = std::max<double>(1.0, rel.row_count());
+  }
+  if (f.has_pid0) base = std::min(base, trees);
+
+  if (!anything_bound) return base;
+
+  // Join-link discount: the best access path available through a conjunct
+  // against an already-bound variable (or an outer reference, always bound).
+  double best = base / trees;  // per-tree scan via the tid link
+  for (const Conjunct& c : plan.conjuncts) {
+    const Operand* mine = nullptr;
+    const Operand* other = nullptr;
+    if (IsLocal(c.lhs) && c.lhs.var == v) {
+      mine = &c.lhs;
+      other = &c.rhs;
+    } else if (IsLocal(c.rhs) && c.rhs.var == v) {
+      mine = &c.rhs;
+      other = &c.lhs;
+    } else {
+      continue;
+    }
+    const bool other_ready =
+        other->is_literal() || other->is_outer() ||
+        (IsLocal(*other) && bound[other->var]);
+    if (!other_ready) continue;
+    double est = base;
+    switch (mine->col) {
+      case PlanCol::kId:
+        if (c.op == CmpOp::kEq) est = 1.0;
+        break;
+      case PlanCol::kPid:
+        if (c.op == CmpOp::kEq) est = 4.0;
+        break;
+      case PlanCol::kLeft:
+      case PlanCol::kRight:
+        if (c.op == CmpOp::kEq) {
+          est = 3.0;  // immediate axes: a handful of nodes share an edge
+        } else {
+          est = std::max(1.0, base / trees / 2.0);  // range scan
+        }
+        break;
+      default:
+        continue;
+    }
+    best = std::min(best, est);
+  }
+  return best;
+}
+
+std::vector<int> ChooseOrder(const ExecPlan& plan,
+                             const std::vector<VarFacts>& facts,
+                             const NodeRelation& rel,
+                             ExecOptions::JoinOrder mode) {
+  const int n = plan.num_vars;
+  std::vector<int> order;
+  order.reserve(n);
+  if (mode == ExecOptions::JoinOrder::kLeftToRight) {
+    for (int v = 0; v < n; ++v) order.push_back(v);
+    return order;
+  }
+  std::vector<bool> bound(n, false);
+  for (int step = 0; step < n; ++step) {
+    int best_var = -1;
+    double best_cost = std::numeric_limits<double>::infinity();
+    for (int v = 0; v < n; ++v) {
+      if (bound[v]) continue;
+      const double cost = EstimateCost(plan, facts, rel, v, bound, step > 0);
+      if (cost < best_cost) {
+        best_cost = cost;
+        best_var = v;
+      }
+    }
+    bound[best_var] = true;
+    order.push_back(best_var);
+  }
+  return order;
+}
+
+/// Position at which a conjunct becomes checkable: the max position of its
+/// local variables (0 if it references none).
+int ReadyPos(const Conjunct& c, const std::vector<int>& pos_of) {
+  int pos = 0;
+  if (IsLocal(c.lhs)) pos = std::max(pos, pos_of[c.lhs.var]);
+  if (IsLocal(c.rhs)) pos = std::max(pos, pos_of[c.rhs.var]);
+  return pos;
+}
+
+/// Orients a conjunct so its lhs is the variable bound at `pos` (when that
+/// variable participates), which is what the access-path derivation scans.
+Conjunct Orient(const Conjunct& c, int var_at_pos) {
+  if (IsLocal(c.lhs) && c.lhs.var == var_at_pos) return c;
+  if (IsLocal(c.rhs) && c.rhs.var == var_at_pos) {
+    Conjunct m;
+    m.lhs = c.rhs;
+    m.rhs = c.lhs;
+    switch (c.op) {
+      case CmpOp::kLt: m.op = CmpOp::kGt; break;
+      case CmpOp::kLe: m.op = CmpOp::kGe; break;
+      case CmpOp::kGt: m.op = CmpOp::kLt; break;
+      case CmpOp::kGe: m.op = CmpOp::kLe; break;
+      default: m.op = c.op; break;
+    }
+    return m;
+  }
+  return c;
+}
+
+Result<std::unique_ptr<PreparedPlan>> PrepareResolved(
+    ExecPlan plan, const NodeRelation& rel, const ExecOptions& options,
+    bool always_empty) {
+  auto pp = std::make_unique<PreparedPlan>();
+  pp->always_empty = always_empty;
+  pp->plan = std::move(plan);
+  const ExecPlan& p = pp->plan;
+
+  const std::vector<VarFacts> facts = HarvestFacts(p);
+  pp->order = ChooseOrder(p, facts, rel, options.join_order);
+  pp->pos_of.assign(p.num_vars, 0);
+  for (int pos = 0; pos < static_cast<int>(pp->order.size()); ++pos) {
+    pp->pos_of[pp->order[pos]] = pos;
+  }
+  pp->output_pos = p.num_vars > 0 ? pp->pos_of[p.output_var] : 0;
+
+  pp->conjuncts_at.resize(std::max(1, p.num_vars));
+  for (const Conjunct& c : p.conjuncts) {
+    const int pos = ReadyPos(c, pp->pos_of);
+    pp->conjuncts_at[pos].push_back(Orient(c, pp->order.empty() ? -1 : pp->order[pos]));
+  }
+  // tid equivalence classes (union-find over tid = tid conjuncts).
+  {
+    std::vector<int> parent(p.num_vars);
+    for (int v = 0; v < p.num_vars; ++v) parent[v] = v;
+    std::function<int(int)> find = [&](int v) {
+      while (parent[v] != v) v = parent[v] = parent[parent[v]];
+      return v;
+    };
+    for (const Conjunct& c : p.conjuncts) {
+      if (c.op != CmpOp::kEq) continue;
+      if (c.lhs.col != PlanCol::kTid || c.rhs.col != PlanCol::kTid) continue;
+      if (IsLocal(c.lhs) && IsLocal(c.rhs)) {
+        parent[find(c.lhs.var)] = find(c.rhs.var);
+      }
+    }
+    pp->tid_class.assign(p.num_vars, -1);
+    for (int v = 0; v < p.num_vars; ++v) pp->tid_class[v] = find(v);
+    pp->class_outer_tid.assign(p.num_vars, Operand{});
+    pp->class_has_outer.assign(p.num_vars, 0);
+    for (const Conjunct& c : p.conjuncts) {
+      if (c.op != CmpOp::kEq) continue;
+      if (c.lhs.col != PlanCol::kTid || c.rhs.col != PlanCol::kTid) continue;
+      const Operand* local = nullptr;
+      const Operand* outer = nullptr;
+      if (IsLocal(c.lhs) && c.rhs.is_outer()) {
+        local = &c.lhs;
+        outer = &c.rhs;
+      } else if (IsLocal(c.rhs) && c.lhs.is_outer()) {
+        local = &c.rhs;
+        outer = &c.lhs;
+      } else {
+        continue;
+      }
+      const int cls = pp->tid_class[local->var];
+      pp->class_outer_tid[cls] = *outer;
+      pp->class_has_outer[cls] = 1;
+    }
+  }
+
+  pp->filters_at.resize(std::max(1, p.num_vars));
+  for (const auto& f : p.filters) {
+    std::set<int> vars;
+    CollectVars(*f, &vars);
+    int pos = 0;
+    for (int v : vars) pos = std::max(pos, pp->pos_of[v]);
+    pp->filters_at[pos].push_back(f.get());
+  }
+
+  // Prepare subplans recursively.
+  std::vector<const BoolExpr*> stack;
+  for (const auto& f : p.filters) stack.push_back(f.get());
+  while (!stack.empty()) {
+    const BoolExpr* e = stack.back();
+    stack.pop_back();
+    switch (e->kind) {
+      case BoolExpr::Kind::kAnd:
+      case BoolExpr::Kind::kOr:
+        stack.push_back(e->lhs.get());
+        stack.push_back(e->rhs.get());
+        break;
+      case BoolExpr::Kind::kNot:
+        stack.push_back(e->lhs.get());
+        break;
+      case BoolExpr::Kind::kCmp:
+        break;
+      case BoolExpr::Kind::kExists: {
+        LPATH_ASSIGN_OR_RETURN(
+            std::unique_ptr<PreparedPlan> sub,
+            PrepareResolved(e->sub->Clone(), rel, options, false));
+        std::set<int> outer;
+        CollectOuterAsLocal(*e->sub, &outer);
+        pp->sub_outer_var[e] = outer.size() == 1 ? *outer.begin() : -1;
+        pp->subs.emplace(e, std::move(sub));
+        break;
+      }
+    }
+  }
+  return pp;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<PreparedPlan>> Prepare(const ExecPlan& plan,
+                                              const NodeRelation& rel,
+                                              const ExecOptions& options) {
+  ExecPlan resolved = plan.Clone();
+  bool always_empty = false;
+  LPATH_RETURN_IF_ERROR(
+      ResolveLiterals(&resolved, rel.interner(), &always_empty));
+  return PrepareResolved(std::move(resolved), rel, options, always_empty);
+}
+
+}  // namespace sql
+}  // namespace lpath

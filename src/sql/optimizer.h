@@ -1,0 +1,90 @@
+// Plan preparation: the statistics-driven join-order optimizer.
+//
+// Prepare() turns an ExecPlan into a PreparedPlan the executor can run:
+//   1. string literals are resolved against the relation's dictionary
+//      (unknown tags/words short-circuit to empty results);
+//   2. a variable evaluation order is chosen — greedy by estimated
+//      cardinality (tag-run and value-index sizes, exactly the statistics
+//      the paper's §5.2 discussion turns on), or left-to-right for the
+//      ablation benchmark;
+//   3. conjuncts are oriented (later-bound variable on the left) and
+//      scheduled at the position where they first become checkable;
+//   4. EXISTS subplans are prepared recursively, and their correlation
+//      variables identified for memoization.
+
+#ifndef LPATHDB_SQL_OPTIMIZER_H_
+#define LPATHDB_SQL_OPTIMIZER_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "plan/exec_plan.h"
+#include "storage/relation.h"
+
+namespace lpath {
+namespace sql {
+
+/// Executor tuning knobs (ablation benchmarks flip these).
+struct ExecOptions {
+  enum class JoinOrder {
+    kGreedy,       ///< cheapest-first by estimated cardinality (default)
+    kLeftToRight,  ///< plan order, i.e. query-step order
+  };
+  JoinOrder join_order = JoinOrder::kGreedy;
+
+  /// Once a complete binding extends a given output row, stop exploring
+  /// alternatives that cannot change the DISTINCT result. Disabling this
+  /// reproduces the "materialize all intermediate results, deduplicate at
+  /// the end" behaviour of a naive RDBMS plan.
+  bool distinct_early_exit = true;
+};
+
+/// A plan ready for execution against one NodeRelation. Owns a rewritten
+/// copy of the plan, so it must not outlive the relation (symbols) but is
+/// independent of the original ExecPlan.
+struct PreparedPlan {
+  ExecPlan plan;  // literals resolved to symbol ids (numbers)
+
+  std::vector<int> order;   ///< position -> variable
+  std::vector<int> pos_of;  ///< variable -> position
+  int output_pos = 0;
+
+  /// Conjuncts checkable once the variable at position p is bound
+  /// (oriented: lhs.var is that variable whenever a local var is involved).
+  std::vector<std::vector<Conjunct>> conjuncts_at;
+
+  /// Filters evaluable once position p is bound.
+  std::vector<std::vector<const BoolExpr*>> filters_at;
+
+  /// Prepared subplans for every kExists node in the filters.
+  std::unordered_map<const BoolExpr*, std::unique_ptr<PreparedPlan>> subs;
+
+  /// For memoization: the single parent variable a subplan correlates on,
+  /// or -1 if it references zero or multiple parent variables.
+  std::unordered_map<const BoolExpr*, int> sub_outer_var;
+
+  /// True if some conjunct can never hold (e.g. name = unknown tag).
+  bool always_empty = false;
+
+  /// tid equivalence classes: variables linked (transitively) by tid
+  /// equality conjuncts share a class, so the executor can derive a
+  /// variable's tree from *any* bound variable in its class — not only
+  /// from the variable its tid conjunct happens to mention.
+  std::vector<int> tid_class;  ///< per variable; -1 = unconstrained
+  /// Per class: an outer-reference operand whose tid the class equals
+  /// (correlated subplans), or a literal-free invalid operand.
+  std::vector<Operand> class_outer_tid;  ///< indexed by class id
+  std::vector<uint8_t> class_has_outer;
+};
+
+/// Prepares `plan` for execution against `rel`.
+Result<std::unique_ptr<PreparedPlan>> Prepare(const ExecPlan& plan,
+                                              const NodeRelation& rel,
+                                              const ExecOptions& options);
+
+}  // namespace sql
+}  // namespace lpath
+
+#endif  // LPATHDB_SQL_OPTIMIZER_H_

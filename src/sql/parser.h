@@ -1,0 +1,30 @@
+// SQL → ExecPlan parser. Accepts the dialect GenerateSql emits:
+//
+//   SELECT DISTINCT <alias>.tid, <alias>.id
+//   FROM <table> AS <alias> [, <table> AS <alias>]...
+//   [WHERE <boolean expression>]
+//
+// where the boolean expression is built from column/literal comparisons,
+// AND / OR / NOT, parentheses, and EXISTS (SELECT 1 FROM ... WHERE ...)
+// subqueries whose conditions may reference enclosing aliases (correlation,
+// resolved lexically; at most one level up, which is all the generator
+// produces).
+
+#ifndef LPATHDB_SQL_PARSER_H_
+#define LPATHDB_SQL_PARSER_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "plan/exec_plan.h"
+
+namespace lpath {
+namespace sql {
+
+/// Parses a complete SELECT statement into an ExecPlan.
+Result<ExecPlan> ParseSql(std::string_view text);
+
+}  // namespace sql
+}  // namespace lpath
+
+#endif  // LPATHDB_SQL_PARSER_H_

@@ -1,0 +1,311 @@
+#include "storage/relation.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace lpath {
+
+namespace {
+
+/// Staging record used before the clustered sort.
+struct Staged {
+  Symbol name;
+  int32_t tid;
+  Label label;
+  Symbol value;
+  uint8_t kind;
+};
+
+}  // namespace
+
+Result<NodeRelation> NodeRelation::Build(const Corpus& corpus,
+                                         RelationOptions options) {
+  NodeRelation rel;
+  rel.scheme_ = options.scheme;
+  rel.corpus_ = &corpus;
+  rel.tree_count_ = static_cast<int32_t>(corpus.size());
+
+  // 1. Label every tree and stage rows.
+  std::vector<Staged> staged;
+  {
+    size_t estimated = 0;
+    for (TreeId tid = 0; tid < rel.tree_count_; ++tid) {
+      estimated += corpus.tree(tid).size() * 2;  // nodes + ~1 attr each
+    }
+    staged.reserve(estimated);
+  }
+  std::vector<Label> labels;
+  for (TreeId tid = 0; tid < rel.tree_count_; ++tid) {
+    const Tree& tree = corpus.tree(tid);
+    ComputeLabels(options.scheme, tree, &labels);
+    for (NodeId i = 0; i < static_cast<NodeId>(tree.size()); ++i) {
+      staged.push_back(Staged{tree.name(i), tid, labels[i], kNoSymbol, 0});
+      for (int a = 0; a < tree.attr_count(i); ++a) {
+        const Attr& attr = tree.attrs(i)[a];
+        staged.push_back(Staged{attr.name, tid, labels[i], attr.value, 1});
+      }
+      rel.element_count_ += 1;
+    }
+  }
+
+  // 2. Clustered sort: (name, tid, left, right, depth, id, pid).
+  std::sort(staged.begin(), staged.end(), [](const Staged& a, const Staged& b) {
+    if (a.name != b.name) return a.name < b.name;
+    if (a.tid != b.tid) return a.tid < b.tid;
+    if (a.label.left != b.label.left) return a.label.left < b.label.left;
+    if (a.label.right != b.label.right) return a.label.right < b.label.right;
+    if (a.label.depth != b.label.depth) return a.label.depth < b.label.depth;
+    return a.label.id < b.label.id;
+  });
+
+  // 3. Materialize columns.
+  const size_t n = staged.size();
+  rel.tid_.resize(n);
+  rel.left_.resize(n);
+  rel.right_.resize(n);
+  rel.depth_.resize(n);
+  rel.id_.resize(n);
+  rel.pid_.resize(n);
+  rel.name_.resize(n);
+  rel.value_.resize(n);
+  rel.kind_.resize(n);
+  for (size_t r = 0; r < n; ++r) {
+    const Staged& s = staged[r];
+    rel.tid_[r] = s.tid;
+    rel.left_[r] = s.label.left;
+    rel.right_[r] = s.label.right;
+    rel.depth_[r] = s.label.depth;
+    rel.id_[r] = s.label.id;
+    rel.pid_[r] = s.label.pid;
+    rel.name_[r] = s.name;
+    rel.value_[r] = s.value;
+    rel.kind_[r] = s.kind;
+  }
+
+  // 4. Run directory, dense by name symbol.
+  const Symbol name_end = corpus.interner().end_id();
+  rel.runs_.assign(name_end, RowRange{});
+  for (Row r = 0; r < n;) {
+    Row e = r;
+    const Symbol nm = rel.name_[r];
+    while (e < n && rel.name_[e] == nm) ++e;
+    rel.runs_[nm] = RowRange{r, e};
+    r = e;
+  }
+
+  // 5. Per-run permutations.
+  rel.by_right_.resize(n);
+  rel.by_pid_.resize(n);
+  std::iota(rel.by_right_.begin(), rel.by_right_.end(), 0u);
+  std::iota(rel.by_pid_.begin(), rel.by_pid_.end(), 0u);
+  for (const RowRange& run : rel.runs_) {
+    if (run.empty()) continue;
+    auto rb = rel.by_right_.begin() + run.begin;
+    auto re = rel.by_right_.begin() + run.end;
+    std::sort(rb, re, [&rel](Row a, Row b) {
+      if (rel.tid_[a] != rel.tid_[b]) return rel.tid_[a] < rel.tid_[b];
+      if (rel.right_[a] != rel.right_[b]) return rel.right_[a] < rel.right_[b];
+      return rel.left_[a] < rel.left_[b];
+    });
+    auto pb = rel.by_pid_.begin() + run.begin;
+    auto pe = rel.by_pid_.begin() + run.end;
+    std::sort(pb, pe, [&rel](Row a, Row b) {
+      if (rel.tid_[a] != rel.tid_[b]) return rel.tid_[a] < rel.tid_[b];
+      if (rel.pid_[a] != rel.pid_[b]) return rel.pid_[a] < rel.pid_[b];
+      return rel.left_[a] < rel.left_[b];
+    });
+  }
+
+  // 6. Value index over attribute rows: (value, tid, id).
+  for (Row r = 0; r < n; ++r) {
+    if (rel.value_[r] != kNoSymbol) rel.value_index_.push_back(r);
+  }
+  std::sort(rel.value_index_.begin(), rel.value_index_.end(),
+            [&rel](Row a, Row b) {
+              if (rel.value_[a] != rel.value_[b])
+                return rel.value_[a] < rel.value_[b];
+              if (rel.tid_[a] != rel.tid_[b]) return rel.tid_[a] < rel.tid_[b];
+              return rel.id_[a] < rel.id_[b];
+            });
+  rel.value_offsets_.assign(name_end + 1, 0);
+  for (Row idx : rel.value_index_) rel.value_offsets_[rel.value_[idx] + 1] += 1;
+  for (size_t v = 1; v < rel.value_offsets_.size(); ++v) {
+    rel.value_offsets_[v] += rel.value_offsets_[v - 1];
+  }
+
+  // 7. (tid, id) -> element row, and the attribute CSR.
+  rel.tree_base_.assign(rel.tree_count_ + 1, 0);
+  for (TreeId t = 0; t < rel.tree_count_; ++t) {
+    rel.tree_base_[t + 1] =
+        rel.tree_base_[t] + static_cast<uint32_t>(corpus.tree(t).size());
+  }
+  rel.elem_row_.assign(rel.element_count_, kNoRow);
+  rel.attr_offsets_.assign(rel.element_count_ + 1, 0);
+  for (Row r = 0; r < n; ++r) {
+    const uint32_t slot = rel.tree_base_[rel.tid_[r]] + (rel.id_[r] - 1);
+    if (rel.kind_[r] == 0) {
+      rel.elem_row_[slot] = r;
+    } else {
+      rel.attr_offsets_[slot + 1] += 1;
+    }
+  }
+  for (size_t i = 1; i < rel.attr_offsets_.size(); ++i) {
+    rel.attr_offsets_[i] += rel.attr_offsets_[i - 1];
+  }
+  rel.attr_rows_.resize(rel.attr_offsets_.back());
+  {
+    std::vector<uint32_t> cursor(rel.attr_offsets_.begin(),
+                                 rel.attr_offsets_.end() - 1);
+    for (Row r = 0; r < n; ++r) {
+      if (rel.kind_[r] == 0) continue;
+      const uint32_t slot = rel.tree_base_[rel.tid_[r]] + (rel.id_[r] - 1);
+      rel.attr_rows_[cursor[slot]++] = r;
+    }
+  }
+
+  // Every element slot must have been filled.
+  for (Row r : rel.elem_row_) {
+    if (r == kNoRow) {
+      return Status::Corruption("element id space has holes");
+    }
+  }
+  return rel;
+}
+
+RowRange NodeRelation::run(Symbol name) const {
+  if (name == kNoSymbol || name >= runs_.size()) return RowRange{};
+  return runs_[name];
+}
+
+RowRange NodeRelation::RunForTree(Symbol name, int32_t t) const {
+  const RowRange full = run(name);
+  if (full.empty()) return full;
+  const auto tb = tid_.begin();
+  auto lo = std::lower_bound(tb + full.begin, tb + full.end, t);
+  auto hi = std::upper_bound(lo, tb + full.end, t);
+  return RowRange{static_cast<Row>(lo - tb), static_cast<Row>(hi - tb)};
+}
+
+RowRange NodeRelation::RunLeftRange(Symbol name, int32_t t, int32_t left_lo,
+                                    int32_t left_hi) const {
+  const RowRange in_tree = RunForTree(name, t);
+  if (in_tree.empty() || left_lo >= left_hi) return RowRange{in_tree.begin, in_tree.begin};
+  const auto lb = left_.begin();
+  auto lo = std::lower_bound(lb + in_tree.begin, lb + in_tree.end, left_lo);
+  auto hi = std::lower_bound(lo, lb + in_tree.end, left_hi);
+  return RowRange{static_cast<Row>(lo - lb), static_cast<Row>(hi - lb)};
+}
+
+std::span<const Row> NodeRelation::RunRightRange(Symbol name, int32_t t,
+                                                 int32_t right_lo,
+                                                 int32_t right_hi) const {
+  const RowRange full = run(name);
+  if (full.empty() || right_lo >= right_hi) return {};
+  auto first = by_right_.begin() + full.begin;
+  auto last = by_right_.begin() + full.end;
+  auto key_less = [this](Row r, std::pair<int32_t, int32_t> key) {
+    if (tid_[r] != key.first) return tid_[r] < key.first;
+    return right_[r] < key.second;
+  };
+  auto lo = std::lower_bound(first, last, std::make_pair(t, right_lo), key_less);
+  auto hi = std::lower_bound(lo, last, std::make_pair(t, right_hi), key_less);
+  if (lo == hi) return {};
+  return std::span<const Row>(&*lo, static_cast<size_t>(hi - lo));
+}
+
+std::span<const Row> NodeRelation::RunPidRange(Symbol name, int32_t t,
+                                               int32_t p) const {
+  const RowRange full = run(name);
+  if (full.empty()) return {};
+  auto first = by_pid_.begin() + full.begin;
+  auto last = by_pid_.begin() + full.end;
+  auto key_less = [this](Row r, std::pair<int32_t, int32_t> key) {
+    if (tid_[r] != key.first) return tid_[r] < key.first;
+    return pid_[r] < key.second;
+  };
+  auto key_greater = [this](std::pair<int32_t, int32_t> key, Row r) {
+    if (tid_[r] != key.first) return key.first < tid_[r];
+    return key.second < pid_[r];
+  };
+  auto lo = std::lower_bound(first, last, std::make_pair(t, p), key_less);
+  auto hi = std::upper_bound(lo, last, std::make_pair(t, p), key_greater);
+  if (lo == hi) return {};
+  return std::span<const Row>(&*lo, static_cast<size_t>(hi - lo));
+}
+
+std::span<const Row> NodeRelation::ValueRange(Symbol v) const {
+  if (v == kNoSymbol || v + 1 >= value_offsets_.size()) return {};
+  const uint32_t b = value_offsets_[v];
+  const uint32_t e = value_offsets_[v + 1];
+  if (b >= e) return {};
+  return std::span<const Row>(value_index_.data() + b, e - b);
+}
+
+std::span<const Row> NodeRelation::ValueRangeForTree(Symbol v,
+                                                     int32_t t) const {
+  std::span<const Row> all = ValueRange(v);
+  if (all.empty()) return {};
+  // Sorted by (value, tid, id): binary search the tid subrange.
+  auto less_tid = [this](Row r, int32_t key) { return tid_[r] < key; };
+  auto greater_tid = [this](int32_t key, Row r) { return key < tid_[r]; };
+  auto lo = std::lower_bound(all.begin(), all.end(), t, less_tid);
+  auto hi = std::upper_bound(lo, all.end(), t, greater_tid);
+  if (lo == hi) return {};
+  return std::span<const Row>(&*lo, static_cast<size_t>(hi - lo));
+}
+
+std::span<const Row> NodeRelation::ElementsOfTree(int32_t t) const {
+  if (t < 0 || t >= tree_count_) return {};
+  const uint32_t b = tree_base_[t];
+  const uint32_t e = tree_base_[t + 1];
+  if (b >= e) return {};
+  return std::span<const Row>(elem_row_.data() + b, e - b);
+}
+
+std::span<const Row> NodeRelation::ElementsInLeftRange(int32_t t,
+                                                       int32_t left_lo,
+                                                       int32_t left_hi) const {
+  std::span<const Row> all = ElementsOfTree(t);
+  if (all.empty() || left_lo >= left_hi) return {};
+  // Pre-order rows have non-decreasing left.
+  auto less_left = [this](Row r, int32_t key) { return left_[r] < key; };
+  auto lo = std::lower_bound(all.begin(), all.end(), left_lo, less_left);
+  auto hi = std::lower_bound(lo, all.end(), left_hi, less_left);
+  if (lo == hi) return {};
+  return std::span<const Row>(&*lo, static_cast<size_t>(hi - lo));
+}
+
+Row NodeRelation::ElementRow(int32_t t, int32_t id) const {
+  if (t < 0 || t >= tree_count_ || id <= 0) return kNoRow;
+  const uint32_t slot = tree_base_[t] + (id - 1);
+  if (slot >= tree_base_[t + 1]) return kNoRow;
+  return elem_row_[slot];
+}
+
+std::span<const Row> NodeRelation::AttrRows(int32_t t, int32_t id) const {
+  if (t < 0 || t >= tree_count_ || id <= 0) return {};
+  const uint32_t slot = tree_base_[t] + (id - 1);
+  if (slot >= tree_base_[t + 1]) return {};
+  const uint32_t b = attr_offsets_[slot];
+  const uint32_t e = attr_offsets_[slot + 1];
+  if (b >= e) return {};
+  return std::span<const Row>(attr_rows_.data() + b, e - b);
+}
+
+size_t NodeRelation::MemoryBytes() const {
+  size_t bytes = 0;
+  bytes += (tid_.size() + left_.size() + right_.size() + depth_.size() +
+            id_.size() + pid_.size()) *
+           sizeof(int32_t);
+  bytes += (name_.size() + value_.size()) * sizeof(Symbol);
+  bytes += kind_.size();
+  bytes += runs_.size() * sizeof(RowRange);
+  bytes += (by_right_.size() + by_pid_.size() + value_index_.size() +
+            elem_row_.size() + attr_rows_.size()) *
+           sizeof(Row);
+  bytes += (value_offsets_.size() + tree_base_.size() + attr_offsets_.size()) *
+           sizeof(uint32_t);
+  return bytes;
+}
+
+}  // namespace lpath

@@ -1,0 +1,182 @@
+// The node relation of Section 5: labeled tree nodes stored with schema
+//   { tid, left, right, depth, id, pid, name, value }
+// clustered by { name, tid, left, right, depth, id, pid }, with secondary
+// indexes for value lookups ({value, tid, id} / {tid, value, id}) and row
+// lookups by {tid, id} — exactly the physical design the paper lists.
+//
+// Attribute rows (e.g. name "@lex", value "saw") carry their element's label
+// (Definition 4.1, rule 8) and are distinguished by RowKind.
+//
+// Access paths exposed here are what the SQL executor uses:
+//   - a per-tag "run" (contiguous, sorted by tid,left,right,depth,id);
+//   - binary-searchable (tid, left) ranges within a run;
+//   - per-run permutations ordered by (tid, right) and (tid, pid, left);
+//   - the global value index;
+//   - direct element lookup by (tid, id).
+
+#ifndef LPATHDB_STORAGE_RELATION_H_
+#define LPATHDB_STORAGE_RELATION_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+#include "label/labeler.h"
+#include "tree/corpus.h"
+
+namespace lpath {
+
+/// Index of a row in the relation's clustered order.
+using Row = uint32_t;
+inline constexpr Row kNoRow = UINT32_MAX;
+
+/// Half-open row range [begin, end) within the clustered storage.
+struct RowRange {
+  Row begin = 0;
+  Row end = 0;
+  bool empty() const { return begin >= end; }
+  size_t size() const { return end - begin; }
+};
+
+/// Element or attribute row.
+enum class RowKind : uint8_t { kElement = 0, kAttribute = 1 };
+
+/// Options for building a relation.
+struct RelationOptions {
+  LabelScheme scheme = LabelScheme::kLPath;
+};
+
+/// Immutable, columnar, dictionary-encoded node relation.
+class NodeRelation {
+ public:
+  /// Labels every tree of `corpus` under `options.scheme`, flattens nodes
+  /// and attributes to rows, sorts into the clustered order and builds all
+  /// secondary indexes. The corpus must outlive the relation (the relation
+  /// shares its interner).
+  static Result<NodeRelation> Build(const Corpus& corpus,
+                                    RelationOptions options = {});
+
+  LabelScheme scheme() const { return scheme_; }
+  const Corpus& corpus() const { return *corpus_; }
+  const Interner& interner() const { return corpus_->interner(); }
+
+  size_t row_count() const { return tid_.size(); }
+  int32_t tree_count() const { return tree_count_; }
+
+  // --- Column access (clustered row order) -------------------------------
+  int32_t tid(Row r) const { return tid_[r]; }
+  int32_t left(Row r) const { return left_[r]; }
+  int32_t right(Row r) const { return right_[r]; }
+  int32_t depth(Row r) const { return depth_[r]; }
+  int32_t id(Row r) const { return id_[r]; }
+  int32_t pid(Row r) const { return pid_[r]; }
+  Symbol name(Row r) const { return name_[r]; }
+  Symbol value(Row r) const { return value_[r]; }
+  RowKind kind(Row r) const { return static_cast<RowKind>(kind_[r]); }
+  bool is_attr(Row r) const { return kind_[r] != 0; }
+
+  /// The label tuple of a row.
+  Label label(Row r) const {
+    return Label{left_[r], right_[r], depth_[r], id_[r], pid_[r]};
+  }
+
+  // --- Clustered runs ------------------------------------------------------
+  /// Rows whose name is `name` — contiguous thanks to name-first clustering.
+  /// Empty range for unknown symbols.
+  RowRange run(Symbol name) const;
+
+  /// All element rows (kind = element) — NOT contiguous; use this range plus
+  /// the is_attr filter for wildcard scans.
+  RowRange all_rows() const { return RowRange{0, static_cast<Row>(row_count())}; }
+
+  /// Subrange of run(name) with tid == t; binary search.
+  RowRange RunForTree(Symbol name, int32_t t) const;
+
+  /// Subrange of run(name) with tid == t and left in [left_lo, left_hi).
+  /// This is the workhorse for descendant/following/immediate-following.
+  RowRange RunLeftRange(Symbol name, int32_t t, int32_t left_lo,
+                        int32_t left_hi) const;
+
+  // --- Per-run secondary orders -------------------------------------------
+  /// Rows of run(name) with tid == t and right in [right_lo, right_hi),
+  /// returned as a span of row indexes ordered by right (for preceding /
+  /// immediate-preceding).
+  std::span<const Row> RunRightRange(Symbol name, int32_t t, int32_t right_lo,
+                                     int32_t right_hi) const;
+
+  /// Rows of run(name) with tid == t and pid == p, ordered by left (for the
+  /// sibling axes and child-of lookups).
+  std::span<const Row> RunPidRange(Symbol name, int32_t t, int32_t p) const;
+
+  // --- Value index ----------------------------------------------------------
+  /// Rows with value == v (attribute rows), ordered by (tid, id); the
+  /// {value, tid, id} index of the paper.
+  std::span<const Row> ValueRange(Symbol v) const;
+
+  /// Rows with value == v within tree t (the {tid, value, id} index).
+  std::span<const Row> ValueRangeForTree(Symbol v, int32_t t) const;
+
+  /// Element rows of tree t whose left is in [left_lo, left_hi), in
+  /// pre-order (= non-decreasing left). Used for wildcard steps.
+  std::span<const Row> ElementsInLeftRange(int32_t t, int32_t left_lo,
+                                           int32_t left_hi) const;
+
+  /// All element rows of tree t in pre-order.
+  std::span<const Row> ElementsOfTree(int32_t t) const;
+
+  // --- Row lookup by (tid, id) ----------------------------------------------
+  /// The element row with the given id in tree t, or kNoRow. O(1): ids are
+  /// dense pre-order positions, so this is the {tid, id, ...} index.
+  Row ElementRow(int32_t t, int32_t id) const;
+
+  /// Attribute rows of element (t, id), ordered by name symbol.
+  std::span<const Row> AttrRows(int32_t t, int32_t id) const;
+
+  // --- Statistics (for the join-order optimizer) ----------------------------
+  /// Number of rows with this tag (0 for unknown); wildcards use row_count().
+  size_t NameCardinality(Symbol name) const { return run(name).size(); }
+  size_t ValueCardinality(Symbol v) const { return ValueRange(v).size(); }
+  size_t element_count() const { return element_count_; }
+
+  /// Memory used by columns + indexes, for reports.
+  size_t MemoryBytes() const;
+
+ private:
+  NodeRelation() = default;
+
+  LabelScheme scheme_ = LabelScheme::kLPath;
+  const Corpus* corpus_ = nullptr;
+  int32_t tree_count_ = 0;
+  size_t element_count_ = 0;
+
+  // Columns, clustered by (name, tid, left, right, depth, id, pid).
+  std::vector<int32_t> tid_, left_, right_, depth_, id_, pid_;
+  std::vector<Symbol> name_, value_;
+  std::vector<uint8_t> kind_;
+
+  // name symbol -> clustered run. Dense by symbol id.
+  std::vector<RowRange> runs_;
+
+  // Per-run permutations, concatenated in run order (same offsets as rows):
+  // by (tid, right, left) and by (tid, pid, left).
+  std::vector<Row> by_right_;
+  std::vector<Row> by_pid_;
+
+  // Global value index: attribute rows ordered by (value, tid, id), with a
+  // dense offset table per value symbol.
+  std::vector<Row> value_index_;
+  std::vector<uint32_t> value_offsets_;  // size = interner.end_id() + 1
+
+  // (tid, id) -> element row: per-tree base into elem_row_.
+  std::vector<uint32_t> tree_base_;  // size = tree_count_ + 1
+  std::vector<Row> elem_row_;        // size = total element count
+
+  // (tid, id) -> attribute rows: CSR over elements.
+  std::vector<uint32_t> attr_offsets_;  // size = element_count_ + 1
+  std::vector<Row> attr_rows_;
+};
+
+}  // namespace lpath
+
+#endif  // LPATHDB_STORAGE_RELATION_H_

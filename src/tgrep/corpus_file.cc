@@ -1,0 +1,275 @@
+#include "tgrep/corpus_file.h"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <set>
+
+namespace lpath {
+namespace tgrep {
+
+const std::vector<int32_t> TgrepCorpus::kEmptyIndex;
+
+namespace {
+
+constexpr char kMagic[4] = {'L', 'T', 'G', '2'};
+constexpr uint32_t kVersion = 1;
+
+/// Recursive conversion frame: copies one source node (and a word leaf for
+/// its @lex attribute) in document order.
+void Convert(const Tree& src, const Interner& src_interner, Symbol src_lex,
+             Interner* dst_interner, TgrepTree* out) {
+  const size_t n_elems = src.size();
+  out->parent.reserve(n_elems * 2);
+
+  auto add_node = [&](Symbol label, int32_t parent, bool word,
+                      int32_t elem_id) -> int32_t {
+    const int32_t id = static_cast<int32_t>(out->label.size());
+    out->parent.push_back(parent);
+    out->first_child.push_back(-1);
+    out->last_child.push_back(-1);
+    out->next_sibling.push_back(-1);
+    out->prev_sibling.push_back(-1);
+    out->label.push_back(label);
+    out->is_word.push_back(word ? 1 : 0);
+    out->left.push_back(0);
+    out->right.push_back(0);
+    out->elem_id.push_back(elem_id);
+    if (parent >= 0) {
+      if (out->last_child[parent] < 0) {
+        out->first_child[parent] = out->last_child[parent] = id;
+      } else {
+        const int32_t prev = out->last_child[parent];
+        out->next_sibling[prev] = id;
+        out->prev_sibling[id] = prev;
+        out->last_child[parent] = id;
+      }
+    }
+    return id;
+  };
+
+  // Iterative DFS over the source tree, copying in document order.
+  struct Frame {
+    NodeId src;
+    int32_t dst;
+  };
+  if (src.empty()) return;
+  std::vector<Frame> stack;
+  auto convert_node = [&](NodeId s, int32_t dst_parent) -> int32_t {
+    const Symbol label = dst_interner->Intern(src_interner.name(src.name(s)));
+    const int32_t dst = add_node(label, dst_parent, /*word=*/false, s + 1);
+    const Symbol word_val =
+        src_lex == kNoSymbol ? kNoSymbol : src.AttrValue(s, src_lex);
+    if (word_val != kNoSymbol) {
+      const Symbol word = dst_interner->Intern(src_interner.name(word_val));
+      add_node(word, dst, /*word=*/true, s + 1);
+    }
+    return dst;
+  };
+  const int32_t root = convert_node(src.root(), -1);
+  stack.push_back(Frame{src.first_child(src.root()), root});
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    if (f.src == kNoNode) {
+      stack.pop_back();
+      continue;
+    }
+    const NodeId s = f.src;
+    f.src = src.next_sibling(s);
+    const int32_t dst = convert_node(s, f.dst);
+    stack.push_back(Frame{src.first_child(s), dst});
+  }
+
+  // Terminal intervals: terminals are nodes without children (words, and
+  // childless elements). Pre-order forward pass assigns leaves; backward
+  // pass rolls spans up (children have larger pre-order ids).
+  int32_t next_leaf = 1;
+  const int32_t n = static_cast<int32_t>(out->label.size());
+  for (int32_t i = 0; i < n; ++i) {
+    if (out->first_child[i] < 0) {
+      out->left[i] = next_leaf;
+      out->right[i] = next_leaf + 1;
+      ++next_leaf;
+    }
+  }
+  for (int32_t i = n - 1; i >= 0; --i) {
+    if (out->first_child[i] < 0) continue;
+    out->left[i] = out->left[out->first_child[i]];
+    out->right[i] = out->right[out->last_child[i]];
+  }
+}
+
+template <typename T>
+void WritePod(std::ofstream& f, const T& v) {
+  f.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+void WriteVec(std::ofstream& f, const std::vector<T>& v) {
+  WritePod(f, static_cast<uint64_t>(v.size()));
+  f.write(reinterpret_cast<const char*>(v.data()),
+          static_cast<std::streamsize>(v.size() * sizeof(T)));
+}
+
+template <typename T>
+bool ReadPod(std::ifstream& f, T* v) {
+  f.read(reinterpret_cast<char*>(v), sizeof(T));
+  return f.good();
+}
+
+template <typename T>
+bool ReadVec(std::ifstream& f, std::vector<T>* v, uint64_t limit) {
+  uint64_t n = 0;
+  if (!ReadPod(f, &n) || n > limit) return false;
+  v->resize(n);
+  f.read(reinterpret_cast<char*>(v->data()),
+         static_cast<std::streamsize>(n * sizeof(T)));
+  return f.good() || (n == 0 && f.eof());
+}
+
+constexpr uint64_t kSizeLimit = 1ull << 33;  // 8G entries: sanity bound
+
+}  // namespace
+
+TgrepCorpus TgrepCorpus::Build(const Corpus& corpus) {
+  TgrepCorpus out;
+  const Symbol lex = corpus.interner().Lookup("@lex");
+  out.trees_.resize(corpus.size());
+  for (TreeId tid = 0; tid < static_cast<TreeId>(corpus.size()); ++tid) {
+    Convert(corpus.tree(tid), corpus.interner(), lex, &out.interner_,
+            &out.trees_[tid]);
+  }
+  out.BuildIndex();
+  return out;
+}
+
+void TgrepCorpus::BuildIndex() {
+  label_index_.assign(interner_.end_id(), {});
+  for (int32_t tid = 0; tid < static_cast<int32_t>(trees_.size()); ++tid) {
+    std::set<Symbol> seen;
+    for (Symbol s : trees_[tid].label) seen.insert(s);
+    for (Symbol s : seen) label_index_[s].push_back(tid);
+  }
+}
+
+const std::vector<int32_t>& TgrepCorpus::TreesWithLabel(Symbol label) const {
+  if (label == kNoSymbol || label >= label_index_.size()) return kEmptyIndex;
+  return label_index_[label];
+}
+
+Status TgrepCorpus::Save(const std::string& path) const {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) return Status::IOError("cannot open " + path);
+  f.write(kMagic, 4);
+  WritePod(f, kVersion);
+  // Dictionary.
+  WritePod(f, static_cast<uint64_t>(interner_.size()));
+  for (Symbol s = 1; s < interner_.end_id(); ++s) {
+    std::string_view name = interner_.name(s);
+    WritePod(f, static_cast<uint32_t>(name.size()));
+    f.write(name.data(), static_cast<std::streamsize>(name.size()));
+  }
+  // Trees.
+  WritePod(f, static_cast<uint64_t>(trees_.size()));
+  for (const TgrepTree& t : trees_) {
+    WriteVec(f, t.parent);
+    WriteVec(f, t.first_child);
+    WriteVec(f, t.last_child);
+    WriteVec(f, t.next_sibling);
+    WriteVec(f, t.prev_sibling);
+    WriteVec(f, t.label);
+    WriteVec(f, t.is_word);
+    WriteVec(f, t.left);
+    WriteVec(f, t.right);
+    WriteVec(f, t.elem_id);
+  }
+  if (!f) return Status::IOError("write failed for " + path);
+  return Status::OK();
+}
+
+Result<TgrepCorpus> TgrepCorpus::Load(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return Status::IOError("cannot open " + path);
+  char magic[4];
+  f.read(magic, 4);
+  if (!f || std::memcmp(magic, kMagic, 4) != 0) {
+    return Status::Corruption(path + ": not an LTG2 corpus image");
+  }
+  uint32_t version = 0;
+  if (!ReadPod(f, &version) || version != kVersion) {
+    return Status::Corruption(path + ": unsupported version");
+  }
+  TgrepCorpus out;
+  uint64_t dict = 0;
+  if (!ReadPod(f, &dict) || dict > kSizeLimit) {
+    return Status::Corruption(path + ": bad dictionary size");
+  }
+  for (uint64_t i = 0; i < dict; ++i) {
+    uint32_t len = 0;
+    if (!ReadPod(f, &len) || len > (1u << 20)) {
+      return Status::Corruption(path + ": bad symbol length");
+    }
+    std::string s(len, '\0');
+    f.read(s.data(), len);
+    if (!f) return Status::Corruption(path + ": truncated dictionary");
+    out.interner_.Intern(s);
+  }
+  uint64_t ntrees = 0;
+  if (!ReadPod(f, &ntrees) || ntrees > kSizeLimit) {
+    return Status::Corruption(path + ": bad tree count");
+  }
+  out.trees_.resize(ntrees);
+  for (TgrepTree& t : out.trees_) {
+    if (!ReadVec(f, &t.parent, kSizeLimit) ||
+        !ReadVec(f, &t.first_child, kSizeLimit) ||
+        !ReadVec(f, &t.last_child, kSizeLimit) ||
+        !ReadVec(f, &t.next_sibling, kSizeLimit) ||
+        !ReadVec(f, &t.prev_sibling, kSizeLimit) ||
+        !ReadVec(f, &t.label, kSizeLimit) ||
+        !ReadVec(f, &t.is_word, kSizeLimit) ||
+        !ReadVec(f, &t.left, kSizeLimit) ||
+        !ReadVec(f, &t.right, kSizeLimit) ||
+        !ReadVec(f, &t.elem_id, kSizeLimit)) {
+      return Status::Corruption(path + ": truncated tree data");
+    }
+  }
+  LPATH_RETURN_IF_ERROR(out.Validate());
+  out.BuildIndex();
+  return out;
+}
+
+Status TgrepCorpus::Validate() const {
+  for (size_t tid = 0; tid < trees_.size(); ++tid) {
+    const TgrepTree& t = trees_[tid];
+    const size_t n = t.size();
+    if (t.parent.size() != n || t.first_child.size() != n ||
+        t.last_child.size() != n || t.next_sibling.size() != n ||
+        t.prev_sibling.size() != n || t.is_word.size() != n ||
+        t.left.size() != n || t.right.size() != n || t.elem_id.size() != n) {
+      return Status::Corruption("tree " + std::to_string(tid) +
+                                ": column size mismatch");
+    }
+    for (size_t i = 0; i < n; ++i) {
+      if (t.label[i] == kNoSymbol || t.label[i] >= interner_.end_id()) {
+        return Status::Corruption("tree " + std::to_string(tid) +
+                                  ": label out of dictionary");
+      }
+      const int32_t links[] = {t.parent[i], t.first_child[i], t.last_child[i],
+                               t.next_sibling[i], t.prev_sibling[i]};
+      for (int32_t link : links) {
+        if (link < -1 || link >= static_cast<int32_t>(n)) {
+          return Status::Corruption("tree " + std::to_string(tid) +
+                                    ": link out of range");
+        }
+      }
+      if (t.left[i] >= t.right[i]) {
+        return Status::Corruption("tree " + std::to_string(tid) +
+                                  ": empty interval");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace tgrep
+}  // namespace lpath

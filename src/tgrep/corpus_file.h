@@ -1,0 +1,83 @@
+// TGrep2's preprocessed corpus: the tool compiles a treebank into a binary
+// corpus image with an index of the labels occurring in each tree, then
+// matches against that image. We reproduce both halves: TgrepCorpus is the
+// in-memory image (words are explicit leaf nodes, unlike the @lex-attribute
+// model used elsewhere), with Save/Load for the on-disk format.
+
+#ifndef LPATHDB_TGREP_CORPUS_FILE_H_
+#define LPATHDB_TGREP_CORPUS_FILE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/interner.h"
+#include "common/result.h"
+#include "tree/corpus.h"
+
+namespace lpath {
+namespace tgrep {
+
+/// One tree in TGrep2 form: elements plus word leaves, pre-order arrays,
+/// and terminal intervals (identical to the LPath labeling restricted to
+/// elements, so adjacency agrees across engines).
+struct TgrepTree {
+  std::vector<int32_t> parent;        // -1 for the root
+  std::vector<int32_t> first_child;   // -1 for terminals
+  std::vector<int32_t> last_child;
+  std::vector<int32_t> next_sibling;
+  std::vector<int32_t> prev_sibling;
+  std::vector<Symbol> label;          // tag symbol, or word symbol for words
+  std::vector<uint8_t> is_word;
+  std::vector<int32_t> left, right;   // terminal intervals
+  /// Original element id (1-based pre-order in the source Tree); for word
+  /// leaves, the id of the pre-terminal above them (so results map to the
+  /// same (tid, id) space as the other engines).
+  std::vector<int32_t> elem_id;
+
+  size_t size() const { return label.size(); }
+};
+
+/// The compiled corpus: trees + dictionary + per-label tree index.
+class TgrepCorpus {
+ public:
+  TgrepCorpus() = default;
+  TgrepCorpus(TgrepCorpus&&) = default;
+  TgrepCorpus& operator=(TgrepCorpus&&) = default;
+
+  /// Compiles from the shared tree model (@lex attributes become word
+  /// leaves). The corpus is self-contained afterwards.
+  static TgrepCorpus Build(const Corpus& corpus);
+
+  size_t size() const { return trees_.size(); }
+  const TgrepTree& tree(size_t i) const { return trees_[i]; }
+  const Interner& interner() const { return interner_; }
+
+  /// Trees whose label set contains `label` (tags and words alike) — the
+  /// index TGrep2 uses to skip trees. Sorted, unique.
+  const std::vector<int32_t>& TreesWithLabel(Symbol label) const;
+
+  /// Symbol lookup in this corpus's own dictionary.
+  Symbol Lookup(std::string_view s) const { return interner_.Lookup(s); }
+
+  /// Binary image I/O ("LTG2" format).
+  Status Save(const std::string& path) const;
+  static Result<TgrepCorpus> Load(const std::string& path);
+
+  /// Structural invariants (used after Load).
+  Status Validate() const;
+
+ private:
+  Interner interner_;
+  std::vector<TgrepTree> trees_;
+  // label symbol -> sorted tree ids.
+  std::vector<std::vector<int32_t>> label_index_;
+  static const std::vector<int32_t> kEmptyIndex;
+
+  void BuildIndex();
+};
+
+}  // namespace tgrep
+}  // namespace lpath
+
+#endif  // LPATHDB_TGREP_CORPUS_FILE_H_

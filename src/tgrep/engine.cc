@@ -1,0 +1,24 @@
+#include "tgrep/engine.h"
+
+#include "tgrep/parser.h"
+
+namespace lpath {
+namespace tgrep {
+
+Result<QueryResult> TGrep2Engine::Run(const std::string& query) const {
+  LPATH_ASSIGN_OR_RETURN(std::unique_ptr<Pattern> pattern,
+                         ParsePattern(query));
+  LPATH_ASSIGN_OR_RETURN(std::vector<Matcher::TreeMatches> matches,
+                         matcher_.Match(*pattern));
+  QueryResult out;
+  for (const Matcher::TreeMatches& m : matches) {
+    for (int32_t id : m.elem_ids) {
+      out.hits.push_back(Hit{m.tid, id});
+    }
+  }
+  out.Normalize();
+  return out;
+}
+
+}  // namespace tgrep
+}  // namespace lpath

@@ -1,0 +1,43 @@
+// TGrep2Engine: the QueryEngine facade over the TGrep2-style baseline.
+
+#ifndef LPATHDB_TGREP_ENGINE_H_
+#define LPATHDB_TGREP_ENGINE_H_
+
+#include <memory>
+#include <string>
+
+#include "lpath/engine.h"
+#include "tgrep/corpus_file.h"
+#include "tgrep/matcher.h"
+
+namespace lpath {
+namespace tgrep {
+
+/// Query engine speaking the TGrep2 pattern language. Results are distinct
+/// head nodes mapped into the shared (tid, id) space, so counts are directly
+/// comparable with the LPath engines when patterns are written head-out.
+class TGrep2Engine : public QueryEngine {
+ public:
+  /// Compiles the corpus into the binary-image form (what `tgrep2 -p` does).
+  explicit TGrep2Engine(const Corpus& corpus)
+      : corpus_(TgrepCorpus::Build(corpus)), matcher_(corpus_) {}
+
+  /// Adopts an already compiled (e.g. loaded) corpus image.
+  explicit TGrep2Engine(TgrepCorpus corpus)
+      : corpus_(std::move(corpus)), matcher_(corpus_) {}
+
+  std::string name() const override { return "TGrep2"; }
+
+  Result<QueryResult> Run(const std::string& query) const override;
+
+  const TgrepCorpus& corpus() const { return corpus_; }
+
+ private:
+  TgrepCorpus corpus_;
+  Matcher matcher_;
+};
+
+}  // namespace tgrep
+}  // namespace lpath
+
+#endif  // LPATHDB_TGREP_ENGINE_H_

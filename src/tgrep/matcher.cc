@@ -1,0 +1,359 @@
+#include "tgrep/matcher.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+
+namespace lpath {
+namespace tgrep {
+
+namespace {
+
+/// Per-tree match state: the tree, the shared dictionary, and the named
+/// bindings (with rollback on backtrack).
+class TreeMatcher {
+ public:
+  TreeMatcher(const TgrepTree& tree, const Interner& interner)
+      : t_(tree), interner_(interner) {}
+
+  /// Tries `pat` at `node` with a fresh binding environment.
+  bool MatchHead(int32_t node, const PatternNode& pat) {
+    trail_.clear();
+    return MatchNode(node, pat);
+  }
+
+ private:
+  /// Does `node` (with current bindings) satisfy `pat`? Bindings made
+  /// during a failed attempt are rolled back via the trail.
+  bool MatchNode(int32_t node, const PatternNode& pat) {
+    if (!SpecMatches(node, pat.spec)) return false;
+    const size_t mark = trail_.size();
+    if (!pat.spec.bind_name.empty()) {
+      trail_.emplace_back(pat.spec.bind_name, node);
+    }
+    bool ok = true;
+    if (pat.rels != nullptr) ok = MatchRels(node, *pat.rels);
+    if (!ok) trail_.resize(mark);
+    return ok;
+  }
+
+  /// Most-recent binding for a name (define-before-use, as in TGrep2).
+  const int32_t* LookupBinding(const std::string& name) const {
+    for (auto it = trail_.rbegin(); it != trail_.rend(); ++it) {
+      if (it->first == name) return &it->second;
+    }
+    return nullptr;
+  }
+
+  bool SpecMatches(int32_t node, const NodeSpec& spec) {
+    switch (spec.kind) {
+      case NodeSpec::Kind::kAny:
+        return true;
+      case NodeSpec::Kind::kLiteral: {
+        std::string_view label = interner_.name(t_.label[node]);
+        for (const std::string& alt : spec.alts) {
+          if (label == alt) return true;
+        }
+        return false;
+      }
+      case NodeSpec::Kind::kRegex: {
+        const std::string label(interner_.name(t_.label[node]));
+        return std::regex_search(label, *spec.regex);
+      }
+      case NodeSpec::Kind::kBackref: {
+        const int32_t* bound = LookupBinding(spec.backref);
+        return bound != nullptr && *bound == node;
+      }
+    }
+    return false;
+  }
+
+  bool MatchRels(int32_t node, const RelExpr& e) {
+    switch (e.kind) {
+      case RelExpr::Kind::kAnd:
+        return MatchRels(node, *e.lhs) && MatchRels(node, *e.rhs);
+      case RelExpr::Kind::kOr:
+        return MatchRels(node, *e.lhs) || MatchRels(node, *e.rhs);
+      case RelExpr::Kind::kRel: {
+        const bool found = ExistsTarget(node, e.rel);
+        return e.rel.negated ? !found : found;
+      }
+    }
+    return false;
+  }
+
+  /// Enumerates candidates for relation `rel` from `node` and tries the
+  /// target pattern on each.
+  bool ExistsTarget(int32_t a, const Relation& rel) {
+    const PatternNode& target = *rel.target;
+    auto try_node = [&](int32_t b) {
+      return b >= 0 && MatchNode(b, target);
+    };
+    const int32_t n = static_cast<int32_t>(t_.size());
+    switch (rel.op) {
+      case RelOp::kChild: {
+        for (int32_t c = t_.first_child[a]; c >= 0; c = t_.next_sibling[c]) {
+          if (try_node(c)) return true;
+        }
+        return false;
+      }
+      case RelOp::kParent:
+        return try_node(t_.parent[a]);
+      case RelOp::kDescendant: {
+        const int32_t end = SubtreeEnd(a);
+        for (int32_t d = a + 1; d < end; ++d) {
+          if (try_node(d)) return true;
+        }
+        return false;
+      }
+      case RelOp::kAncestor: {
+        for (int32_t p = t_.parent[a]; p >= 0; p = t_.parent[p]) {
+          if (try_node(p)) return true;
+        }
+        return false;
+      }
+      case RelOp::kNthChild:
+        return try_node(NthChild(a, rel.n));
+      case RelOp::kNthChildOf: {
+        const int32_t p = t_.parent[a];
+        if (p < 0 || NthChild(p, rel.n) != a) return false;
+        return try_node(p);
+      }
+      case RelOp::kFirstChild:
+        return try_node(t_.first_child[a]);
+      case RelOp::kLastChild:
+        return try_node(t_.last_child[a]);
+      case RelOp::kOnlyChild: {
+        const int32_t c = t_.first_child[a];
+        if (c < 0 || t_.next_sibling[c] >= 0) return false;
+        return try_node(c);
+      }
+      case RelOp::kIsFirstChildOf: {
+        const int32_t p = t_.parent[a];
+        if (p < 0 || t_.first_child[p] != a) return false;
+        return try_node(p);
+      }
+      case RelOp::kIsLastChildOf: {
+        const int32_t p = t_.parent[a];
+        if (p < 0 || t_.last_child[p] != a) return false;
+        return try_node(p);
+      }
+      case RelOp::kIsOnlyChildOf: {
+        const int32_t p = t_.parent[a];
+        if (p < 0 || t_.first_child[p] != a || t_.last_child[p] != a) {
+          return false;
+        }
+        return try_node(p);
+      }
+      case RelOp::kLeftmostDesc: {
+        for (int32_t c = t_.first_child[a]; c >= 0; c = t_.first_child[c]) {
+          if (try_node(c)) return true;
+        }
+        return false;
+      }
+      case RelOp::kRightmostDesc: {
+        for (int32_t c = t_.last_child[a]; c >= 0; c = t_.last_child[c]) {
+          if (try_node(c)) return true;
+        }
+        return false;
+      }
+      case RelOp::kIsLeftmostDescOf: {
+        // B is an ancestor of A with B.left == A.left.
+        for (int32_t p = t_.parent[a]; p >= 0; p = t_.parent[p]) {
+          if (t_.left[p] != t_.left[a]) break;
+          if (try_node(p)) return true;
+        }
+        return false;
+      }
+      case RelOp::kIsRightmostDescOf: {
+        for (int32_t p = t_.parent[a]; p >= 0; p = t_.parent[p]) {
+          if (t_.right[p] != t_.right[a]) break;
+          if (try_node(p)) return true;
+        }
+        return false;
+      }
+      case RelOp::kImmPrecedes: {
+        // B starts where A's terminals end. Pre-order ids are sorted by
+        // left, so the candidates form one contiguous id range.
+        for (int32_t b = FirstWithLeftGe(t_.right[a]);
+             b < n && t_.left[b] == t_.right[a]; ++b) {
+          if (try_node(b)) return true;
+        }
+        return false;
+      }
+      case RelOp::kImmFollows: {
+        for (int32_t b = FirstWithLeftGe(t_.left[a]) - 1; b >= 0; --b) {
+          if (t_.right[b] == t_.left[a] && try_node(b)) return true;
+        }
+        return false;
+      }
+      case RelOp::kPrecedes: {
+        for (int32_t b = FirstWithLeftGe(t_.right[a]); b < n; ++b) {
+          if (try_node(b)) return true;
+        }
+        return false;
+      }
+      case RelOp::kFollows: {
+        for (int32_t b = FirstWithLeftGe(t_.left[a]) - 1; b >= 0; --b) {
+          if (t_.right[b] <= t_.left[a] && try_node(b)) return true;
+        }
+        return false;
+      }
+      case RelOp::kSister: {
+        const int32_t p = t_.parent[a];
+        if (p < 0) return false;
+        for (int32_t s = t_.first_child[p]; s >= 0; s = t_.next_sibling[s]) {
+          if (s != a && try_node(s)) return true;
+        }
+        return false;
+      }
+      case RelOp::kSisterImmPrecedes:
+        return try_node(t_.next_sibling[a]);
+      case RelOp::kSisterImmFollows:
+        return try_node(t_.prev_sibling[a]);
+      case RelOp::kSisterPrecedes: {
+        for (int32_t s = t_.next_sibling[a]; s >= 0; s = t_.next_sibling[s]) {
+          if (try_node(s)) return true;
+        }
+        return false;
+      }
+      case RelOp::kSisterFollows: {
+        for (int32_t s = t_.prev_sibling[a]; s >= 0; s = t_.prev_sibling[s]) {
+          if (try_node(s)) return true;
+        }
+        return false;
+      }
+    }
+    return false;
+  }
+
+  int32_t NthChild(int32_t a, int n) const {
+    if (n > 0) {
+      int32_t c = t_.first_child[a];
+      for (int i = 1; c >= 0 && i < n; ++i) c = t_.next_sibling[c];
+      return c;
+    }
+    int32_t c = t_.last_child[a];
+    for (int i = -1; c >= 0 && i > n; --i) c = t_.prev_sibling[c];
+    return c;
+  }
+
+  int32_t SubtreeEnd(int32_t a) const {
+    int32_t cur = a;
+    for (;;) {
+      if (t_.next_sibling[cur] >= 0) return t_.next_sibling[cur];
+      cur = t_.parent[cur];
+      if (cur < 0) return static_cast<int32_t>(t_.size());
+    }
+  }
+
+  /// First pre-order id with left >= v (left is non-decreasing in id).
+  int32_t FirstWithLeftGe(int32_t v) const {
+    int32_t lo = 0, hi = static_cast<int32_t>(t_.size());
+    while (lo < hi) {
+      const int32_t mid = lo + (hi - lo) / 2;
+      if (t_.left[mid] < v) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+  const TgrepTree& t_;
+  const Interner& interner_;
+  std::vector<std::pair<std::string, int32_t>> trail_;
+};
+
+/// Collects literal labels that every match must contain (conjunctive,
+/// non-negated context only), to drive the tree-skipping index.
+void CollectRequiredLabels(const PatternNode& pat, bool negated,
+                           std::vector<std::string>* out);
+
+void CollectRequiredLabels(const RelExpr& e, bool negated,
+                           std::vector<std::string>* out) {
+  switch (e.kind) {
+    case RelExpr::Kind::kAnd:
+      CollectRequiredLabels(*e.lhs, negated, out);
+      CollectRequiredLabels(*e.rhs, negated, out);
+      return;
+    case RelExpr::Kind::kOr:
+      return;  // neither branch is individually required
+    case RelExpr::Kind::kRel:
+      CollectRequiredLabels(*e.rel.target, negated || e.rel.negated, out);
+      return;
+  }
+}
+
+void CollectRequiredLabels(const PatternNode& pat, bool negated,
+                           std::vector<std::string>* out) {
+  if (!negated && pat.spec.kind == NodeSpec::Kind::kLiteral &&
+      pat.spec.alts.size() == 1) {
+    out->push_back(pat.spec.alts[0]);
+  }
+  if (pat.rels != nullptr) CollectRequiredLabels(*pat.rels, negated, out);
+}
+
+}  // namespace
+
+Result<std::vector<Matcher::TreeMatches>> Matcher::Match(
+    const Pattern& pattern) const {
+  if (pattern.spec.kind == NodeSpec::Kind::kBackref) {
+    return Status::InvalidArgument("pattern head cannot be a back-reference");
+  }
+
+  // Candidate trees via the label index.
+  std::vector<std::string> required;
+  CollectRequiredLabels(pattern, /*negated=*/false, &required);
+  std::vector<int32_t> candidates;
+  bool restricted = false;
+  for (const std::string& label : required) {
+    const Symbol sym = corpus_.Lookup(label);
+    const std::vector<int32_t>& with =
+        sym == kNoSymbol ? std::vector<int32_t>{} : corpus_.TreesWithLabel(sym);
+    if (!restricted) {
+      candidates = with;
+      restricted = true;
+    } else {
+      std::vector<int32_t> merged;
+      std::set_intersection(candidates.begin(), candidates.end(), with.begin(),
+                            with.end(), std::back_inserter(merged));
+      candidates = std::move(merged);
+    }
+    if (sym == kNoSymbol) {
+      candidates.clear();
+      break;
+    }
+  }
+  if (!restricted) {
+    candidates.resize(corpus_.size());
+    for (size_t i = 0; i < corpus_.size(); ++i) {
+      candidates[i] = static_cast<int32_t>(i);
+    }
+  }
+  last_skipped_ = corpus_.size() - candidates.size();
+
+  std::vector<TreeMatches> out;
+  for (int32_t tid : candidates) {
+    const TgrepTree& tree = corpus_.tree(tid);
+    TreeMatcher tm(tree, corpus_.interner());
+    std::set<int32_t> ids;
+    for (int32_t node = 0; node < static_cast<int32_t>(tree.size()); ++node) {
+      if (tm.MatchHead(node, pattern)) {
+        ids.insert(tree.elem_id[node]);
+      }
+    }
+    if (!ids.empty()) {
+      TreeMatches m;
+      m.tid = tid;
+      m.elem_ids.assign(ids.begin(), ids.end());
+      out.push_back(std::move(m));
+    }
+  }
+  return out;
+}
+
+}  // namespace tgrep
+}  // namespace lpath

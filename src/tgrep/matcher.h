@@ -1,0 +1,44 @@
+// The TGrep2-style matcher: tree-at-a-time backtracking search with named
+// node bindings, using the per-label tree index to skip trees that cannot
+// contain required literals — the cost model Figures 7–9 measure for the
+// TGrep2 baseline.
+
+#ifndef LPATHDB_TGREP_MATCHER_H_
+#define LPATHDB_TGREP_MATCHER_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "tgrep/corpus_file.h"
+#include "tgrep/pattern.h"
+
+namespace lpath {
+namespace tgrep {
+
+/// Matches `pattern` against every tree; returns, per tree, the distinct
+/// matched *head* nodes mapped to their source element ids (1-based
+/// pre-order; word-leaf heads map to their pre-terminal).
+class Matcher {
+ public:
+  explicit Matcher(const TgrepCorpus& corpus) : corpus_(corpus) {}
+
+  struct TreeMatches {
+    int32_t tid = 0;
+    std::vector<int32_t> elem_ids;  // sorted, distinct
+  };
+
+  Result<std::vector<TreeMatches>> Match(const Pattern& pattern) const;
+
+  /// Number of trees the label index allowed the matcher to skip in the
+  /// last Match call (benchmark reporting).
+  size_t last_skipped_trees() const { return last_skipped_; }
+
+ private:
+  const TgrepCorpus& corpus_;
+  mutable size_t last_skipped_ = 0;
+};
+
+}  // namespace tgrep
+}  // namespace lpath
+
+#endif  // LPATHDB_TGREP_MATCHER_H_

@@ -1,0 +1,342 @@
+#include "tgrep/parser.h"
+
+#include <cctype>
+
+#include "common/str_util.h"
+
+namespace lpath {
+namespace tgrep {
+
+namespace {
+
+std::string_view RelOpToken(RelOp op) {
+  switch (op) {
+    case RelOp::kChild: return "<";
+    case RelOp::kParent: return ">";
+    case RelOp::kDescendant: return "<<";
+    case RelOp::kAncestor: return ">>";
+    case RelOp::kNthChild: return "<N";
+    case RelOp::kNthChildOf: return ">N";
+    case RelOp::kFirstChild: return "<,";
+    case RelOp::kLastChild: return "<-";
+    case RelOp::kOnlyChild: return "<:";
+    case RelOp::kIsFirstChildOf: return ">,";
+    case RelOp::kIsLastChildOf: return ">-";
+    case RelOp::kIsOnlyChildOf: return ">:";
+    case RelOp::kLeftmostDesc: return "<<,";
+    case RelOp::kRightmostDesc: return "<<-";
+    case RelOp::kIsLeftmostDescOf: return ">>,";
+    case RelOp::kIsRightmostDescOf: return ">>-";
+    case RelOp::kImmPrecedes: return ".";
+    case RelOp::kImmFollows: return ",";
+    case RelOp::kPrecedes: return "..";
+    case RelOp::kFollows: return ",,";
+    case RelOp::kSister: return "$";
+    case RelOp::kSisterImmPrecedes: return "$.";
+    case RelOp::kSisterImmFollows: return "$,";
+    case RelOp::kSisterPrecedes: return "$..";
+    case RelOp::kSisterFollows: return "$,,";
+  }
+  return "?";
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<std::unique_ptr<Pattern>> Parse() {
+    LPATH_ASSIGN_OR_RETURN(std::unique_ptr<PatternNode> node, ParseNode());
+    SkipWs();
+    if (pos_ != text_.size()) return Error("unexpected trailing input");
+    return node;
+  }
+
+ private:
+  char Peek(size_t ahead = 0) const {
+    return pos_ + ahead < text_.size() ? text_[pos_ + ahead] : '\0';
+  }
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  void SkipWs() {
+    while (!AtEnd() && std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+  bool Eat(std::string_view tok) {
+    if (text_.substr(pos_, tok.size()) == tok) {
+      pos_ += tok.size();
+      return true;
+    }
+    return false;
+  }
+  Status Error(const std::string& what) const {
+    return Status::InvalidArgument("TGrep2 parse error at offset " +
+                                   std::to_string(pos_) + ": " + what);
+  }
+
+  static bool IsSpecChar(char c) {
+    // Characters that may appear in an unquoted label token.
+    return !std::isspace(static_cast<unsigned char>(c)) && c != '(' &&
+           c != ')' && c != '[' && c != ']' && c != '<' && c != '>' &&
+           c != '.' && c != ',' && c != '$' && c != '!' && c != '&' &&
+           c != '=' && c != '/' && c != '"';
+  }
+
+  Result<NodeSpec> ParseSpec() {
+    SkipWs();
+    NodeSpec spec;
+    if (AtEnd()) return Error("expected node spec");
+    const char c = Peek();
+    if (c == '/') {
+      ++pos_;
+      size_t start = pos_;
+      while (!AtEnd() && Peek() != '/') ++pos_;
+      if (AtEnd()) return Error("unterminated regex");
+      spec.kind = NodeSpec::Kind::kRegex;
+      spec.regex_text = std::string(text_.substr(start, pos_ - start));
+      ++pos_;
+      try {
+        spec.regex = std::make_shared<std::regex>(spec.regex_text,
+                                                  std::regex::extended);
+      } catch (const std::regex_error&) {
+        return Error("invalid regex /" + spec.regex_text + "/");
+      }
+    } else if (c == '"') {
+      ++pos_;
+      size_t start = pos_;
+      while (!AtEnd() && Peek() != '"') ++pos_;
+      if (AtEnd()) return Error("unterminated quoted label");
+      spec.kind = NodeSpec::Kind::kLiteral;
+      spec.alts.push_back(std::string(text_.substr(start, pos_ - start)));
+      ++pos_;
+    } else if (c == '=') {
+      ++pos_;
+      size_t start = pos_;
+      while (!AtEnd() && (std::isalnum(static_cast<unsigned char>(Peek())) ||
+                          Peek() == '_')) {
+        ++pos_;
+      }
+      if (pos_ == start) return Error("expected name after '='");
+      spec.kind = NodeSpec::Kind::kBackref;
+      spec.backref = std::string(text_.substr(start, pos_ - start));
+      return spec;  // back-references take no bind suffix
+    } else if (IsSpecChar(c) || c == '|') {
+      size_t start = pos_;
+      while (!AtEnd() && (IsSpecChar(Peek()) || Peek() == '|')) ++pos_;
+      std::string token(text_.substr(start, pos_ - start));
+      if (token == "__" || token == "*") {
+        spec.kind = NodeSpec::Kind::kAny;
+      } else {
+        spec.kind = NodeSpec::Kind::kLiteral;
+        for (std::string_view alt : Split(token, '|')) {
+          if (alt.empty()) return Error("empty alternative in " + token);
+          spec.alts.push_back(std::string(alt));
+        }
+      }
+    } else {
+      return Error(std::string("unexpected character '") + c + "'");
+    }
+    // Optional binding suffix "=name".
+    if (Peek() == '=') {
+      ++pos_;
+      size_t start = pos_;
+      while (!AtEnd() && (std::isalnum(static_cast<unsigned char>(Peek())) ||
+                          Peek() == '_')) {
+        ++pos_;
+      }
+      if (pos_ == start) return Error("expected name after '='");
+      spec.bind_name = std::string(text_.substr(start, pos_ - start));
+    }
+    return spec;
+  }
+
+  /// Longest-match relation operator; fails without consuming when the
+  /// input does not start a relation.
+  bool TryParseRelOp(RelOp* op, int* n) {
+    SkipWs();
+    struct Entry {
+      std::string_view tok;
+      RelOp op;
+    };
+    // Longest first within each family.
+    static constexpr Entry kOps[] = {
+        {"<<,", RelOp::kLeftmostDesc},  {"<<-", RelOp::kRightmostDesc},
+        {"<<", RelOp::kDescendant},     {"<,", RelOp::kFirstChild},
+        {"<:", RelOp::kOnlyChild},      {">>,", RelOp::kIsLeftmostDescOf},
+        {">>-", RelOp::kIsRightmostDescOf}, {">>", RelOp::kAncestor},
+        {">,", RelOp::kIsFirstChildOf}, {">:", RelOp::kIsOnlyChildOf},
+        {"$..", RelOp::kSisterPrecedes}, {"$,,", RelOp::kSisterFollows},
+        {"$.", RelOp::kSisterImmPrecedes}, {"$,", RelOp::kSisterImmFollows},
+        {"$", RelOp::kSister},          {"..", RelOp::kPrecedes},
+        {",,", RelOp::kFollows},        {".", RelOp::kImmPrecedes},
+        {",", RelOp::kImmFollows},
+    };
+    // "<-" may be kLastChild or <-N (Nth from the right).
+    const size_t save = pos_;
+    if (Eat("<-")) {
+      if (std::isdigit(static_cast<unsigned char>(Peek()))) {
+        *op = RelOp::kNthChild;
+        *n = -ParseDigits();
+      } else {
+        *op = RelOp::kLastChild;
+      }
+      return true;
+    }
+    if (Eat(">-")) {
+      if (std::isdigit(static_cast<unsigned char>(Peek()))) {
+        *op = RelOp::kNthChildOf;
+        *n = -ParseDigits();
+      } else {
+        *op = RelOp::kIsLastChildOf;
+      }
+      return true;
+    }
+    for (const Entry& e : kOps) {
+      if (Eat(e.tok)) {
+        *op = e.op;
+        return true;
+      }
+    }
+    if (Eat("<")) {
+      if (std::isdigit(static_cast<unsigned char>(Peek()))) {
+        *op = RelOp::kNthChild;
+        *n = ParseDigits();
+      } else {
+        *op = RelOp::kChild;
+      }
+      return true;
+    }
+    if (Eat(">")) {
+      if (std::isdigit(static_cast<unsigned char>(Peek()))) {
+        *op = RelOp::kNthChildOf;
+        *n = ParseDigits();
+      } else {
+        *op = RelOp::kParent;
+      }
+      return true;
+    }
+    pos_ = save;
+    return false;
+  }
+
+  int ParseDigits() {
+    int v = 0;
+    while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+      v = v * 10 + (Peek() - '0');
+      ++pos_;
+    }
+    return v;
+  }
+
+  /// relation target: a spec, or a parenthesized pattern node.
+  Result<std::unique_ptr<PatternNode>> ParseTarget() {
+    SkipWs();
+    if (Peek() == '(') {
+      ++pos_;
+      LPATH_ASSIGN_OR_RETURN(std::unique_ptr<PatternNode> node, ParseNode());
+      SkipWs();
+      if (!Eat(")")) return Error("expected ')'");
+      return node;
+    }
+    auto node = std::make_unique<PatternNode>();
+    LPATH_ASSIGN_OR_RETURN(node->spec, ParseSpec());
+    return node;
+  }
+
+  Result<Relation> ParseRelation() {
+    SkipWs();
+    Relation rel;
+    if (Eat("!")) rel.negated = true;
+    SkipWs();
+    if (!TryParseRelOp(&rel.op, &rel.n)) {
+      return Error("expected relation operator");
+    }
+    if ((rel.op == RelOp::kNthChild || rel.op == RelOp::kNthChildOf) &&
+        rel.n == 0) {
+      return Error("child ordinal must be nonzero");
+    }
+    LPATH_ASSIGN_OR_RETURN(rel.target, ParseTarget());
+    return rel;
+  }
+
+  /// True if a relation (or bracketed group / negation) starts here.
+  bool AtRelStart() {
+    SkipWs();
+    const char c = Peek();
+    return c == '<' || c == '>' || c == '.' || c == ',' || c == '$' ||
+           c == '!' || c == '[';
+  }
+
+  Result<std::unique_ptr<RelExpr>> ParseRelUnary() {
+    SkipWs();
+    if (Peek() == '[') {
+      ++pos_;
+      LPATH_ASSIGN_OR_RETURN(std::unique_ptr<RelExpr> inner, ParseRelOr());
+      SkipWs();
+      if (!Eat("]")) return Error("expected ']'");
+      return inner;
+    }
+    if (Peek() == '!' && Peek(1) == '[') {
+      return Status::NotSupported(
+          "![...] groups are not supported; negate individual relations");
+    }
+    auto node = std::make_unique<RelExpr>(RelExpr::Kind::kRel);
+    LPATH_ASSIGN_OR_RETURN(node->rel, ParseRelation());
+    return node;
+  }
+
+  Result<std::unique_ptr<RelExpr>> ParseRelAnd() {
+    LPATH_ASSIGN_OR_RETURN(std::unique_ptr<RelExpr> lhs, ParseRelUnary());
+    for (;;) {
+      SkipWs();
+      const bool amp = Peek() == '&';
+      if (amp) ++pos_;
+      if (!amp && !AtRelStart()) return lhs;
+      if (!amp && Peek() == '|') return lhs;
+      // implicit & between consecutive relations
+      LPATH_ASSIGN_OR_RETURN(std::unique_ptr<RelExpr> rhs, ParseRelUnary());
+      auto node = std::make_unique<RelExpr>(RelExpr::Kind::kAnd);
+      node->lhs = std::move(lhs);
+      node->rhs = std::move(rhs);
+      lhs = std::move(node);
+    }
+  }
+
+  Result<std::unique_ptr<RelExpr>> ParseRelOr() {
+    LPATH_ASSIGN_OR_RETURN(std::unique_ptr<RelExpr> lhs, ParseRelAnd());
+    for (;;) {
+      SkipWs();
+      if (Peek() != '|') return lhs;
+      ++pos_;
+      LPATH_ASSIGN_OR_RETURN(std::unique_ptr<RelExpr> rhs, ParseRelAnd());
+      auto node = std::make_unique<RelExpr>(RelExpr::Kind::kOr);
+      node->lhs = std::move(lhs);
+      node->rhs = std::move(rhs);
+      lhs = std::move(node);
+    }
+  }
+
+  Result<std::unique_ptr<PatternNode>> ParseNode() {
+    auto node = std::make_unique<PatternNode>();
+    LPATH_ASSIGN_OR_RETURN(node->spec, ParseSpec());
+    SkipWs();
+    if (AtRelStart()) {
+      LPATH_ASSIGN_OR_RETURN(node->rels, ParseRelOr());
+    }
+    return node;
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string_view RelOpName(RelOp op) { return RelOpToken(op); }
+
+Result<std::unique_ptr<Pattern>> ParsePattern(std::string_view text) {
+  Parser parser(text);
+  return parser.Parse();
+}
+
+}  // namespace tgrep
+}  // namespace lpath

@@ -1,0 +1,21 @@
+// Parser for the TGrep2-style pattern language (see tgrep/pattern.h).
+
+#ifndef LPATHDB_TGREP_PARSER_H_
+#define LPATHDB_TGREP_PARSER_H_
+
+#include <memory>
+#include <string_view>
+
+#include "common/result.h"
+#include "tgrep/pattern.h"
+
+namespace lpath {
+namespace tgrep {
+
+/// Parses one pattern. Errors carry byte offsets.
+Result<std::unique_ptr<Pattern>> ParsePattern(std::string_view text);
+
+}  // namespace tgrep
+}  // namespace lpath
+
+#endif  // LPATHDB_TGREP_PARSER_H_

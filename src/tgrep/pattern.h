@@ -1,0 +1,115 @@
+// TGrep2-style pattern language (Rohde's tool, one of the paper's two
+// baselines). Patterns are node specs linked by relations:
+//
+//   node spec:  NP | NP|PP (alternation) | /regex/ | __ (any) | "saw" (word)
+//               optionally suffixed =name (binding); =name alone is a
+//               back-reference to a bound node
+//   relations:  A < B   B is a child of A          A > B   mirror
+//               A << B  B is a descendant of A     A >> B  mirror
+//               A <N B  B is the Nth child (negative: from the right)
+//               A >N B  A is the Nth child of B
+//               A <, B / A <- B / A <: B   first / last / only child
+//               A >, B / A >- B / A >: B   mirrors
+//               A <<, B / A <<- B   B is the left/rightmost descendant of A
+//               A >>, B / A >>- B   mirrors
+//               A . B   A immediately precedes B (terminal adjacency — the
+//                       same relation as LPath's immediate-following)
+//               A , B   A immediately follows B
+//               A .. B / A ,, B   precedes / follows
+//               A $ B   sisters;  A $. B / A $, B  adjacent sisters;
+//               A $.. B / A $,, B  preceding / following sisters
+//   boolean:    ! negates a relation; [ ... ] groups; & (implicit) and |
+//   operands:   a relation's target may be a parenthesized pattern with its
+//               own relations: NP . (PP << (IN < of))
+
+#ifndef LPATHDB_TGREP_PATTERN_H_
+#define LPATHDB_TGREP_PATTERN_H_
+
+#include <memory>
+#include <regex>
+#include <string>
+#include <vector>
+
+namespace lpath {
+namespace tgrep {
+
+/// How a pattern node matches a corpus node's label.
+struct NodeSpec {
+  enum class Kind {
+    kAny,       // __
+    kLiteral,   // tag or word; `alts` holds the |-alternatives
+    kRegex,     // /…/
+    kBackref,   // =name
+  };
+  Kind kind = Kind::kAny;
+  std::vector<std::string> alts;  // kLiteral
+  std::string regex_text;         // kRegex (source, for printing)
+  std::shared_ptr<std::regex> regex;  // compiled
+  std::string backref;            // kBackref
+  std::string bind_name;          // "=name" suffix; empty = unbound
+};
+
+enum class RelOp {
+  kChild,             // <
+  kParent,            // >
+  kDescendant,        // <<
+  kAncestor,          // >>
+  kNthChild,          // <N  (n != 0; negative from the right)
+  kNthChildOf,        // >N
+  kFirstChild,        // <,
+  kLastChild,         // <-
+  kOnlyChild,         // <:
+  kIsFirstChildOf,    // >,
+  kIsLastChildOf,     // >-
+  kIsOnlyChildOf,     // >:
+  kLeftmostDesc,      // <<,
+  kRightmostDesc,     // <<-
+  kIsLeftmostDescOf,  // >>,
+  kIsRightmostDescOf, // >>-
+  kImmPrecedes,       // .
+  kImmFollows,        // ,
+  kPrecedes,          // ..
+  kFollows,           // ,,
+  kSister,            // $
+  kSisterImmPrecedes, // $.
+  kSisterImmFollows,  // $,
+  kSisterPrecedes,    // $..
+  kSisterFollows,     // $,,
+};
+
+std::string_view RelOpName(RelOp op);
+
+struct PatternNode;
+struct RelExpr;
+
+/// One relation: op + target pattern (which may have its own relations).
+struct Relation {
+  RelOp op = RelOp::kChild;
+  int n = 0;  // kNthChild / kNthChildOf
+  bool negated = false;
+  std::unique_ptr<PatternNode> target;
+};
+
+/// Boolean structure over relations: & binds tighter than |.
+struct RelExpr {
+  enum class Kind { kAnd, kOr, kRel };
+  Kind kind = Kind::kRel;
+  std::unique_ptr<RelExpr> lhs, rhs;
+  Relation rel;  // kRel
+
+  explicit RelExpr(Kind k) : kind(k) {}
+};
+
+/// A pattern node: spec + optional relation expression.
+struct PatternNode {
+  NodeSpec spec;
+  std::unique_ptr<RelExpr> rels;  // may be null
+};
+
+/// A complete pattern (the head node; matches are counted per distinct head).
+using Pattern = PatternNode;
+
+}  // namespace tgrep
+}  // namespace lpath
+
+#endif  // LPATHDB_TGREP_PATTERN_H_

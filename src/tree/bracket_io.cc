@@ -1,0 +1,244 @@
+#include "tree/bracket_io.h"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace lpath {
+
+namespace {
+
+constexpr std::string_view kLexAttr = "@lex";
+constexpr std::string_view kSyntheticRoot = "TOP";
+
+bool IsAtomChar(char c) {
+  return !std::isspace(static_cast<unsigned char>(c)) && c != '(' && c != ')';
+}
+
+void SkipWhitespace(std::string_view text, size_t* pos) {
+  while (*pos < text.size() &&
+         std::isspace(static_cast<unsigned char>(text[*pos]))) {
+    ++*pos;
+  }
+}
+
+Status ErrorAt(size_t pos, const std::string& what) {
+  return Status::InvalidArgument("bracket parse error at byte " +
+                                 std::to_string(pos) + ": " + what);
+}
+
+// Recursive-descent over "(TAG child...)" with an explicit frame stack so
+// that arbitrarily deep input cannot overflow the C stack.
+struct Frame {
+  NodeId node;
+  size_t open_pos;   // position of '(' for error messages
+  int word_children = 0;
+  int group_children = 0;
+  Symbol pending_word = kNoSymbol;  // word seen under this node, if any
+};
+
+}  // namespace
+
+Result<Tree> ParseBracketTree(std::string_view text, Interner* interner,
+                              size_t* pos) {
+  SkipWhitespace(text, pos);
+  if (*pos >= text.size()) {
+    return Status::NotFound("end of input");
+  }
+  if (text[*pos] != '(') {
+    return ErrorAt(*pos, "expected '('");
+  }
+
+  const Symbol lex = interner->Intern(kLexAttr);
+  Tree tree;
+  std::vector<Frame> stack;
+  // The outer unlabeled wrapper, if present, is handled by treating a group
+  // with an empty tag specially: if it ends up with exactly one group child
+  // and no words, it is unwrapped; otherwise it becomes a TOP node.
+  // We parse into a temporary "super-root" frame to allow both shapes.
+  bool has_wrapper = false;
+
+  auto open_group = [&](size_t open_pos) -> Status {
+    ++*pos;  // consume '('
+    SkipWhitespace(text, pos);
+    // Read optional tag.
+    size_t start = *pos;
+    while (*pos < text.size() && IsAtomChar(text[*pos])) ++*pos;
+    std::string_view tag = text.substr(start, *pos - start);
+    if (tag.empty()) {
+      // Unlabeled group: legal only as the outermost wrapper.
+      if (!stack.empty()) {
+        return ErrorAt(open_pos, "unlabeled group inside a tree");
+      }
+      has_wrapper = true;
+      Frame f;
+      f.node = tree.AddRoot(interner->Intern(kSyntheticRoot));
+      f.open_pos = open_pos;
+      stack.push_back(f);
+      return Status::OK();
+    }
+    Frame f;
+    f.open_pos = open_pos;
+    Symbol name = interner->Intern(tag);
+    if (stack.empty()) {
+      f.node = tree.AddRoot(name);
+    } else {
+      stack.back().group_children += 1;
+      f.node = tree.AddChild(stack.back().node, name);
+    }
+    stack.push_back(f);
+    return Status::OK();
+  };
+
+  LPATH_RETURN_IF_ERROR(open_group(*pos));
+
+  while (!stack.empty()) {
+    SkipWhitespace(text, pos);
+    if (*pos >= text.size()) {
+      return ErrorAt(stack.back().open_pos, "unterminated group");
+    }
+    char c = text[*pos];
+    if (c == '(') {
+      LPATH_RETURN_IF_ERROR(open_group(*pos));
+    } else if (c == ')') {
+      Frame f = stack.back();
+      stack.pop_back();
+      ++*pos;
+      if (f.word_children > 1) {
+        return ErrorAt(f.open_pos, "node has multiple word children");
+      }
+      if (f.word_children == 1 && f.group_children > 0) {
+        return ErrorAt(f.open_pos, "node mixes word and group children");
+      }
+      if (f.word_children == 1) {
+        // Attach the word as @lex. The node must be the most recently added
+        // node — true because a word-bearing node has no group children.
+        tree.AddAttr(f.node, lex, f.pending_word);
+      }
+    } else {
+      // Word atom.
+      size_t start = *pos;
+      while (*pos < text.size() && IsAtomChar(text[*pos])) ++*pos;
+      if (stack.empty()) break;
+      stack.back().word_children += 1;
+      stack.back().pending_word =
+          interner->Intern(text.substr(start, *pos - start));
+    }
+  }
+
+  if (!has_wrapper) return tree;
+
+  // Unwrap "( (S ...) )": wrapper with exactly one child. Rebuild without
+  // the synthetic root by re-parsing the single child region — cheaper and
+  // simpler: copy the subtree.
+  if (tree.ChildCount(tree.root()) == 1) {
+    Tree inner;
+    // Copy subtree rooted at the single child.
+    NodeId src_root = tree.first_child(tree.root());
+    NodeId dst_root = inner.AddRoot(tree.name(src_root));
+    for (int i = 0; i < tree.attr_count(src_root); ++i) {
+      inner.AddAttr(dst_root, tree.attrs(src_root)[i].name,
+                    tree.attrs(src_root)[i].value);
+    }
+    // Iterative pre-order copy: children are visited in order via an
+    // explicit "next child" cursor per frame.
+    std::vector<std::pair<NodeId, NodeId>> frames;  // (src child cursor, dst)
+    frames.emplace_back(tree.first_child(src_root), dst_root);
+    while (!frames.empty()) {
+      auto& [cursor, dst] = frames.back();
+      if (cursor == kNoNode) {
+        frames.pop_back();
+        continue;
+      }
+      NodeId src_child = cursor;
+      cursor = tree.next_sibling(cursor);
+      NodeId dst_child = inner.AddChild(dst, tree.name(src_child));
+      for (int i = 0; i < tree.attr_count(src_child); ++i) {
+        inner.AddAttr(dst_child, tree.attrs(src_child)[i].name,
+                      tree.attrs(src_child)[i].value);
+      }
+      frames.emplace_back(tree.first_child(src_child), dst_child);
+    }
+    return inner;
+  }
+  return tree;  // Wrapper kept as TOP (multiple children).
+}
+
+Status ParseBracketText(std::string_view text, Corpus* corpus) {
+  size_t pos = 0;
+  for (;;) {
+    Result<Tree> tree = ParseBracketTree(text, corpus->mutable_interner(), &pos);
+    if (!tree.ok()) {
+      if (tree.status().IsNotFound()) return Status::OK();  // clean EOF
+      return tree.status();
+    }
+    corpus->Add(std::move(tree).value());
+  }
+}
+
+namespace {
+
+void WriteSubtree(const Tree& tree, const Interner& interner, Symbol lex,
+                  NodeId node, std::string* out) {
+  out->push_back('(');
+  out->append(interner.name(tree.name(node)));
+  Symbol word = lex == kNoSymbol ? kNoSymbol : tree.AttrValue(node, lex);
+  if (word != kNoSymbol) {
+    out->push_back(' ');
+    out->append(interner.name(word));
+  }
+  for (NodeId c = tree.first_child(node); c != kNoNode;
+       c = tree.next_sibling(c)) {
+    out->push_back(' ');
+    WriteSubtree(tree, interner, lex, c, out);
+  }
+  out->push_back(')');
+}
+
+}  // namespace
+
+void WriteBracketTree(const Tree& tree, const Interner& interner,
+                      std::string* out) {
+  if (tree.empty()) return;
+  WriteSubtree(tree, interner, interner.Lookup("@lex"), tree.root(), out);
+}
+
+std::string WriteBracketCorpus(const Corpus& corpus) {
+  std::string out;
+  for (TreeId tid = 0; tid < static_cast<TreeId>(corpus.size()); ++tid) {
+    WriteBracketTree(corpus.tree(tid), corpus.interner(), &out);
+    out.push_back('\n');
+  }
+  return out;
+}
+
+size_t BracketCorpusSize(const Corpus& corpus) {
+  // One reusable buffer keeps allocation cost flat.
+  size_t total = 0;
+  std::string buf;
+  for (TreeId tid = 0; tid < static_cast<TreeId>(corpus.size()); ++tid) {
+    buf.clear();
+    WriteBracketTree(corpus.tree(tid), corpus.interner(), &buf);
+    total += buf.size() + 1;  // newline
+  }
+  return total;
+}
+
+Status LoadBracketFile(const std::string& path, Corpus* corpus) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ParseBracketText(ss.str(), corpus);
+}
+
+Status SaveBracketFile(const Corpus& corpus, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open " + path);
+  out << WriteBracketCorpus(corpus);
+  if (!out) return Status::IOError("write failed for " + path);
+  return Status::OK();
+}
+
+}  // namespace lpath

@@ -1,0 +1,50 @@
+// Penn Treebank bracketed format:  ( (S (NP-SBJ (DT The) (NN dog)) ...) )
+//
+// The parser accepts the usual Treebank conventions:
+//   - a file is a sequence of trees;
+//   - a tree may be wrapped in an unlabeled outer group "( ... )";
+//   - a pre-terminal is "(TAG word)"; the word becomes the @lex attribute;
+//   - atoms may contain any characters except whitespace and parentheses.
+//
+// The writer emits one tree per line; it is the exact inverse of the parser
+// for trees whose only attributes are @lex (round-trip tested).
+
+#ifndef LPATHDB_TREE_BRACKET_IO_H_
+#define LPATHDB_TREE_BRACKET_IO_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "tree/corpus.h"
+
+namespace lpath {
+
+/// Parses every tree in `text`, appending them to `corpus`.
+/// On error, reports the byte offset of the problem.
+Status ParseBracketText(std::string_view text, Corpus* corpus);
+
+/// Parses exactly one tree starting at *pos (skipping leading whitespace);
+/// advances *pos past it. Returns NotFound at end of input.
+Result<Tree> ParseBracketTree(std::string_view text, Interner* interner,
+                              size_t* pos);
+
+/// Appends the bracketed form of `tree` to `out` (no trailing newline).
+void WriteBracketTree(const Tree& tree, const Interner& interner,
+                      std::string* out);
+
+/// Bracketed form of a whole corpus, one tree per line. This is the
+/// "uncompressed ASCII representation" whose size Figure 6(a) reports.
+std::string WriteBracketCorpus(const Corpus& corpus);
+
+/// Size in bytes of WriteBracketCorpus(corpus) without materializing it.
+size_t BracketCorpusSize(const Corpus& corpus);
+
+/// File convenience wrappers.
+Status LoadBracketFile(const std::string& path, Corpus* corpus);
+Status SaveBracketFile(const Corpus& corpus, const std::string& path);
+
+}  // namespace lpath
+
+#endif  // LPATHDB_TREE_BRACKET_IO_H_

@@ -1,0 +1,36 @@
+#include "tree/corpus.h"
+
+namespace lpath {
+
+TreeId Corpus::Add(Tree tree) {
+  trees_.push_back(std::move(tree));
+  return static_cast<TreeId>(trees_.size() - 1);
+}
+
+size_t Corpus::TotalNodes() const {
+  size_t total = 0;
+  for (const Tree& t : trees_) total += t.size();
+  return total;
+}
+
+void Corpus::ReplicateTo(int factor) {
+  const size_t original = trees_.size();
+  for (int copy = 1; copy < factor; ++copy) {
+    for (size_t i = 0; i < original; ++i) {
+      trees_.push_back(trees_[i]);  // Tree is copyable (vectors of PODs).
+    }
+  }
+}
+
+void Corpus::Truncate(size_t n) {
+  if (n < trees_.size()) trees_.resize(n);
+}
+
+Status Corpus::Validate() const {
+  for (const Tree& t : trees_) {
+    LPATH_RETURN_IF_ERROR(t.Validate());
+  }
+  return Status::OK();
+}
+
+}  // namespace lpath

@@ -1,0 +1,63 @@
+#include "tree/stats.h"
+
+#include <algorithm>
+
+#include "tree/bracket_io.h"
+
+namespace lpath {
+
+std::vector<std::pair<std::string, size_t>> CorpusStats::TopTags(
+    size_t k) const {
+  std::vector<std::pair<std::string, size_t>> out;
+  for (size_t i = 0; i < tag_frequencies.size() && i < k; ++i) {
+    out.push_back(tag_frequencies[i]);
+  }
+  return out;
+}
+
+CorpusStats ComputeStats(const Corpus& corpus, bool include_file_size) {
+  CorpusStats stats;
+  stats.tree_count = corpus.size();
+
+  const Interner& interner = corpus.interner();
+  std::vector<size_t> freq(interner.end_id(), 0);
+  const Symbol lex = interner.Lookup("@lex");
+
+  for (TreeId tid = 0; tid < static_cast<TreeId>(corpus.size()); ++tid) {
+    const Tree& t = corpus.tree(tid);
+    stats.node_count += t.size();
+    // Depth via one pass: depth[i] = depth[parent]+1, ids are pre-order.
+    std::vector<int> depth(t.size());
+    for (NodeId id = 0; id < static_cast<NodeId>(t.size()); ++id) {
+      depth[id] = t.parent(id) == kNoNode ? 1 : depth[t.parent(id)] + 1;
+      stats.max_depth = std::max(stats.max_depth, depth[id]);
+      freq[t.name(id)] += 1;
+      if (lex != kNoSymbol && t.AttrValue(id, lex) != kNoSymbol) {
+        stats.word_count += 1;
+      }
+    }
+  }
+
+  for (Symbol s = 1; s < interner.end_id(); ++s) {
+    if (freq[s] == 0) continue;
+    std::string_view name = interner.name(s);
+    if (!name.empty() && name[0] == '@') continue;  // attribute names
+    stats.tag_frequencies.emplace_back(std::string(name), freq[s]);
+  }
+  std::sort(stats.tag_frequencies.begin(), stats.tag_frequencies.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second != b.second) return a.second > b.second;
+              return a.first < b.first;
+            });
+  stats.unique_tags = stats.tag_frequencies.size();
+  stats.avg_tree_nodes =
+      stats.tree_count == 0
+          ? 0.0
+          : static_cast<double>(stats.node_count) / stats.tree_count;
+  if (include_file_size) {
+    stats.file_size_bytes = BracketCorpusSize(corpus);
+  }
+  return stats;
+}
+
+}  // namespace lpath

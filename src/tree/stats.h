@@ -1,0 +1,41 @@
+// Corpus statistics — the numbers reported in Figure 6(a) (file size, node
+// count, unique tags, maximum depth) and Figure 6(b) (top-10 tag frequency).
+
+#ifndef LPATHDB_TREE_STATS_H_
+#define LPATHDB_TREE_STATS_H_
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tree/corpus.h"
+
+namespace lpath {
+
+/// Aggregate characteristics of a corpus.
+struct CorpusStats {
+  size_t file_size_bytes = 0;  ///< Bracketed-ASCII size (Fig. 6a "File Size").
+  size_t tree_count = 0;
+  size_t node_count = 0;  ///< Element nodes ("Tree Nodes" in Fig. 6a counts
+                          ///< every node of the annotation tree).
+  size_t word_count = 0;  ///< Terminals (@lex-bearing nodes).
+  size_t unique_tags = 0;
+  int max_depth = 0;
+  double avg_tree_nodes = 0.0;
+
+  /// All tags with their element-node frequencies, descending.
+  std::vector<std::pair<std::string, size_t>> tag_frequencies;
+
+  /// First `k` rows of tag_frequencies.
+  std::vector<std::pair<std::string, size_t>> TopTags(size_t k) const;
+};
+
+/// Computes statistics in one pass over the corpus (plus a serialization
+/// pass for file_size_bytes when `include_file_size` is set — that pass is
+/// the expensive one, so benchmarks can skip it).
+CorpusStats ComputeStats(const Corpus& corpus, bool include_file_size = true);
+
+}  // namespace lpath
+
+#endif  // LPATHDB_TREE_STATS_H_

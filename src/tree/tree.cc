@@ -1,0 +1,129 @@
+#include "tree/tree.h"
+
+#include <cassert>
+#include <string>
+
+namespace lpath {
+
+NodeId Tree::AddRoot(Symbol name) {
+  assert(nodes_.empty());
+  TreeNode n;
+  n.name = name;
+  n.attr_begin = static_cast<int32_t>(attrs_.size());
+  nodes_.push_back(n);
+  return 0;
+}
+
+NodeId Tree::AddChild(NodeId parent, Symbol name) {
+  assert(parent >= 0 && parent < static_cast<NodeId>(nodes_.size()));
+  TreeNode n;
+  n.name = name;
+  n.parent = parent;
+  n.attr_begin = static_cast<int32_t>(attrs_.size());
+  NodeId id = static_cast<NodeId>(nodes_.size());
+  TreeNode& p = nodes_[parent];
+  if (p.last_child == kNoNode) {
+    p.first_child = p.last_child = id;
+  } else {
+    n.prev_sibling = p.last_child;
+    nodes_[p.last_child].next_sibling = id;
+    p.last_child = id;
+  }
+  nodes_.push_back(n);
+  return id;
+}
+
+void Tree::AddAttr(NodeId node, Symbol name, Symbol value) {
+  assert(node == static_cast<NodeId>(nodes_.size()) - 1 &&
+         "attributes must be added to the most recent node");
+  attrs_.push_back(Attr{name, value});
+  nodes_[node].attr_count += 1;
+}
+
+Symbol Tree::AttrValue(NodeId id, Symbol name) const {
+  const TreeNode& n = nodes_[id];
+  for (int i = 0; i < n.attr_count; ++i) {
+    if (attrs_[n.attr_begin + i].name == name) {
+      return attrs_[n.attr_begin + i].value;
+    }
+  }
+  return kNoSymbol;
+}
+
+int Tree::ChildCount(NodeId id) const {
+  int count = 0;
+  for (NodeId c = first_child(id); c != kNoNode; c = next_sibling(c)) ++count;
+  return count;
+}
+
+int Tree::ChildOrdinal(NodeId id) const {
+  int pos = 1;
+  for (NodeId s = prev_sibling(id); s != kNoNode; s = nodes_[s].prev_sibling) {
+    ++pos;
+  }
+  return pos;
+}
+
+int Tree::Depth(NodeId id) const {
+  int depth = 1;
+  for (NodeId p = parent(id); p != kNoNode; p = parent(p)) ++depth;
+  return depth;
+}
+
+bool Tree::IsAncestor(NodeId ancestor, NodeId node) const {
+  for (NodeId p = parent(node); p != kNoNode; p = parent(p)) {
+    if (p == ancestor) return true;
+  }
+  return false;
+}
+
+Status Tree::Validate() const {
+  if (nodes_.empty()) return Status::OK();
+  if (nodes_[0].parent != kNoNode) {
+    return Status::Corruption("root has a parent");
+  }
+  for (NodeId id = 0; id < static_cast<NodeId>(nodes_.size()); ++id) {
+    const TreeNode& n = nodes_[id];
+    if (id > 0 && n.parent == kNoNode) {
+      return Status::Corruption("non-root node " + std::to_string(id) +
+                                " has no parent");
+    }
+    if (n.parent >= id) {
+      return Status::Corruption("node " + std::to_string(id) +
+                                " precedes its parent (ids must be pre-order)");
+    }
+    if (n.name == kNoSymbol) {
+      return Status::Corruption("node " + std::to_string(id) + " unnamed");
+    }
+    // Child list symmetry.
+    int count = 0;
+    NodeId prev = kNoNode;
+    for (NodeId c = n.first_child; c != kNoNode; c = nodes_[c].next_sibling) {
+      if (nodes_[c].parent != id) {
+        return Status::Corruption("child link mismatch at node " +
+                                  std::to_string(c));
+      }
+      if (nodes_[c].prev_sibling != prev) {
+        return Status::Corruption("sibling link mismatch at node " +
+                                  std::to_string(c));
+      }
+      prev = c;
+      if (++count > static_cast<int>(nodes_.size())) {
+        return Status::Corruption("sibling cycle under node " +
+                                  std::to_string(id));
+      }
+    }
+    if (n.last_child != prev) {
+      return Status::Corruption("last_child mismatch at node " +
+                                std::to_string(id));
+    }
+    if (n.attr_begin < 0 ||
+        n.attr_begin + n.attr_count > static_cast<int32_t>(attrs_.size())) {
+      return Status::Corruption("attribute span out of range at node " +
+                                std::to_string(id));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace lpath

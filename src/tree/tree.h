@@ -1,0 +1,106 @@
+// Ordered labeled trees — the linguistic data model of Section 2 of the
+// paper: terminals are units of linguistic artifacts (words), annotations are
+// the tree structure above them. Words are modeled as @lex attributes on the
+// pre-terminal nodes, matching Figure 1 of the paper.
+
+#ifndef LPATHDB_TREE_TREE_H_
+#define LPATHDB_TREE_TREE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/interner.h"
+#include "common/status.h"
+
+namespace lpath {
+
+/// Index of a node within its Tree. Nodes are stored in creation order,
+/// which the builders below keep equal to document (pre-) order.
+using NodeId = int32_t;
+inline constexpr NodeId kNoNode = -1;
+
+/// An attribute attached to a node, e.g. {@lex, "saw"}. Names are interned
+/// including their '@' prefix so relational rows can reuse the symbol.
+struct Attr {
+  Symbol name = kNoSymbol;   ///< e.g. the symbol for "@lex".
+  Symbol value = kNoSymbol;  ///< e.g. the symbol for "saw".
+};
+
+/// One node of an ordered tree. First-child/next-sibling representation with
+/// parent and previous-sibling links so every navigation direction is O(1)
+/// per hop.
+struct TreeNode {
+  Symbol name = kNoSymbol;  ///< Tag, e.g. "NP".
+  NodeId parent = kNoNode;
+  NodeId first_child = kNoNode;
+  NodeId last_child = kNoNode;
+  NodeId next_sibling = kNoNode;
+  NodeId prev_sibling = kNoNode;
+  int32_t attr_begin = 0;  ///< Index into Tree's attribute array.
+  int32_t attr_count = 0;
+};
+
+/// An ordered labeled tree. Append-only: build with AddRoot/AddChild (which
+/// must be called in document order) and AddAttr (only on the most recently
+/// added node).
+class Tree {
+ public:
+  /// Creates the root. Must be the first call; returns its id (always 0).
+  NodeId AddRoot(Symbol name);
+
+  /// Appends a new rightmost child of `parent`. Because callers build in
+  /// document order, node ids are pre-order positions.
+  NodeId AddChild(NodeId parent, Symbol name);
+
+  /// Attaches an attribute to `node`. `node` must be the most recently added
+  /// node (attributes are stored contiguously in creation order).
+  void AddAttr(NodeId node, Symbol name, Symbol value);
+
+  bool empty() const { return nodes_.empty(); }
+  /// Number of element nodes (attributes not included).
+  size_t size() const { return nodes_.size(); }
+  NodeId root() const { return nodes_.empty() ? kNoNode : 0; }
+
+  const TreeNode& node(NodeId id) const { return nodes_[id]; }
+  Symbol name(NodeId id) const { return nodes_[id].name; }
+  NodeId parent(NodeId id) const { return nodes_[id].parent; }
+  NodeId first_child(NodeId id) const { return nodes_[id].first_child; }
+  NodeId last_child(NodeId id) const { return nodes_[id].last_child; }
+  NodeId next_sibling(NodeId id) const { return nodes_[id].next_sibling; }
+  NodeId prev_sibling(NodeId id) const { return nodes_[id].prev_sibling; }
+  bool is_leaf(NodeId id) const { return nodes_[id].first_child == kNoNode; }
+
+  /// Attributes of `node`, as a (pointer, count) span.
+  const Attr* attrs(NodeId id) const {
+    return attrs_.data() + nodes_[id].attr_begin;
+  }
+  int attr_count(NodeId id) const { return nodes_[id].attr_count; }
+
+  /// Returns the value of attribute `name` on `node`, or kNoSymbol.
+  Symbol AttrValue(NodeId id, Symbol name) const;
+
+  /// Number of children of `node` (O(children)).
+  int ChildCount(NodeId id) const;
+
+  /// 1-based position of `node` among its siblings (O(siblings)).
+  int ChildOrdinal(NodeId id) const;
+
+  /// Depth of `node`; the root has depth 1 (as in Definition 4.1).
+  int Depth(NodeId id) const;
+
+  /// True if `ancestor` is a proper ancestor of `node`.
+  bool IsAncestor(NodeId ancestor, NodeId node) const;
+
+  /// Checks structural invariants (link symmetry, pre-order ids, attribute
+  /// spans). Used by tests and after deserialization.
+  Status Validate() const;
+
+ private:
+  std::vector<TreeNode> nodes_;
+  std::vector<Attr> attrs_;
+};
+
+}  // namespace lpath
+
+#endif  // LPATHDB_TREE_TREE_H_

@@ -1,0 +1,116 @@
+// Integration tests over the benchmark workload: the full 23-query suite
+// must run and AGREE across all four engines (relational LPath,
+// navigational, TGrep2, CorpusSearch) on generated WSJ and SWB corpora —
+// the strongest end-to-end check in the repository — plus unit tests for
+// the suite table and the report renderer.
+
+#include "bench_util/suite.h"
+
+#include <gtest/gtest.h>
+
+#include "bench_util/fixtures.h"
+#include "bench_util/report.h"
+#include "gen/generator.h"
+
+namespace lpath {
+namespace bench {
+namespace {
+
+TEST(SuiteTest, TwentyThreeQueries) {
+  const auto& all = The23Queries();
+  ASSERT_EQ(all.size(), 23u);
+  for (size_t i = 0; i < all.size(); ++i) {
+    EXPECT_EQ(all[i].id, static_cast<int>(i + 1));
+    EXPECT_STRNE(all[i].lpath, "");
+    EXPECT_STRNE(all[i].tgrep, "");
+    EXPECT_STRNE(all[i].cs, "");
+  }
+  EXPECT_EQ(XPathExpressibleQueries().size(), 11u);  // Figure 10's "11 of 23"
+  EXPECT_EQ(QueryById(6).paper_wsj, 215104u);
+  EXPECT_EQ(QueryById(13).paper_swb, 0u);
+}
+
+TEST(SuiteTest, XPathSetMatchesFigure10) {
+  // Figure 10 plots Q1, Q8, Q9, Q12..Q19.
+  std::vector<int> ids;
+  for (const BenchmarkQuery& q : XPathExpressibleQueries()) {
+    ids.push_back(q.id);
+  }
+  EXPECT_EQ(ids, std::vector<int>({1, 8, 9, 12, 13, 14, 15, 16, 17, 18, 19}));
+}
+
+class SuiteAgreementTest : public ::testing::TestWithParam<Dataset> {};
+
+TEST_P(SuiteAgreementTest, AllEnginesAgreeOnThe23Queries) {
+  Result<Corpus> corpus = GetParam() == Dataset::kWsj
+                              ? gen::GenerateWsj(400)
+                              : gen::GenerateSwb(400);
+  ASSERT_TRUE(corpus.ok());
+  std::unique_ptr<EngineSet> fx = BuildEngineSet(std::move(corpus).value());
+
+  for (const BenchmarkQuery& q : The23Queries()) {
+    Result<QueryResult> lp = fx->lpath->Run(q.lpath);
+    Result<QueryResult> nav = fx->navigational->Run(q.lpath);
+    Result<QueryResult> tg = fx->tgrep->Run(q.tgrep);
+    Result<QueryResult> cs = fx->cs->Run(q.cs);
+    ASSERT_TRUE(lp.ok()) << "Q" << q.id << " lpath: " << lp.status();
+    ASSERT_TRUE(nav.ok()) << "Q" << q.id << " nav: " << nav.status();
+    ASSERT_TRUE(tg.ok()) << "Q" << q.id << " tgrep: " << tg.status();
+    ASSERT_TRUE(cs.ok()) << "Q" << q.id << " cs: " << cs.status();
+    EXPECT_EQ(lp.value(), nav.value()) << "Q" << q.id;
+    EXPECT_EQ(lp.value(), tg.value()) << "Q" << q.id;
+    EXPECT_EQ(lp.value(), cs.value()) << "Q" << q.id;
+
+    // The XPath-labeling engine must agree wherever it runs. It must run
+    // on all of Figure 10's 11 queries; outside that set it may either
+    // reject (immediate axes, alignment — Lemma 3.1) or, for Q3/Q4-style
+    // queries that only need following + scope containment, answer
+    // correctly (tag positions decide those, even though the paper's
+    // XPath translation did not cover them).
+    Result<QueryResult> xp = fx->xpath->Run(q.lpath);
+    if (q.xpath_expressible) {
+      ASSERT_TRUE(xp.ok()) << "Q" << q.id << ": " << xp.status();
+    }
+    if (xp.ok()) {
+      EXPECT_EQ(lp.value(), xp.value()) << "Q" << q.id;
+    } else {
+      EXPECT_TRUE(xp.status().IsNotSupported()) << "Q" << q.id;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Datasets, SuiteAgreementTest,
+                         ::testing::Values(Dataset::kWsj, Dataset::kSwb));
+
+TEST(ReportTest, RendersRowsAndColumns) {
+  ReportTable table("Demo");
+  table.Record("Q1", "A", Measurement{0.0000015, 42, true});
+  table.Record("Q1", "B", Measurement{0.0025, 42, true});
+  table.Record("Q2", "A", Measurement{1.5, 7, true});
+  table.RecordUnsupported("Q2", "B");
+  std::string out = table.Render({"A", "B"}, {{"Q2", "note"}});
+  EXPECT_NE(out.find("Demo"), std::string::npos);
+  EXPECT_NE(out.find("Q1"), std::string::npos);
+  EXPECT_NE(out.find("us"), std::string::npos);   // microseconds
+  EXPECT_NE(out.find("ms"), std::string::npos);   // milliseconds
+  EXPECT_NE(out.find("n/a"), std::string::npos);  // unsupported cell
+  EXPECT_NE(out.find("note"), std::string::npos);
+  EXPECT_TRUE(table.has_row("Q1"));
+  EXPECT_FALSE(table.has_row("Q9"));
+}
+
+TEST(ReportTest, FormatSeconds) {
+  EXPECT_NE(FormatSeconds(0.0000012).find("us"), std::string::npos);
+  EXPECT_NE(FormatSeconds(0.0012).find("ms"), std::string::npos);
+  EXPECT_NE(FormatSeconds(1.2).find("s"), std::string::npos);
+}
+
+TEST(FixtureTest, DatasetNames) {
+  EXPECT_STREQ(DatasetName(Dataset::kWsj), "WSJ");
+  EXPECT_STREQ(DatasetName(Dataset::kSwb), "SWB");
+  EXPECT_GT(BenchmarkSentences(), 0);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace lpath

@@ -1,0 +1,146 @@
+// Tests for the Penn Treebank bracketed-format reader/writer.
+
+#include "tree/bracket_io.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "tree/stats.h"
+
+namespace lpath {
+namespace {
+
+TEST(BracketIoTest, ParseSimpleTree) {
+  Corpus corpus;
+  ASSERT_TRUE(
+      ParseBracketText("(S (NP (DT The) (NN dog)) (VP (VBD barked)))", &corpus)
+          .ok());
+  ASSERT_EQ(corpus.size(), 1u);
+  const Tree& t = corpus.tree(0);
+  EXPECT_EQ(t.size(), 6u);
+  EXPECT_EQ(corpus.interner().name(t.name(t.root())), "S");
+  EXPECT_TRUE(t.Validate().ok());
+}
+
+TEST(BracketIoTest, UnlabeledWrapperIsUnwrapped) {
+  Corpus corpus;
+  ASSERT_TRUE(ParseBracketText("( (S (NP (PRP I)) (VP (VBD saw))) )", &corpus)
+                  .ok());
+  ASSERT_EQ(corpus.size(), 1u);
+  const Tree& t = corpus.tree(0);
+  EXPECT_EQ(corpus.interner().name(t.name(t.root())), "S");
+  EXPECT_EQ(t.size(), 5u);
+  EXPECT_TRUE(t.Validate().ok());
+}
+
+TEST(BracketIoTest, WrapperWithMultipleChildrenBecomesTop) {
+  Corpus corpus;
+  ASSERT_TRUE(ParseBracketText("( (S (X a)) (S (Y b)) )", &corpus).ok());
+  ASSERT_EQ(corpus.size(), 1u);
+  const Tree& t = corpus.tree(0);
+  EXPECT_EQ(corpus.interner().name(t.name(t.root())), "TOP");
+  EXPECT_EQ(t.ChildCount(t.root()), 2);
+}
+
+TEST(BracketIoTest, WordBecomesLexAttr) {
+  Corpus corpus;
+  ASSERT_TRUE(ParseBracketText("(NN dog)", &corpus).ok());
+  const Tree& t = corpus.tree(0);
+  Symbol lex = corpus.Lookup("@lex");
+  ASSERT_NE(lex, kNoSymbol);
+  EXPECT_EQ(t.AttrValue(t.root(), lex), corpus.Lookup("dog"));
+}
+
+TEST(BracketIoTest, MultipleTreesInOneText) {
+  Corpus corpus;
+  ASSERT_TRUE(ParseBracketText("(S (X a))\n(S (Y b))\n\n(S (Z c))", &corpus)
+                  .ok());
+  EXPECT_EQ(corpus.size(), 3u);
+}
+
+TEST(BracketIoTest, PennEscapesAndOddTags) {
+  Corpus corpus;
+  ASSERT_TRUE(ParseBracketText(
+                  "(S (NP-SBJ (-NONE- *T*-1)) (. .) (, ,) (PRP$ its))",
+                  &corpus)
+                  .ok());
+  const Tree& t = corpus.tree(0);
+  EXPECT_EQ(t.size(), 6u);  // S, NP-SBJ, -NONE-, ., ,, PRP$
+  EXPECT_NE(corpus.Lookup("-NONE-"), kNoSymbol);
+  EXPECT_NE(corpus.Lookup("."), kNoSymbol);
+  EXPECT_NE(corpus.Lookup("PRP$"), kNoSymbol);
+  EXPECT_NE(corpus.Lookup("*T*-1"), kNoSymbol);
+}
+
+TEST(BracketIoTest, Errors) {
+  Corpus corpus;
+  EXPECT_FALSE(ParseBracketText("(S (NP", &corpus).ok());          // unterminated
+  EXPECT_FALSE(ParseBracketText("(S (NP dog cat))", &corpus).ok()); // two words
+  EXPECT_FALSE(ParseBracketText("(S (NP dog (X y)))", &corpus).ok());  // mixed
+  EXPECT_FALSE(ParseBracketText("(S (()))", &corpus).ok());  // inner unlabeled
+}
+
+TEST(BracketIoTest, RoundTripFigure1) {
+  Corpus corpus = testing::BuildFigure1Corpus();
+  std::string text = WriteBracketCorpus(corpus);
+  EXPECT_EQ(text,
+            "(S (NP I) (VP (V saw) (NP (NP (Det the) (Adj old) (N man)) "
+            "(PP (Prep with) (NP (Det a) (N dog))))) (N today))\n");
+
+  Corpus reparsed;
+  ASSERT_TRUE(ParseBracketText(text, &reparsed).ok());
+  ASSERT_EQ(reparsed.size(), 1u);
+  EXPECT_EQ(WriteBracketCorpus(reparsed), text);
+}
+
+TEST(BracketIoTest, RoundTripRandomCorpus) {
+  Corpus corpus = testing::RandomCorpus(/*seed=*/99, /*trees=*/50);
+  std::string text = WriteBracketCorpus(corpus);
+  Corpus reparsed;
+  ASSERT_TRUE(ParseBracketText(text, &reparsed).ok());
+  ASSERT_EQ(reparsed.size(), corpus.size());
+  EXPECT_EQ(WriteBracketCorpus(reparsed), text);
+  EXPECT_EQ(reparsed.TotalNodes(), corpus.TotalNodes());
+}
+
+TEST(BracketIoTest, BracketCorpusSizeMatchesText) {
+  Corpus corpus = testing::RandomCorpus(/*seed=*/123, /*trees=*/20);
+  EXPECT_EQ(BracketCorpusSize(corpus), WriteBracketCorpus(corpus).size());
+}
+
+TEST(BracketIoTest, FileRoundTrip) {
+  Corpus corpus = testing::BuildFigure1Corpus();
+  const std::string path = ::testing::TempDir() + "/lpath_bracket_test.mrg";
+  ASSERT_TRUE(SaveBracketFile(corpus, path).ok());
+  Corpus loaded;
+  ASSERT_TRUE(LoadBracketFile(path, &loaded).ok());
+  EXPECT_EQ(WriteBracketCorpus(loaded), WriteBracketCorpus(corpus));
+}
+
+TEST(BracketIoTest, LoadMissingFileFails) {
+  Corpus corpus;
+  EXPECT_TRUE(LoadBracketFile("/nonexistent/nope.mrg", &corpus)
+                  .IsIOError());
+}
+
+TEST(StatsTest, Figure1Stats) {
+  Corpus corpus = testing::BuildFigure1Corpus();
+  CorpusStats stats = ComputeStats(corpus);
+  EXPECT_EQ(stats.tree_count, 1u);
+  EXPECT_EQ(stats.node_count, 15u);
+  EXPECT_EQ(stats.word_count, 9u);
+  EXPECT_EQ(stats.max_depth, 6);
+  // Tags: S, NP(4), VP, V, Det(2), Adj, N(3), PP, Prep — 9 unique.
+  EXPECT_EQ(stats.unique_tags, 9u);
+  ASSERT_FALSE(stats.tag_frequencies.empty());
+  EXPECT_EQ(stats.tag_frequencies[0].first, "NP");
+  EXPECT_EQ(stats.tag_frequencies[0].second, 4u);
+  auto top2 = stats.TopTags(2);
+  ASSERT_EQ(top2.size(), 2u);
+  EXPECT_EQ(top2[1].first, "N");
+  EXPECT_EQ(top2[1].second, 3u);
+  EXPECT_GT(stats.file_size_bytes, 0u);
+}
+
+}  // namespace
+}  // namespace lpath

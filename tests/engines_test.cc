@@ -1,0 +1,196 @@
+// Differential tests: the relational LPath engine (full LPath → SQL →
+// parse → optimize → execute loop) must agree exactly with the navigational
+// reference evaluator — on the Figure 1 tree, on random corpora, across a
+// broad query battery, under every executor configuration, and (for the
+// XPath-expressible fragment) under the XPath tag-position labeling too.
+
+#include "lpath/engines.h"
+
+#include <gtest/gtest.h>
+
+#include "lpath/eval_nav.h"
+#include "test_util.h"
+
+namespace lpath {
+namespace {
+
+// Queries over the random-corpus tag alphabet (S, NP, VP, PP, N, V, Det,
+// Adj, X, Y; words a, b, c, saw, dog, man, of, what, building). Mirrors the
+// shapes of the paper's 23-query suite.
+const char* kBattery[] = {
+    "//S[//_[@lex=saw]]",
+    "//V->NP",
+    "//VP/V-->N",
+    "//VP{/V-->N}",
+    "//VP{/NP$}",
+    "//VP{//NP$}",
+    "//VP[{//^V->NP->PP$}]",
+    "//S[//NP/Adj]",
+    "//NP[not(//Det)]",
+    "//NP[->PP[//X[@lex=of]]=>VP]",
+    "//S[{//_[@lex=what]->_[@lex=building]}]",
+    "//_[@lex=building]",
+    "//NP/NP/NP",
+    "//VP/VP/VP",
+    "//PP=>X",
+    "//NP=>NP=>NP",
+    "//VP=>VP",
+    "//X<--Y",
+    "//X<-Y",
+    "//N<==Det",
+    "//N<=Det",
+    "//Det\\NP",
+    "//Det\\\\S",
+    "//N\\ancestor::_",
+    "//_$",
+    "//^_",
+    "//NP$",
+    "//S//N",
+    "//S/_/_",
+    "//_[@lex!=saw]",
+    "//NP[//Det and //Adj]",
+    "//NP[//Det or //Adj]",
+    "//NP[not(//Det) and not(//Adj)]",
+    "//V/self::V",
+    "//V/..",
+    "//VP/descendant-or-self::VP",
+    "//Det/ancestor-or-self::NP",
+    "//V/following-or-self::N",
+    "//N/preceding-or-self::V",
+    "//V/following-sibling-or-self::_",
+    "//V/preceding-sibling-or-self::_",
+    "//_/@lex",
+    "/S",
+    "/_/_",
+    "//S{//^_->_$}",
+    "//NP{//Det->N}",
+};
+
+class DifferentialTest : public ::testing::TestWithParam<uint64_t> {};
+
+void CheckCorpus(const Corpus& corpus, uint64_t seed_for_msg) {
+  Result<NodeRelation> rel = NodeRelation::Build(corpus);
+  ASSERT_TRUE(rel.ok());
+  NavigationalEngine nav(corpus);
+  LPathEngine::Options via_sql;
+  via_sql.via_sql_text = true;
+  LPathEngine::Options direct;
+  direct.via_sql_text = false;
+  LPathEngine::Options ltr;
+  ltr.exec.join_order = sql::ExecOptions::JoinOrder::kLeftToRight;
+  LPathEngine::Options naive;
+  naive.exec.distinct_early_exit = false;
+  LPathEngine::Options nested;
+  nested.unnest_predicates = false;
+
+  LPathEngine e_sql(rel.value(), via_sql);
+  LPathEngine e_direct(rel.value(), direct);
+  LPathEngine e_ltr(rel.value(), ltr);
+  LPathEngine e_naive(rel.value(), naive);
+  LPathEngine e_nested(rel.value(), nested);
+
+  for (const char* q : kBattery) {
+    Result<QueryResult> expected = nav.Run(q);
+    ASSERT_TRUE(expected.ok()) << q << ": " << expected.status();
+    for (const LPathEngine* engine :
+         {&e_sql, &e_direct, &e_ltr, &e_naive, &e_nested}) {
+      Result<QueryResult> got = engine->Run(q);
+      ASSERT_TRUE(got.ok()) << q << ": " << got.status();
+      EXPECT_EQ(got.value(), expected.value())
+          << "query " << q << " seed " << seed_for_msg << " (expected "
+          << expected->count() << " hits, got " << got->count() << ")";
+    }
+  }
+}
+
+TEST(EngineFigure1Test, MatchesNavigationalOnFigure1) {
+  Corpus corpus = testing::BuildFigure1Corpus();
+  CheckCorpus(corpus, 0);
+}
+
+TEST_P(DifferentialTest, MatchesNavigationalOnRandomCorpora) {
+  Corpus corpus = testing::RandomCorpus(GetParam(), /*trees=*/25,
+                                        /*max_nodes=*/35);
+  CheckCorpus(corpus, GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialTest,
+                         ::testing::Values(11u, 22u, 33u, 44u, 55u, 66u));
+
+TEST(XPathLabelEngineTest, AgreesOnXPathFragment) {
+  const char* kXPathQueries[] = {
+      "//S[//_[@lex=saw]]", "//S[//NP/Adj]", "//NP[not(//Det)]",
+      "//_[@lex=building]", "//NP/NP/NP",    "//VP/VP/VP",
+      "//S//N",             "//S/_/_",       "//Det\\NP",
+      "//VP/V-->N",         "//X<--Y",       "//N<==Det",
+      "/S",                 "//_[@lex!=saw]",
+  };
+  for (uint64_t seed : {7u, 17u}) {
+    Corpus corpus = testing::RandomCorpus(seed, /*trees=*/20);
+    Result<NodeRelation> lrel = NodeRelation::Build(corpus);
+    RelationOptions xopts;
+    xopts.scheme = LabelScheme::kXPath;
+    Result<NodeRelation> xrel = NodeRelation::Build(corpus, xopts);
+    ASSERT_TRUE(lrel.ok());
+    ASSERT_TRUE(xrel.ok());
+    LPathEngine lpath(lrel.value());
+    LPathEngine xpath(xrel.value());
+    EXPECT_EQ(xpath.name(), "XPathLabel");
+    for (const char* q : kXPathQueries) {
+      Result<QueryResult> a = lpath.Run(q);
+      Result<QueryResult> b = xpath.Run(q);
+      ASSERT_TRUE(a.ok()) << q << ": " << a.status();
+      ASSERT_TRUE(b.ok()) << q << ": " << b.status();
+      EXPECT_EQ(a.value(), b.value()) << q << " seed " << seed;
+    }
+  }
+}
+
+TEST(XPathLabelEngineTest, RejectsLPathOnlyFeatures) {
+  Corpus corpus = testing::BuildFigure1Corpus();
+  RelationOptions xopts;
+  xopts.scheme = LabelScheme::kXPath;
+  Result<NodeRelation> xrel = NodeRelation::Build(corpus, xopts);
+  ASSERT_TRUE(xrel.ok());
+  LPathEngine xpath(xrel.value());
+  EXPECT_TRUE(xpath.Run("//V->NP").status().IsNotSupported());
+  EXPECT_TRUE(xpath.Run("//V=>NP").status().IsNotSupported());
+  EXPECT_TRUE(xpath.Run("//VP{/NP$}").status().IsNotSupported());
+}
+
+TEST(EngineApiTest, TranslateToSqlIsStable) {
+  Corpus corpus = testing::BuildFigure1Corpus();
+  Result<NodeRelation> rel = NodeRelation::Build(corpus);
+  ASSERT_TRUE(rel.ok());
+  LPathEngine engine(rel.value());
+  Result<std::string> sql = engine.TranslateToSql("//VP{/V-->N}");
+  ASSERT_TRUE(sql.ok());
+  EXPECT_NE(sql->find("SELECT DISTINCT a2.tid, a2.id"), std::string::npos);
+  EXPECT_NE(sql->find("a2.left >= a1.right"), std::string::npos);  // following
+  EXPECT_NE(sql->find("a2.right <= a0.right"), std::string::npos);  // scope
+}
+
+TEST(EngineApiTest, RunWithStatsCountsWork) {
+  Corpus corpus = testing::BuildFigure1Corpus();
+  Result<NodeRelation> rel = NodeRelation::Build(corpus);
+  ASSERT_TRUE(rel.ok());
+  LPathEngine engine(rel.value());
+  sql::ExecStats stats;
+  Result<QueryResult> r = engine.RunWithStats("//VP/V-->N", &stats);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->count(), 3u);
+  EXPECT_GT(stats.candidates, 0u);
+  EXPECT_GT(stats.bindings, 0u);
+}
+
+TEST(EngineApiTest, ParseErrorsPropagate) {
+  Corpus corpus = testing::BuildFigure1Corpus();
+  Result<NodeRelation> rel = NodeRelation::Build(corpus);
+  ASSERT_TRUE(rel.ok());
+  LPathEngine engine(rel.value());
+  EXPECT_TRUE(engine.Run("garbage").status().IsInvalidArgument());
+  EXPECT_TRUE(engine.Run("//VP/_[position()=1]").status().IsNotSupported());
+}
+
+}  // namespace
+}  // namespace lpath

@@ -1,0 +1,232 @@
+// Golden tests for the navigational reference evaluator against the
+// expected results the paper gives in Figure 2 for the Figure 1 tree, plus
+// coverage of every axis, scoping/alignment corner cases, and the XPath
+// positional-function equivalences discussed in Section 2.2.
+//
+// Node ids of the Figure 1 tree (1-based pre-order):
+//   1:S 2:NP(I) 3:VP 4:V(saw) 5:NP6 6:NP7 7:Det(the) 8:Adj(old) 9:N(man)
+//   10:PP 11:Prep(with) 12:NP(a-dog) 13:Det(a) 14:N(dog) 15:N(today)
+
+#include "lpath/eval_nav.h"
+
+#include <gtest/gtest.h>
+
+#include "lpath/parser.h"
+#include "test_util.h"
+#include "tree/bracket_io.h"
+
+namespace lpath {
+namespace {
+
+class Figure1NavTest : public ::testing::Test {
+ protected:
+  Figure1NavTest() : corpus_(testing::BuildFigure1Corpus()), engine_(corpus_) {}
+
+  std::vector<int32_t> Ids(const std::string& query) {
+    Result<QueryResult> r = engine_.Run(query);
+    EXPECT_TRUE(r.ok()) << query << " -> " << r.status();
+    std::vector<int32_t> ids;
+    if (r.ok()) {
+      for (const Hit& h : r->hits) {
+        EXPECT_EQ(h.tid, 0);
+        ids.push_back(h.id);
+      }
+    }
+    return ids;
+  }
+
+  Corpus corpus_;
+  NavigationalEngine engine_;
+};
+
+using V = std::vector<int32_t>;
+
+// --- The Figure 2 query battery -------------------------------------------
+
+TEST_F(Figure1NavTest, Fig2_SentenceContainingSaw) {
+  EXPECT_EQ(Ids("//S[//_[@lex=saw]]"), V({1}));
+}
+
+TEST_F(Figure1NavTest, Fig2_ImmediateFollowingSiblingOfVerb) {
+  EXPECT_EQ(Ids("//V==>NP"), V({5}));
+}
+
+TEST_F(Figure1NavTest, Fig2_ImmediateFollowingOfVerb) {
+  EXPECT_EQ(Ids("//V->NP"), V({5, 6}));
+}
+
+TEST_F(Figure1NavTest, Fig2_NounsFollowingVerbChildOfVP) {
+  EXPECT_EQ(Ids("//VP/V-->N"), V({9, 14, 15}));
+}
+
+TEST_F(Figure1NavTest, Fig2_NounsFollowingVerbWithinVP) {
+  EXPECT_EQ(Ids("//VP{/V-->N}"), V({9, 14}));
+}
+
+TEST_F(Figure1NavTest, Fig2_RightmostNPChildOfVP) {
+  EXPECT_EQ(Ids("//VP{/NP$}"), V({5}));
+}
+
+TEST_F(Figure1NavTest, Fig2_RightmostNPDescendantOfVP) {
+  EXPECT_EQ(Ids("//VP{//NP$}"), V({5, 12}));
+}
+
+// --- XPath equivalences from Section 2.2 -----------------------------------
+
+TEST_F(Figure1NavTest, PositionFunctionEqualsImmediateFollowingSibling) {
+  // //V/following-sibling::_[position()=1][self::NP] expresses Q2.
+  EXPECT_EQ(Ids("//V/following-sibling::_[position()=1][self::NP]"),
+            Ids("//V==>NP"));
+}
+
+TEST_F(Figure1NavTest, LastFunctionEqualsChildRightAlignment) {
+  // //VP/_[last()][self::NP] expresses Q6 (child edge alignment).
+  EXPECT_EQ(Ids("//VP/_[last()][self::NP]"), Ids("//VP{/NP$}"));
+}
+
+TEST_F(Figure1NavTest, DescendantLastIsNotEdgeAlignment) {
+  // The putative XPath equivalent //VP//_[last()][self::NP] does NOT express
+  // Q7 — the paper's point in Section 2.2.3.
+  V putative = Ids("//VP/descendant::_[last()][self::NP]");
+  V correct = Ids("//VP{//NP$}");
+  EXPECT_NE(putative, correct);
+  EXPECT_EQ(correct, V({5, 12}));
+}
+
+// --- Axis coverage ----------------------------------------------------------
+
+TEST_F(Figure1NavTest, BasicTagScan) {
+  EXPECT_EQ(Ids("//NP"), V({2, 5, 6, 12}));
+  EXPECT_EQ(Ids("//N"), V({9, 14, 15}));
+  EXPECT_EQ(Ids("//S"), V({1}));
+  EXPECT_EQ(Ids("//_"),
+            V({1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15}));
+}
+
+TEST_F(Figure1NavTest, RootStep) {
+  EXPECT_EQ(Ids("/S"), V({1}));
+  EXPECT_EQ(Ids("/NP"), V());  // root is S, not NP
+  EXPECT_EQ(Ids("/S/NP"), V({2}));
+}
+
+TEST_F(Figure1NavTest, ParentAndAncestor) {
+  EXPECT_EQ(Ids("//Det\\NP"), V({6, 12}));
+  EXPECT_EQ(Ids("//Det\\\\VP"), V({3}));
+  EXPECT_EQ(Ids("//Det\\ancestor::_"), V({1, 3, 5, 6, 10, 12}));
+  EXPECT_EQ(Ids("//NP/.."), V({1, 3, 5, 10}));
+}
+
+TEST_F(Figure1NavTest, PrecedingAxes) {
+  // N(man)[5,6]: its immediate preceder is the node ending at 5 = Adj [4,5].
+  EXPECT_EQ(Ids("//N<-Adj"), V({8}));
+  // Nodes immediately preceding N(today)[9,10]: right == 9: VP, NP6, PP,
+  // NP12, N(dog).
+  EXPECT_EQ(Ids("//N[@lex=today]<-_"), V({3, 5, 10, 12, 14}));
+  // All nodes preceding V(saw): right <= 2: NP(I).
+  EXPECT_EQ(Ids("//V<--_"), V({2}));
+}
+
+TEST_F(Figure1NavTest, SiblingAxes) {
+  EXPECT_EQ(Ids("//VP==>_"), V({15}));   // following siblings of VP
+  EXPECT_EQ(Ids("//VP<==_"), V({2}));    // preceding siblings of VP
+  EXPECT_EQ(Ids("//VP=>_"), V({15}));
+  EXPECT_EQ(Ids("//VP<=_"), V({2}));
+  EXPECT_EQ(Ids("//Adj=>_"), V({9}));    // next sibling of Adj is N(man)
+  EXPECT_EQ(Ids("//Adj<=_"), V({7}));    // previous sibling is Det(the)
+}
+
+TEST_F(Figure1NavTest, SelfAndOrSelfAxes) {
+  EXPECT_EQ(Ids("//NP/."), V({2, 5, 6, 12}));
+  EXPECT_EQ(Ids("//V/self::V"), V({4}));
+  EXPECT_EQ(Ids("//V/self::NP"), V());
+  EXPECT_EQ(Ids("//V/following-or-self::V"), V({4}));
+  EXPECT_EQ(Ids("//VP/descendant-or-self::VP"), V({3}));
+  EXPECT_EQ(Ids("//Det/ancestor-or-self::Det"), V({7, 13}));
+}
+
+TEST_F(Figure1NavTest, AttributeSteps) {
+  EXPECT_EQ(Ids("//V/@lex"), V({4}));   // result is the owning element
+  EXPECT_EQ(Ids("//_/@lex"), V({2, 4, 7, 8, 9, 11, 13, 14, 15}));
+  EXPECT_EQ(Ids("//_[@lex=saw]"), V({4}));
+  EXPECT_EQ(Ids("//_[@lex=dog]"), V({14}));
+  EXPECT_EQ(Ids("//_[@lex=missing]"), V());
+  EXPECT_EQ(Ids("//_[@lex!=saw]"), V({2, 7, 8, 9, 11, 13, 14, 15}));
+  EXPECT_EQ(Ids("//_[@missing=saw]"), V());
+}
+
+TEST_F(Figure1NavTest, BooleanPredicates) {
+  EXPECT_EQ(Ids("//NP[not(//Det)]"), V({2}));
+  EXPECT_EQ(Ids("//NP[//Det and //Prep]"), V({5}));
+  EXPECT_EQ(Ids("//NP[//Adj or @lex=I]"), V({2, 5, 6}));
+  EXPECT_EQ(Ids("//NP[not(//Det) or //Prep]"), V({2, 5}));
+}
+
+TEST_F(Figure1NavTest, ScopeVsPredicateDifference) {
+  // //VP{//NP$} returns NPs; //VP[{//NP$}] returns VPs.
+  EXPECT_EQ(Ids("//VP[{//NP$}]"), V({3}));
+  EXPECT_EQ(Ids("//VP{//NP$}"), V({5, 12}));
+}
+
+TEST_F(Figure1NavTest, LeftAlignment) {
+  // Left-aligned descendants of VP: V [2,3] at VP.left=2.
+  EXPECT_EQ(Ids("//VP{//^_}"), V({4}));
+  // NPs without the word I are NP6 [3,9], NP7 [3,6], NP12 [7,9]; their
+  // left-aligned descendants are NP7+Det(the), Det(the), Det(a).
+  EXPECT_EQ(Ids("//NP[not(@lex=I)]{//^_}"), V({6, 7, 13}));
+  // XPath '=' / '!=' existence semantics: NP6 has no @lex at all, so
+  // @lex!=I is false for it.
+  EXPECT_EQ(Ids("//NP[@lex!=I]"), V());
+}
+
+TEST_F(Figure1NavTest, AlignmentWithoutScopeUsesRoot) {
+  // ^ aligns with the tree's left edge when no scope is open.
+  EXPECT_EQ(Ids("//^_"), V({1, 2}));   // S [1,10] and NP(I) [1,2]
+  EXPECT_EQ(Ids("//_$"), V({1, 15}));  // S and N(today) [9,10]
+}
+
+TEST_F(Figure1NavTest, NestedScopes) {
+  // Within VP, within NP6: nouns following Det(the).
+  EXPECT_EQ(Ids("//VP{//NP[//Prep]{/NP-->N}}"), V({14}));
+}
+
+TEST_F(Figure1NavTest, ScopedPredicateInQ7Shape) {
+  // The Q7 pattern on Figure 1's tags: VP spanned exactly by V NP.
+  EXPECT_EQ(Ids("//VP[{//^V->NP$}]"), V({3}));
+  // NP6 is spanned by NP7 PP.
+  EXPECT_EQ(Ids("//NP[{//^NP->PP$}]"), V({5}));
+}
+
+TEST_F(Figure1NavTest, ImmediateFollowingChains) {
+  // what-building adjacency shape (Q11): the/old adjacency here.
+  EXPECT_EQ(Ids("//S[{//_[@lex=the]->_[@lex=old]}]"), V({1}));
+  EXPECT_EQ(Ids("//S[{//_[@lex=old]->_[@lex=the]}]"), V());
+}
+
+TEST_F(Figure1NavTest, EvalTreeReturnsPerTreeIds) {
+  Result<LocationPath> q = ParseLPath("//NP");
+  ASSERT_TRUE(q.ok());
+  Result<std::vector<int32_t>> ids = engine_.EvalTree(q.value(), 0);
+  ASSERT_TRUE(ids.ok());
+  EXPECT_EQ(ids.value(), V({2, 5, 6, 12}));
+}
+
+TEST_F(Figure1NavTest, ParseErrorsPropagate) {
+  EXPECT_FALSE(engine_.Run("not a query").ok());
+  EXPECT_FALSE(engine_.Run("//VP{").ok());
+}
+
+TEST(NavMultiTreeTest, HitsCarryTreeIds) {
+  Corpus corpus;
+  ASSERT_TRUE(ParseBracketText("(S (NP (N dog)))\n(S (VP (V ran)))\n(NP (N cat))",
+                               &corpus)
+                  .ok());
+  NavigationalEngine engine(corpus);
+  Result<QueryResult> r = engine.Run("//NP");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->hits.size(), 2u);
+  EXPECT_EQ(r->hits[0], (Hit{0, 2}));
+  EXPECT_EQ(r->hits[1], (Hit{2, 1}));
+}
+
+}  // namespace
+}  // namespace lpath

@@ -1,0 +1,160 @@
+// Differential fuzzing: generate random LPath queries (random axes, node
+// tests, scopes, alignment, predicates) and random corpora, then require
+// the relational engine (through the full SQL round trip) to agree exactly
+// with the navigational reference evaluator. This sweeps query shapes the
+// hand-written batteries never enumerate.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "lpath/engines.h"
+#include "lpath/eval_nav.h"
+#include "lpath/parser.h"
+#include "test_util.h"
+
+namespace lpath {
+namespace {
+
+/// Random query generator over the test tag/word alphabet. Generates only
+/// queries the relational translation supports (no position()/last()).
+class QueryGen {
+ public:
+  explicit QueryGen(Rng* rng) : rng_(rng) {}
+
+  std::string Query() {
+    std::string q = rng_->Chance(0.9) ? "//" : "/";
+    q += NodeTestWithSuffix(/*depth=*/0, /*in_scope=*/false);
+    int steps = static_cast<int>(rng_->Below(4));
+    bool scope_open = false;
+    for (int i = 0; i < steps; ++i) {
+      if (!scope_open && rng_->Chance(0.25)) {
+        q += "{";
+        scope_open = true;
+      }
+      q += AxisToken();
+      q += NodeTestWithSuffix(0, scope_open);
+    }
+    if (scope_open) q += "}";
+    return q;
+  }
+
+ private:
+  const char* Tag() {
+    static const char* kTags[] = {"S", "NP", "VP", "PP", "N",
+                                  "V", "Det", "Adj", "X", "Y"};
+    return kTags[rng_->Below(10)];
+  }
+  const char* Word() {
+    static const char* kWords[] = {"a", "b", "c", "saw", "dog",
+                                   "man", "of", "what", "building"};
+    return kWords[rng_->Below(9)];
+  }
+  const char* AxisToken() {
+    static const char* kAxes[] = {
+        "/",  "//",  "\\",  "\\\\", "->", "-->", "<-", "<--",
+        "=>", "==>", "<=",  "<==",  "/descendant-or-self::",
+        "/ancestor-or-self::", "/following-or-self::",
+        "/preceding-or-self::", "/following-sibling-or-self::",
+        "/preceding-sibling-or-self::", "/self::",
+    };
+    return kAxes[rng_->Below(19)];
+  }
+
+  std::string NodeTestWithSuffix(int depth, bool in_scope) {
+    std::string out;
+    if (in_scope && rng_->Chance(0.2)) out += "^";
+    out += rng_->Chance(0.25) ? "_" : Tag();
+    if (in_scope && rng_->Chance(0.2)) out += "$";
+    if (depth < 2 && rng_->Chance(0.35)) {
+      out += "[";
+      out += Predicate(depth + 1);
+      out += "]";
+    }
+    return out;
+  }
+
+  std::string Predicate(int depth) {
+    const double roll = rng_->NextDouble();
+    if (roll < 0.30) {  // attribute compare
+      std::string op = rng_->Chance(0.8) ? "=" : "!=";
+      return std::string("@lex") + op + Word();
+    }
+    if (roll < 0.45 && depth < 2) {  // boolean
+      const char* joiner = rng_->Chance(0.5) ? " and " : " or ";
+      return PredPath(depth) + joiner + Predicate(depth + 1);
+    }
+    if (roll < 0.60) {  // negation
+      return "not(" + PredPath(depth) + ")";
+    }
+    return PredPath(depth);
+  }
+
+  std::string PredPath(int depth) {
+    std::string q;
+    bool scope_open = false;
+    if (rng_->Chance(0.25)) {
+      q += "{";
+      scope_open = true;
+    }
+    const double roll = rng_->NextDouble();
+    if (roll < 0.4) {
+      q += "//";
+    } else if (roll < 0.6) {
+      q += AxisToken();
+      if (q.back() == '{') q += "//";  // never happens; keep simple
+    }
+    q += NodeTestWithSuffix(depth + 1, scope_open);
+    if (rng_->Chance(0.4)) {
+      q += AxisToken();
+      q += NodeTestWithSuffix(depth + 1, scope_open);
+    }
+    if (scope_open) q += "}";
+    return q;
+  }
+
+  Rng* rng_;
+};
+
+class FuzzDifferentialTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FuzzDifferentialTest, RelationalAgreesWithNavigational) {
+  Rng rng(GetParam() * 7919 + 1);
+  Corpus corpus = testing::RandomCorpus(GetParam() * 31 + 7, /*trees=*/15,
+                                        /*max_nodes=*/25);
+  Result<NodeRelation> rel = NodeRelation::Build(corpus);
+  ASSERT_TRUE(rel.ok());
+  LPathEngine relational(rel.value());
+  LPathEngine::Options nested;
+  nested.unnest_predicates = false;
+  LPathEngine relational_nested(rel.value(), nested);
+  NavigationalEngine nav(corpus);
+
+  QueryGen gen(&rng);
+  int evaluated = 0;
+  for (int i = 0; i < 250; ++i) {
+    const std::string q = gen.Query();
+    // Every generated query must parse.
+    Result<LocationPath> parsed = ParseLPath(q);
+    ASSERT_TRUE(parsed.ok()) << q << " -> " << parsed.status();
+
+    Result<QueryResult> expected = nav.Run(q);
+    ASSERT_TRUE(expected.ok()) << q << " -> " << expected.status();
+    for (const LPathEngine* engine : {&relational, &relational_nested}) {
+      Result<QueryResult> got = engine->Run(q);
+      ASSERT_TRUE(got.ok()) << q << " -> " << got.status();
+      ASSERT_EQ(got.value(), expected.value())
+          << "query: " << q << "\nseed: " << GetParam()
+          << "\nexpected " << expected->count() << " hits, got "
+          << got->count();
+    }
+    ++evaluated;
+  }
+  EXPECT_EQ(evaluated, 250);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzDifferentialTest,
+                         ::testing::Range<uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace lpath

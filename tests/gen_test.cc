@@ -1,0 +1,235 @@
+// Tests for the synthetic treebank generator: grammar machinery, depth
+// bounding, determinism, and profile calibration against the Figure 6
+// characteristics.
+
+#include "gen/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <iostream>
+#include <map>
+
+#include "gen/profiles.h"
+#include "tree/bracket_io.h"
+#include "tree/stats.h"
+
+namespace lpath {
+namespace {
+
+using gen::GenerateCorpus;
+using gen::GeneratorOptions;
+using gen::Pcfg;
+using gen::SwbProfile;
+using gen::TreebankProfile;
+using gen::Vocabulary;
+using gen::WsjProfile;
+
+TEST(VocabularyTest, SyntheticWithExtras) {
+  Vocabulary v = Vocabulary::Synthetic("w", 100, 1.0, {{"pinned", 0.5}});
+  EXPECT_EQ(v.size(), 101u);
+  Rng rng(1);
+  int pinned = 0;
+  for (int i = 0; i < 3000; ++i) {
+    if (v.Sample(&rng) == "pinned") ++pinned;
+  }
+  // pinned weight 0.5 over total ~1.5 → about a third of draws.
+  EXPECT_GT(pinned, 700);
+  EXPECT_LT(pinned, 1400);
+}
+
+TEST(PcfgTest, FinalizeRejectsBadGrammars) {
+  {
+    Pcfg g;
+    g.AddRule("S", {"X"}, 1.0);  // X has no rules, no vocab
+    EXPECT_FALSE(g.Finalize().ok());
+  }
+  {
+    Pcfg g;
+    g.AddRule("S", {"S"}, 1.0);  // cannot terminate
+    EXPECT_FALSE(g.Finalize().ok());
+  }
+  {
+    Pcfg g;
+    g.AddRule("S", {"N"}, 0.0);  // non-positive weight
+    g.SetVocabulary("N", Vocabulary::Uniform({"x"}));
+    EXPECT_FALSE(g.Finalize().ok());
+  }
+}
+
+TEST(PcfgTest, MinDepthFixpoint) {
+  Pcfg g;
+  g.AddRule("S", {"A", "B"}, 1.0);
+  g.AddRule("A", {"N"}, 1.0);
+  g.AddRule("B", {"A", "A"}, 1.0);
+  g.SetVocabulary("N", Vocabulary::Uniform({"x"}));
+  ASSERT_TRUE(g.Finalize().ok());
+  EXPECT_EQ(g.MinDepth("N").value(), 1);
+  EXPECT_EQ(g.MinDepth("A").value(), 2);
+  EXPECT_EQ(g.MinDepth("B").value(), 3);
+  EXPECT_EQ(g.MinDepth("S").value(), 4);
+  EXPECT_FALSE(g.MinDepth("Z").ok());
+}
+
+TEST(PcfgTest, DepthBudgetIsHonored) {
+  // A grammar that prefers recursion must still terminate within budget.
+  Pcfg g;
+  g.AddRule("S", {"S", "S"}, 100.0);
+  g.AddRule("S", {"N"}, 0.001);
+  g.SetVocabulary("N", Vocabulary::Uniform({"x"}));
+  ASSERT_TRUE(g.Finalize().ok());
+  Interner in;
+  Rng rng(3);
+  for (int i = 0; i < 20; ++i) {
+    Result<Tree> t = g.Generate("S", /*max_depth=*/8, &rng, &in);
+    ASSERT_TRUE(t.ok()) << t.status();
+    int max_depth = 0;
+    for (NodeId n = 0; n < static_cast<NodeId>(t->size()); ++n) {
+      max_depth = std::max(max_depth, t->Depth(n));
+    }
+    EXPECT_LE(max_depth, 8);
+    EXPECT_TRUE(t->Validate().ok());
+  }
+  // Budget below the minimum depth is an error.
+  EXPECT_FALSE(g.Generate("S", 1, &rng, &in).ok());
+  EXPECT_FALSE(g.Generate("Nope", 8, &rng, &in).ok());
+}
+
+TEST(GeneratorTest, DeterministicAndPrefixStable) {
+  GeneratorOptions opts;
+  opts.sentences = 50;
+  Result<Corpus> a = GenerateCorpus(WsjProfile(), opts);
+  Result<Corpus> b = GenerateCorpus(WsjProfile(), opts);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(WriteBracketCorpus(a.value()), WriteBracketCorpus(b.value()));
+
+  // A larger corpus starts with the same trees (per-sentence seeds).
+  opts.sentences = 80;
+  Result<Corpus> c = GenerateCorpus(WsjProfile(), opts);
+  ASSERT_TRUE(c.ok());
+  std::string buf_a, buf_c;
+  WriteBracketTree(a->tree(49), a->interner(), &buf_a);
+  WriteBracketTree(c->tree(49), c->interner(), &buf_c);
+  EXPECT_EQ(buf_a, buf_c);
+
+  opts.seed = 7;
+  Result<Corpus> d = GenerateCorpus(WsjProfile(), opts);
+  ASSERT_TRUE(d.ok());
+  EXPECT_NE(WriteBracketCorpus(c.value()), WriteBracketCorpus(d.value()));
+}
+
+class ProfileTest : public ::testing::Test {
+ protected:
+  static CorpusStats Stats(const TreebankProfile& profile, int sentences) {
+    GeneratorOptions opts;
+    opts.sentences = sentences;
+    Result<Corpus> corpus = GenerateCorpus(profile, opts);
+    EXPECT_TRUE(corpus.ok()) << corpus.status();
+    EXPECT_TRUE(corpus->Validate().ok());
+    return ComputeStats(corpus.value(), /*include_file_size=*/false);
+  }
+
+  static std::map<std::string, size_t> Freq(const CorpusStats& stats) {
+    std::map<std::string, size_t> out;
+    for (const auto& [tag, count] : stats.tag_frequencies) out[tag] = count;
+    return out;
+  }
+
+  static int RankOf(const CorpusStats& stats, const std::string& tag) {
+    for (size_t i = 0; i < stats.tag_frequencies.size(); ++i) {
+      if (stats.tag_frequencies[i].first == tag) return static_cast<int>(i);
+    }
+    return -1;
+  }
+};
+
+TEST_F(ProfileTest, WsjMatchesFigure6Shape) {
+  CorpusStats stats = Stats(WsjProfile(), 3000);
+  SCOPED_TRACE([&] {
+    std::string top;
+    for (const auto& [t, c] : stats.TopTags(10)) {
+      top += t + ":" + std::to_string(c) + " ";
+    }
+    return "top tags: " + top;
+  }());
+
+  // Figure 6(b) WSJ ranking: NP first; VP, NN, IN, NNP, S, DT, NP-SBJ,
+  // -NONE-, JJ all in the top 10.
+  EXPECT_EQ(stats.tag_frequencies[0].first, "NP");
+  EXPECT_LT(RankOf(stats, "VP"), 3);
+  EXPECT_LT(RankOf(stats, "NN"), 3);
+  // The paper's remaining top-10 tags all land in our top ~13 (our -NONE-
+  // and JJ sit just below the punctuation/PP tags — see EXPERIMENTS.md for
+  // the measured table and the deviation note).
+  for (const char* tag : {"IN", "NNP", "S", "DT", "NP-SBJ", "-NONE-", "JJ"}) {
+    const int rank = RankOf(stats, tag);
+    EXPECT_GE(rank, 0) << tag;
+    EXPECT_LT(rank, 14) << tag << " rank " << rank;
+  }
+  // Depth bound from Figure 6(a).
+  EXPECT_LE(stats.max_depth, 36);
+  EXPECT_GE(stats.max_depth, 8);
+
+  // Every tag the 23-query suite mentions must occur.
+  auto freq = Freq(stats);
+  for (const char* tag :
+       {"VB", "NN", "VP", "NP", "PP", "SBAR", "ADVP", "ADJP", "JJ", "IN",
+        "WHPP", "RRC", "PP-TMP", "UCP-PRD", "ADJP-PRD", "ADVP-LOC-CLR"}) {
+    EXPECT_GT(freq[tag], 0u) << tag;
+  }
+}
+
+TEST_F(ProfileTest, SwbMatchesFigure6Shape) {
+  CorpusStats stats = Stats(SwbProfile(), 3000);
+  SCOPED_TRACE([&] {
+    std::string top;
+    for (const auto& [t, c] : stats.TopTags(10)) {
+      top += t + ":" + std::to_string(c) + " ";
+    }
+    return "top tags: " + top;
+  }());
+
+  // Figure 6(b) SWB: -DFL- is the most frequent tag; VP, NP-SBJ, ".", ",",
+  // S, NP, PRP, NN, RB fill the top 10.
+  EXPECT_EQ(stats.tag_frequencies[0].first, "-DFL-");
+  for (const char* tag : {"VP", "NP-SBJ", ".", ",", "S", "NP", "PRP", "NN"}) {
+    const int rank = RankOf(stats, tag);
+    EXPECT_GE(rank, 0) << tag;
+    EXPECT_LT(rank, 14) << tag << " rank " << rank;
+  }
+  EXPECT_LE(stats.max_depth, 36);
+}
+
+TEST_F(ProfileTest, RareWordsSplitAcrossProfiles) {
+  GeneratorOptions opts;
+  opts.sentences = 4000;
+  Result<Corpus> wsj = GenerateCorpus(WsjProfile(), opts);
+  Result<Corpus> swb = GenerateCorpus(SwbProfile(), opts);
+  ASSERT_TRUE(wsj.ok());
+  ASSERT_TRUE(swb.ok());
+  // Q12–Q14 must be able to return 0 on SWB: the words/tags don't exist.
+  EXPECT_EQ(swb->Lookup("rapprochement"), kNoSymbol);
+  EXPECT_EQ(swb->Lookup("1929"), kNoSymbol);
+  EXPECT_EQ(swb->Lookup("ADVP-LOC-CLR"), kNoSymbol);
+  // And exist (at least in the dictionary reachability sense) on WSJ at
+  // this scale: "saw" and "of" are needed by Q1/Q10 on both.
+  EXPECT_NE(wsj->Lookup("saw"), kNoSymbol);
+  EXPECT_NE(swb->Lookup("saw"), kNoSymbol);
+  EXPECT_NE(wsj->Lookup("of"), kNoSymbol);
+  EXPECT_NE(swb->Lookup("of"), kNoSymbol);
+  EXPECT_NE(wsj->Lookup("ADVP-LOC-CLR"), kNoSymbol);
+}
+
+TEST_F(ProfileTest, SentencesAreSentenceSized) {
+  CorpusStats stats = Stats(WsjProfile(), 1000);
+  const double words_per_sentence =
+      static_cast<double>(stats.word_count) / stats.tree_count;
+  EXPECT_GT(words_per_sentence, 5.0);
+  EXPECT_LT(words_per_sentence, 60.0);
+  const double nodes_per_sentence = stats.avg_tree_nodes;
+  EXPECT_GT(nodes_per_sentence, 10.0);
+  EXPECT_LT(nodes_per_sentence, 120.0);
+}
+
+}  // namespace
+}  // namespace lpath

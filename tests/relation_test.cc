@@ -1,0 +1,188 @@
+// Tests for the clustered node relation and its access paths.
+
+#include "storage/relation.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "test_util.h"
+
+namespace lpath {
+namespace {
+
+using testing::BuildFigure1Corpus;
+using testing::RandomCorpus;
+
+class Figure1RelationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    corpus_ = BuildFigure1Corpus();
+    Result<NodeRelation> rel = NodeRelation::Build(corpus_);
+    ASSERT_TRUE(rel.ok()) << rel.status();
+    rel_ = std::make_unique<NodeRelation>(std::move(rel).value());
+  }
+  Corpus corpus_;
+  std::unique_ptr<NodeRelation> rel_;
+};
+
+TEST_F(Figure1RelationTest, RowCountIsNodesPlusAttrs) {
+  // 15 element nodes + 9 @lex attributes.
+  EXPECT_EQ(rel_->row_count(), 24u);
+  EXPECT_EQ(rel_->element_count(), 15u);
+  EXPECT_EQ(rel_->tree_count(), 1);
+}
+
+TEST_F(Figure1RelationTest, ClusteredOrderGroupsByName) {
+  const Symbol np = corpus_.Lookup("NP");
+  RowRange run = rel_->run(np);
+  EXPECT_EQ(run.size(), 4u);  // NP(I), NP6, NP7, NP(a dog)
+  // Sorted by (tid, left, right) within the run.
+  for (Row r = run.begin; r + 1 < run.end; ++r) {
+    EXPECT_LE(rel_->left(r), rel_->left(r + 1));
+    EXPECT_EQ(rel_->name(r), np);
+  }
+}
+
+TEST_F(Figure1RelationTest, NameCardinality) {
+  EXPECT_EQ(rel_->NameCardinality(corpus_.Lookup("NP")), 4u);
+  EXPECT_EQ(rel_->NameCardinality(corpus_.Lookup("N")), 3u);
+  EXPECT_EQ(rel_->NameCardinality(corpus_.Lookup("S")), 1u);
+  EXPECT_EQ(rel_->NameCardinality(corpus_.Lookup("@lex")), 9u);
+  EXPECT_EQ(rel_->NameCardinality(kNoSymbol), 0u);
+}
+
+TEST_F(Figure1RelationTest, AttributeRowsShareElementLabels) {
+  // The V row and its @lex row have identical labels (Definition 4.1 rule 8).
+  const Symbol v = corpus_.Lookup("V");
+  RowRange vrun = rel_->run(v);
+  ASSERT_EQ(vrun.size(), 1u);
+  const Row vrow = vrun.begin;
+  EXPECT_FALSE(rel_->is_attr(vrow));
+
+  auto attrs = rel_->AttrRows(0, rel_->id(vrow));
+  ASSERT_EQ(attrs.size(), 1u);
+  const Row arow = attrs[0];
+  EXPECT_TRUE(rel_->is_attr(arow));
+  EXPECT_EQ(rel_->label(arow), rel_->label(vrow));
+  EXPECT_EQ(rel_->interner().name(rel_->name(arow)), "@lex");
+  EXPECT_EQ(rel_->interner().name(rel_->value(arow)), "saw");
+}
+
+TEST_F(Figure1RelationTest, ValueIndex) {
+  auto saw_rows = rel_->ValueRange(corpus_.Lookup("saw"));
+  ASSERT_EQ(saw_rows.size(), 1u);
+  EXPECT_EQ(rel_->left(saw_rows[0]), 2);
+  EXPECT_EQ(rel_->right(saw_rows[0]), 3);
+  EXPECT_TRUE(rel_->ValueRange(corpus_.Lookup("nonexistent")).empty());
+  EXPECT_EQ(rel_->ValueCardinality(corpus_.Lookup("saw")), 1u);
+}
+
+TEST_F(Figure1RelationTest, ElementRowLookup) {
+  // id 1 = the root S (pre-order).
+  Row s = rel_->ElementRow(0, 1);
+  ASSERT_NE(s, kNoRow);
+  EXPECT_EQ(rel_->interner().name(rel_->name(s)), "S");
+  EXPECT_EQ(rel_->left(s), 1);
+  EXPECT_EQ(rel_->right(s), 10);
+  EXPECT_EQ(rel_->ElementRow(0, 99), kNoRow);
+  EXPECT_EQ(rel_->ElementRow(5, 1), kNoRow);
+  EXPECT_EQ(rel_->ElementRow(0, 0), kNoRow);
+}
+
+TEST_F(Figure1RelationTest, RunLeftRange) {
+  // NPs with left in [3, 9) in tree 0: NP6 (l=3), NP7 (l=3), NP(a dog) (l=7).
+  const Symbol np = corpus_.Lookup("NP");
+  RowRange rng = rel_->RunLeftRange(np, 0, 3, 9);
+  EXPECT_EQ(rng.size(), 3u);
+  // Empty for a bogus tree and inverted bounds.
+  EXPECT_TRUE(rel_->RunLeftRange(np, 7, 0, 100).empty());
+  EXPECT_TRUE(rel_->RunLeftRange(np, 0, 5, 5).empty());
+}
+
+TEST_F(Figure1RelationTest, RunRightRange) {
+  // NPs with right == 9: NP6 [3,9] and NP(a dog) [7,9].
+  const Symbol np = corpus_.Lookup("NP");
+  auto rows = rel_->RunRightRange(np, 0, 9, 10);
+  EXPECT_EQ(rows.size(), 2u);
+  for (Row r : rows) EXPECT_EQ(rel_->right(r), 9);
+}
+
+TEST_F(Figure1RelationTest, RunPidRange) {
+  // Children of NP7 (Det, Adj, N): by tag.
+  const Symbol np = corpus_.Lookup("NP");
+  RowRange np_run = rel_->RunForTree(np, 0);
+  // find NP7: left=3, right=6
+  Row np7 = kNoRow;
+  for (Row r = np_run.begin; r < np_run.end; ++r) {
+    if (rel_->left(r) == 3 && rel_->right(r) == 6) np7 = r;
+  }
+  ASSERT_NE(np7, kNoRow);
+  auto dets = rel_->RunPidRange(corpus_.Lookup("Det"), 0, rel_->id(np7));
+  ASSERT_EQ(dets.size(), 1u);
+  EXPECT_EQ(rel_->left(dets[0]), 3);
+  auto ns = rel_->RunPidRange(corpus_.Lookup("N"), 0, rel_->id(np7));
+  ASSERT_EQ(ns.size(), 1u);
+  EXPECT_EQ(rel_->left(ns[0]), 5);
+}
+
+TEST(RelationTest, RandomCorpusConsistency) {
+  Corpus corpus = RandomCorpus(/*seed=*/77, /*trees=*/30);
+  Result<NodeRelation> built = NodeRelation::Build(corpus);
+  ASSERT_TRUE(built.ok());
+  const NodeRelation& rel = built.value();
+
+  // Every element of every tree is reachable through ElementRow and carries
+  // consistent columns.
+  size_t elements = 0;
+  for (TreeId tid = 0; tid < static_cast<TreeId>(corpus.size()); ++tid) {
+    const Tree& t = corpus.tree(tid);
+    for (NodeId i = 0; i < static_cast<NodeId>(t.size()); ++i) {
+      Row r = rel.ElementRow(tid, i + 1);
+      ASSERT_NE(r, kNoRow);
+      EXPECT_EQ(rel.tid(r), tid);
+      EXPECT_EQ(rel.id(r), i + 1);
+      EXPECT_EQ(rel.name(r), t.name(i));
+      EXPECT_FALSE(rel.is_attr(r));
+      ++elements;
+    }
+  }
+  EXPECT_EQ(rel.element_count(), elements);
+
+  // Runs partition the row space.
+  size_t covered = 0;
+  for (Symbol s = 1; s < corpus.interner().end_id(); ++s) {
+    covered += rel.run(s).size();
+  }
+  EXPECT_EQ(covered, rel.row_count());
+  EXPECT_GT(rel.MemoryBytes(), 0u);
+}
+
+TEST(RelationTest, XPathSchemeBuilds) {
+  Corpus corpus = RandomCorpus(/*seed=*/78, /*trees=*/10);
+  RelationOptions opts;
+  opts.scheme = LabelScheme::kXPath;
+  Result<NodeRelation> built = NodeRelation::Build(corpus, opts);
+  ASSERT_TRUE(built.ok());
+  EXPECT_EQ(built->scheme(), LabelScheme::kXPath);
+  // Tag positions: strict nesting means left < right always, and the root
+  // of each tree spans [1, 2*size].
+  for (TreeId tid = 0; tid < static_cast<TreeId>(corpus.size()); ++tid) {
+    Row root = built->ElementRow(tid, 1);
+    ASSERT_NE(root, kNoRow);
+    EXPECT_EQ(built->left(root), 1);
+    EXPECT_EQ(built->right(root),
+              static_cast<int32_t>(2 * corpus.tree(tid).size()));
+  }
+}
+
+TEST(RelationTest, EmptyCorpus) {
+  Corpus corpus;
+  Result<NodeRelation> built = NodeRelation::Build(corpus);
+  ASSERT_TRUE(built.ok());
+  EXPECT_EQ(built->row_count(), 0u);
+  EXPECT_EQ(built->tree_count(), 0);
+}
+
+}  // namespace
+}  // namespace lpath

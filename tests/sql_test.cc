@@ -1,0 +1,214 @@
+// Unit tests for the SQL subset: lexer, parser, optimizer and executor on
+// hand-written SQL (the "RDBMS client" path).
+
+#include <gtest/gtest.h>
+
+#include "lpath/engines.h"
+#include "sql/lexer.h"
+#include "sql/optimizer.h"
+#include "sql/parser.h"
+#include "test_util.h"
+
+namespace lpath {
+namespace {
+
+using sql::Token;
+using sql::TokenKind;
+using sql::Tokenize;
+
+TEST(SqlLexerTest, BasicTokens) {
+  Result<std::vector<Token>> r =
+      Tokenize("SELECT a0.tid, 'it''s' != 42 (<=) <>");
+  ASSERT_TRUE(r.ok());
+  const std::vector<Token>& t = r.value();
+  ASSERT_EQ(t.size(), 13u);  // incl. kEnd
+  EXPECT_EQ(t[0].kind, TokenKind::kIdent);
+  EXPECT_EQ(t[0].text, "SELECT");
+  EXPECT_EQ(t[1].text, "a0");
+  EXPECT_EQ(t[2].kind, TokenKind::kDot);
+  EXPECT_EQ(t[3].text, "tid");
+  EXPECT_EQ(t[4].kind, TokenKind::kComma);
+  EXPECT_EQ(t[5].kind, TokenKind::kString);
+  EXPECT_EQ(t[5].text, "it's");
+  EXPECT_EQ(t[6].kind, TokenKind::kNe);
+  EXPECT_EQ(t[7].kind, TokenKind::kNumber);
+  EXPECT_EQ(t[7].number, 42);
+  EXPECT_EQ(t[8].kind, TokenKind::kLParen);
+  EXPECT_EQ(t[9].kind, TokenKind::kLe);
+  EXPECT_EQ(t[10].kind, TokenKind::kRParen);
+  EXPECT_EQ(t[11].kind, TokenKind::kNe);
+  EXPECT_EQ(t[12].kind, TokenKind::kEnd);
+}
+
+TEST(SqlLexerTest, Errors) {
+  EXPECT_FALSE(Tokenize("'unterminated").ok());
+  EXPECT_FALSE(Tokenize("a ! b").ok());
+  EXPECT_FALSE(Tokenize("a # b").ok());
+}
+
+TEST(SqlParserTest, MinimalSelect) {
+  Result<ExecPlan> p =
+      sql::ParseSql("SELECT DISTINCT a0.tid, a0.id FROM nodes AS a0");
+  ASSERT_TRUE(p.ok()) << p.status();
+  EXPECT_EQ(p->num_vars, 1);
+  EXPECT_EQ(p->output_var, 0);
+  EXPECT_TRUE(p->conjuncts.empty());
+}
+
+TEST(SqlParserTest, KeywordsAreCaseInsensitive) {
+  Result<ExecPlan> p = sql::ParseSql(
+      "select distinct x.tid, x.id from nodes as x where x.name = 'NP'");
+  ASSERT_TRUE(p.ok()) << p.status();
+  EXPECT_EQ(p->conjuncts.size(), 1u);
+}
+
+TEST(SqlParserTest, LiteralOnLeftIsNormalized) {
+  Result<ExecPlan> p = sql::ParseSql(
+      "SELECT DISTINCT a.tid, a.id FROM nodes AS a WHERE 3 < a.depth");
+  ASSERT_TRUE(p.ok());
+  ASSERT_EQ(p->conjuncts.size(), 1u);
+  const Conjunct& c = p->conjuncts[0];
+  EXPECT_FALSE(c.lhs.is_literal());
+  EXPECT_EQ(c.op, CmpOp::kGt);
+  EXPECT_EQ(c.rhs.num, 3);
+}
+
+TEST(SqlParserTest, Errors) {
+  EXPECT_FALSE(sql::ParseSql("").ok());
+  EXPECT_FALSE(sql::ParseSql("SELECT a0.tid FROM nodes AS a0").ok());
+  EXPECT_FALSE(
+      sql::ParseSql("SELECT DISTINCT a0.tid, a1.id FROM nodes AS a0").ok());
+  EXPECT_FALSE(sql::ParseSql("SELECT DISTINCT a0.tid, a0.id FROM nodes AS a0 "
+                             "WHERE a0.bogus = 1")
+                   .ok());
+  EXPECT_FALSE(sql::ParseSql("SELECT DISTINCT a0.tid, a0.id FROM nodes AS a0 "
+                             "WHERE a9.id = 1")
+                   .ok());
+  EXPECT_FALSE(sql::ParseSql("SELECT DISTINCT a0.tid, a0.id FROM nodes AS a0 "
+                             "WHERE 1 = 1")
+                   .ok());
+  EXPECT_FALSE(sql::ParseSql("SELECT DISTINCT a0.tid, a0.id FROM nodes AS a0, "
+                             "nodes AS a0")
+                   .ok());
+}
+
+class SqlExecTest : public ::testing::Test {
+ protected:
+  SqlExecTest() : corpus_(testing::BuildFigure1Corpus()) {
+    Result<NodeRelation> rel = NodeRelation::Build(corpus_);
+    EXPECT_TRUE(rel.ok());
+    rel_ = std::make_unique<NodeRelation>(std::move(rel).value());
+  }
+
+  size_t Count(const std::string& sql_text) {
+    Result<QueryResult> r = RunSql(*rel_, sql_text);
+    EXPECT_TRUE(r.ok()) << sql_text << " -> " << r.status();
+    return r.ok() ? r->count() : 0;
+  }
+
+  Corpus corpus_;
+  std::unique_ptr<NodeRelation> rel_;
+};
+
+TEST_F(SqlExecTest, NameScan) {
+  EXPECT_EQ(Count("SELECT DISTINCT a.tid, a.id FROM nodes AS a "
+                  "WHERE a.name = 'NP'"),
+            4u);
+  EXPECT_EQ(Count("SELECT DISTINCT a.tid, a.id FROM nodes AS a "
+                  "WHERE a.name = 'Nope'"),
+            0u);
+}
+
+TEST_F(SqlExecTest, SelfJoinChild) {
+  // NPs with an N child: NP7 and NP12.
+  EXPECT_EQ(Count("SELECT DISTINCT a.tid, a.id FROM nodes AS a, nodes AS b "
+                  "WHERE a.name = 'NP' AND b.name = 'N' AND b.tid = a.tid "
+                  "AND b.pid = a.id"),
+            2u);
+}
+
+TEST_F(SqlExecTest, IntervalJoinFollowing) {
+  // Nodes following V (left >= 3), counting elements only: everything from
+  // NP6 onward = 11 element rows... NP6,NP7,Det,Adj,N,PP,Prep,NP,Det,N,N(today).
+  EXPECT_EQ(Count("SELECT DISTINCT b.tid, b.id FROM nodes AS a, nodes AS b "
+                  "WHERE a.name = 'V' AND b.kind = 0 AND b.tid = a.tid "
+                  "AND b.left >= a.right"),
+            11u);
+}
+
+TEST_F(SqlExecTest, ValueIndexLookup) {
+  EXPECT_EQ(Count("SELECT DISTINCT a.tid, a.id FROM nodes AS a "
+                  "WHERE a.value = 'saw'"),
+            1u);
+}
+
+TEST_F(SqlExecTest, ExistsAndNotExists) {
+  // NPs containing a Det: NP6, NP7, NP12.
+  EXPECT_EQ(Count("SELECT DISTINCT a.tid, a.id FROM nodes AS a WHERE "
+                  "a.name = 'NP' AND EXISTS (SELECT 1 FROM nodes AS b WHERE "
+                  "b.tid = a.tid AND b.name = 'Det' AND b.left >= a.left AND "
+                  "b.right <= a.right AND b.depth > a.depth)"),
+            3u);
+  // NPs with no Det inside: NP(I).
+  EXPECT_EQ(Count("SELECT DISTINCT a.tid, a.id FROM nodes AS a WHERE "
+                  "a.name = 'NP' AND NOT (EXISTS (SELECT 1 FROM nodes AS b "
+                  "WHERE b.tid = a.tid AND b.name = 'Det' AND b.left >= "
+                  "a.left AND b.right <= a.right AND b.depth > a.depth))"),
+            1u);
+}
+
+TEST_F(SqlExecTest, OrFilter) {
+  // V or Det: 1 + 2.
+  EXPECT_EQ(Count("SELECT DISTINCT a.tid, a.id FROM nodes AS a WHERE "
+                  "(a.name = 'V' OR a.name = 'Det')"),
+            3u);
+}
+
+TEST_F(SqlExecTest, UnknownSymbolIsEmptyNotError) {
+  EXPECT_EQ(Count("SELECT DISTINCT a.tid, a.id FROM nodes AS a WHERE "
+                  "a.value = 'neverseen'"),
+            0u);
+}
+
+TEST_F(SqlExecTest, StringInequalityRejected) {
+  Result<QueryResult> r =
+      RunSql(*rel_,
+             "SELECT DISTINCT a.tid, a.id FROM nodes AS a WHERE "
+             "a.name < 'NP'");
+  EXPECT_TRUE(r.status().IsNotSupported());
+}
+
+TEST_F(SqlExecTest, JoinOrderModesAgree) {
+  const std::string q =
+      "SELECT DISTINCT c.tid, c.id FROM nodes AS a, nodes AS b, nodes AS c "
+      "WHERE a.name = 'VP' AND b.tid = a.tid AND b.pid = a.id AND "
+      "b.name = 'V' AND c.tid = b.tid AND c.left >= b.right AND "
+      "c.name = 'N'";
+  sql::ExecOptions greedy;
+  sql::ExecOptions ltr;
+  ltr.join_order = sql::ExecOptions::JoinOrder::kLeftToRight;
+  Result<QueryResult> r1 = RunSql(*rel_, q, greedy);
+  Result<QueryResult> r2 = RunSql(*rel_, q, ltr);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r1.value(), r2.value());
+  EXPECT_EQ(r1->count(), 3u);
+}
+
+TEST_F(SqlExecTest, EarlyExitModesAgree) {
+  const std::string q =
+      "SELECT DISTINCT a.tid, a.id FROM nodes AS a, nodes AS b "
+      "WHERE a.name = 'NP' AND b.tid = a.tid AND b.kind = 0 AND "
+      "b.left >= a.right";
+  sql::ExecOptions fast;
+  sql::ExecOptions naive;
+  naive.distinct_early_exit = false;
+  Result<QueryResult> r1 = RunSql(*rel_, q, fast);
+  Result<QueryResult> r2 = RunSql(*rel_, q, naive);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r1.value(), r2.value());
+}
+
+}  // namespace
+}  // namespace lpath

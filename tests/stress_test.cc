@@ -1,0 +1,146 @@
+// Stress and degenerate-shape tests: very deep trees (beyond any real
+// treebank), pure unary chains (where interval containment alone cannot
+// separate ancestors from descendants — the depth column's reason to
+// exist), single-node trees, and wide flat trees.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "lpath/engines.h"
+#include "lpath/eval_nav.h"
+#include "storage/relation.h"
+#include "test_util.h"
+#include "tree/bracket_io.h"
+
+namespace lpath {
+namespace {
+
+/// A unary chain X > X > ... > X (depth n) ending in a word.
+Tree UnaryChain(Interner* in, int depth, const char* tag = "X") {
+  Tree t;
+  NodeId node = t.AddRoot(in->Intern(tag));
+  for (int i = 1; i < depth; ++i) node = t.AddChild(node, in->Intern(tag));
+  t.AddAttr(node, in->Intern("@lex"), in->Intern("w"));
+  return t;
+}
+
+TEST(StressTest, DeepUnaryChainLabels) {
+  Interner in;
+  Tree t = UnaryChain(&in, 20000);
+  std::vector<Label> labels;
+  ComputeLPathLabels(t, &labels);  // iterative: must not overflow the stack
+  // Every node spans the single terminal; only depth separates them.
+  for (size_t i = 0; i < labels.size(); ++i) {
+    EXPECT_EQ(labels[i].left, 1);
+    EXPECT_EQ(labels[i].right, 2);
+    EXPECT_EQ(labels[i].depth, static_cast<int>(i + 1));
+  }
+  std::vector<Label> xlabels;
+  ComputeXPathLabels(t, &xlabels);  // also iterative
+  EXPECT_EQ(xlabels[0].left, 1);
+  EXPECT_EQ(xlabels[0].right, 40000);
+}
+
+TEST(StressTest, UnaryChainAncestryNeedsDepth) {
+  Interner in;
+  Tree t = UnaryChain(&in, 50);
+  std::vector<Label> labels;
+  ComputeLPathLabels(t, &labels);
+  // Same intervals everywhere: descendant/ancestor decisions hinge on the
+  // depth comparison of Table 2.
+  EXPECT_TRUE(LPathAxisMatches(Axis::kDescendant, labels[0], labels[49]));
+  EXPECT_FALSE(LPathAxisMatches(Axis::kDescendant, labels[49], labels[0]));
+  EXPECT_TRUE(LPathAxisMatches(Axis::kAncestor, labels[49], labels[0]));
+  EXPECT_FALSE(LPathAxisMatches(Axis::kDescendant, labels[5], labels[5]));
+}
+
+TEST(StressTest, QueriesOnUnaryChainCorpus) {
+  Corpus corpus;
+  corpus.Add(UnaryChain(corpus.mutable_interner(), 200));
+  Result<NodeRelation> rel = NodeRelation::Build(corpus);
+  ASSERT_TRUE(rel.ok());
+  LPathEngine engine(rel.value());
+  NavigationalEngine nav(corpus);
+  for (const char* q :
+       {"//X", "//X//X", "//X/X", "//X\\\\X", "//X[not(//X)]",
+        "//X[@lex=w]", "//X{//X$}", "//^X"}) {
+    Result<QueryResult> a = engine.Run(q);
+    Result<QueryResult> b = nav.Run(q);
+    ASSERT_TRUE(a.ok()) << q << ": " << a.status();
+    ASSERT_TRUE(b.ok()) << q << ": " << b.status();
+    EXPECT_EQ(a.value(), b.value()) << q;
+  }
+  // The deepest X is the only one with no X descendant.
+  EXPECT_EQ(engine.Run("//X[not(//X)]")->count(), 1u);
+  // Every node is right-aligned with the root (same interval).
+  EXPECT_EQ(engine.Run("//X{//X$}")->count(), 199u);  // descendants of some X
+}
+
+TEST(StressTest, WideFlatTree) {
+  Corpus corpus;
+  {
+    Tree t;
+    Interner* in = corpus.mutable_interner();
+    NodeId root = t.AddRoot(in->Intern("S"));
+    for (int i = 0; i < 5000; ++i) {
+      NodeId child = t.AddChild(root, in->Intern(i % 2 ? "A" : "B"));
+      t.AddAttr(child, in->Intern("@lex"), in->Intern("w" + std::to_string(i % 7)));
+    }
+    corpus.Add(std::move(t));
+  }
+  Result<NodeRelation> rel = NodeRelation::Build(corpus);
+  ASSERT_TRUE(rel.ok());
+  LPathEngine engine(rel.value());
+  NavigationalEngine nav(corpus);
+  for (const char* q : {"//B=>A", "//A<==B", "//S{/^B}", "//S{/A$}",
+                        "//A->B", "//B[@lex=w3]"}) {
+    Result<QueryResult> a = engine.Run(q);
+    Result<QueryResult> b = nav.Run(q);
+    ASSERT_TRUE(a.ok()) << q;
+    ASSERT_TRUE(b.ok()) << q;
+    EXPECT_EQ(a.value(), b.value()) << q;
+  }
+  // 2500 B nodes each immediately followed by a sibling A.
+  EXPECT_EQ(engine.Run("//B=>A")->count(), 2500u);
+  EXPECT_EQ(engine.Run("//S{/^B}")->count(), 1u);   // first child is B
+  EXPECT_EQ(engine.Run("//S{/A$}")->count(), 1u);   // last child is A
+}
+
+TEST(StressTest, SingleNodeTreeAndEmptyishQueries) {
+  Corpus corpus;
+  {
+    Tree t;
+    t.AddRoot(corpus.mutable_interner()->Intern("S"));
+    corpus.Add(std::move(t));
+  }
+  Result<NodeRelation> rel = NodeRelation::Build(corpus);
+  ASSERT_TRUE(rel.ok());
+  LPathEngine engine(rel.value());
+  EXPECT_EQ(engine.Run("//S")->count(), 1u);
+  EXPECT_EQ(engine.Run("/S")->count(), 1u);
+  EXPECT_EQ(engine.Run("//S/_")->count(), 0u);
+  EXPECT_EQ(engine.Run("//S-->_")->count(), 0u);
+  EXPECT_EQ(engine.Run("//S[@lex=w]")->count(), 0u);
+  EXPECT_EQ(engine.Run("//Missing")->count(), 0u);
+}
+
+TEST(StressTest, DeepChainBracketRoundTripAndRelation) {
+  // The bracket parser and relation builder must survive depth well beyond
+  // real treebanks (the writer is recursive; keep within stack reason).
+  Corpus corpus;
+  corpus.Add(UnaryChain(corpus.mutable_interner(), 5000));
+  std::string text = WriteBracketCorpus(corpus);
+  Corpus reparsed;
+  ASSERT_TRUE(ParseBracketText(text, &reparsed).ok());
+  EXPECT_EQ(reparsed.tree(0).size(), 5000u);
+  Result<NodeRelation> rel = NodeRelation::Build(reparsed);
+  ASSERT_TRUE(rel.ok());
+  EXPECT_EQ(rel->element_count(), 5000u);
+  // And a query through the whole stack.
+  LPathEngine engine(rel.value());
+  EXPECT_EQ(engine.Run("//X[@lex=w]")->count(), 1u);
+}
+
+}  // namespace
+}  // namespace lpath

@@ -1,0 +1,119 @@
+// Shared test helpers: the running example of the paper (Figure 1's syntax
+// tree for "I saw the old man with a dog today") and a seeded random-tree
+// generator for property tests.
+
+#ifndef LPATHDB_TESTS_TEST_UTIL_H_
+#define LPATHDB_TESTS_TEST_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "tree/corpus.h"
+#include "tree/tree.h"
+
+namespace lpath {
+namespace testing {
+
+/// Builds the Figure 1 tree. Pre-order node ids (0-based):
+///   0:S 1:NP(I) 2:VP 3:V(saw) 4:NP 5:NP 6:Det(the) 7:Adj(old) 8:N(man)
+///   9:PP 10:Prep(with) 11:NP 12:Det(a) 13:N(dog) 14:N(today)
+inline Tree BuildFigure1Tree(Interner* in) {
+  const Symbol lex = in->Intern("@lex");
+  Tree t;
+  NodeId s = t.AddRoot(in->Intern("S"));
+  NodeId np_i = t.AddChild(s, in->Intern("NP"));
+  t.AddAttr(np_i, lex, in->Intern("I"));
+  NodeId vp = t.AddChild(s, in->Intern("VP"));
+  NodeId v = t.AddChild(vp, in->Intern("V"));
+  t.AddAttr(v, lex, in->Intern("saw"));
+  NodeId np6 = t.AddChild(vp, in->Intern("NP"));
+  NodeId np7 = t.AddChild(np6, in->Intern("NP"));
+  NodeId det = t.AddChild(np7, in->Intern("Det"));
+  t.AddAttr(det, lex, in->Intern("the"));
+  NodeId adj = t.AddChild(np7, in->Intern("Adj"));
+  t.AddAttr(adj, lex, in->Intern("old"));
+  NodeId n_man = t.AddChild(np7, in->Intern("N"));
+  t.AddAttr(n_man, lex, in->Intern("man"));
+  NodeId pp = t.AddChild(np6, in->Intern("PP"));
+  NodeId prep = t.AddChild(pp, in->Intern("Prep"));
+  t.AddAttr(prep, lex, in->Intern("with"));
+  NodeId np_dog = t.AddChild(pp, in->Intern("NP"));
+  NodeId det_a = t.AddChild(np_dog, in->Intern("Det"));
+  t.AddAttr(det_a, lex, in->Intern("a"));
+  NodeId n_dog = t.AddChild(np_dog, in->Intern("N"));
+  t.AddAttr(n_dog, lex, in->Intern("dog"));
+  NodeId n_today = t.AddChild(s, in->Intern("N"));
+  t.AddAttr(n_today, lex, in->Intern("today"));
+  (void)n_today;
+  return t;
+}
+
+/// Corpus holding just the Figure 1 tree.
+inline Corpus BuildFigure1Corpus() {
+  Corpus corpus;
+  corpus.Add(BuildFigure1Tree(corpus.mutable_interner()));
+  return corpus;
+}
+
+namespace internal {
+
+inline const char* RandomTag(Rng* rng) {
+  static const char* kTags[] = {"S", "NP", "VP", "PP", "N", "V",
+                                "Det", "Adj", "X", "Y"};
+  return kTags[rng->Below(10)];
+}
+
+inline const char* RandomWord(Rng* rng) {
+  static const char* kWords[] = {"a", "b", "c", "saw", "dog", "man",
+                                 "of", "what", "building"};
+  return kWords[rng->Below(9)];
+}
+
+/// Document-order recursive growth. Attributes must be added to the most
+/// recently created node, which holds exactly when a node is decided to be
+/// a leaf immediately after creation.
+inline void GrowChildren(Tree* t, NodeId node, Rng* rng, Interner* in,
+                         Symbol lex, int depth, int* budget) {
+  const double stop = 0.15 + 0.12 * depth;
+  if (*budget <= 0 || rng->Chance(stop)) {
+    if (rng->Chance(0.8)) t->AddAttr(node, lex, in->Intern(RandomWord(rng)));
+    return;
+  }
+  // 1..4 children; 1 child yields unary chains, which exercise the depth
+  // component of the labeling scheme.
+  const int kids = 1 + static_cast<int>(rng->Below(4));
+  for (int i = 0; i < kids && *budget > 0; ++i) {
+    *budget -= 1;
+    NodeId child = t->AddChild(node, in->Intern(RandomTag(rng)));
+    GrowChildren(t, child, rng, in, lex, depth + 1, budget);
+  }
+}
+
+}  // namespace internal
+
+/// Random ordered tree over a small tag alphabet; leaves usually get @lex
+/// words. Shapes include unary chains, wide nodes and deep spines.
+inline Tree RandomTree(Rng* rng, Interner* in, int max_nodes) {
+  const Symbol lex = in->Intern("@lex");
+  Tree t;
+  NodeId root = t.AddRoot(in->Intern(internal::RandomTag(rng)));
+  int budget = 1 + static_cast<int>(rng->Below(max_nodes));
+  internal::GrowChildren(&t, root, rng, in, lex, 1, &budget);
+  return t;
+}
+
+/// A corpus of `trees` random trees (deterministic in `seed`).
+inline Corpus RandomCorpus(uint64_t seed, int trees, int max_nodes = 40) {
+  Corpus corpus;
+  Rng rng(seed);
+  for (int i = 0; i < trees; ++i) {
+    corpus.Add(RandomTree(&rng, corpus.mutable_interner(), max_nodes));
+  }
+  return corpus;
+}
+
+}  // namespace testing
+}  // namespace lpath
+
+#endif  // LPATHDB_TESTS_TEST_UTIL_H_

@@ -1,0 +1,276 @@
+// Tests for the TGrep2-style baseline: pattern parsing, the compiled corpus
+// image (incl. binary save/load), the matcher on the Figure 1 tree, and
+// agreement with the LPath engine on translated queries.
+
+#include "tgrep/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "lpath/engines.h"
+#include "lpath/eval_nav.h"
+#include "test_util.h"
+#include "tgrep/parser.h"
+#include "tree/bracket_io.h"
+
+namespace lpath {
+namespace {
+
+using tgrep::ParsePattern;
+using tgrep::Pattern;
+using tgrep::RelOp;
+using tgrep::TGrep2Engine;
+using tgrep::TgrepCorpus;
+
+TEST(TgrepParserTest, NodeSpecs) {
+  auto p = ParsePattern("NP");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ((*p)->spec.kind, tgrep::NodeSpec::Kind::kLiteral);
+  ASSERT_EQ((*p)->spec.alts.size(), 1u);
+  EXPECT_EQ((*p)->spec.alts[0], "NP");
+
+  p = ParsePattern("NP|PP|VP");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ((*p)->spec.alts.size(), 3u);
+
+  p = ParsePattern("__");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ((*p)->spec.kind, tgrep::NodeSpec::Kind::kAny);
+
+  p = ParsePattern("/^NP/");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ((*p)->spec.kind, tgrep::NodeSpec::Kind::kRegex);
+
+  p = ParsePattern("NP=x < =x");  // silly but grammatical
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ((*p)->spec.bind_name, "x");
+}
+
+TEST(TgrepParserTest, Relations) {
+  auto p = ParsePattern("NP < VP << N > S >> X <, A <- B <: C <2 D <-2 E");
+  ASSERT_TRUE(p.ok()) << p.status();
+  p = ParsePattern("NP . VP , N .. X ,, Y $ Z $. W $, V $.. U $,, T");
+  ASSERT_TRUE(p.ok()) << p.status();
+  p = ParsePattern("NP <<, VB <<- PP >>, S >>- S2");
+  ASSERT_TRUE(p.ok()) << p.status();
+  p = ParsePattern("NP !<< JJ");
+  ASSERT_TRUE(p.ok()) << p.status();
+  p = ParsePattern("NP [< VP | < PP] & !< X");
+  ASSERT_TRUE(p.ok()) << p.status();
+  p = ParsePattern("NP < (VP << (IN < of))");
+  ASSERT_TRUE(p.ok()) << p.status();
+}
+
+TEST(TgrepParserTest, Errors) {
+  EXPECT_FALSE(ParsePattern("").ok());
+  EXPECT_FALSE(ParsePattern("NP <").ok());
+  EXPECT_FALSE(ParsePattern("NP < (VP").ok());
+  EXPECT_FALSE(ParsePattern("NP [< VP").ok());
+  EXPECT_FALSE(ParsePattern("/unterminated").ok());
+  EXPECT_FALSE(ParsePattern("NP <0 VP").ok());
+  // "=x < NP" parses (backref head); the matcher rejects it at Run time —
+  // covered by TgrepFigure1Test.HeadBackrefRejected.
+  EXPECT_TRUE(ParsePattern("=x < NP").ok());
+}
+
+class TgrepFigure1Test : public ::testing::Test {
+ protected:
+  TgrepFigure1Test()
+      : corpus_(testing::BuildFigure1Corpus()), engine_(corpus_) {}
+
+  std::vector<int32_t> Ids(const std::string& pattern) {
+    Result<QueryResult> r = engine_.Run(pattern);
+    EXPECT_TRUE(r.ok()) << pattern << " -> " << r.status();
+    std::vector<int32_t> ids;
+    if (r.ok()) {
+      for (const Hit& h : r->hits) ids.push_back(h.id);
+    }
+    return ids;
+  }
+
+  Corpus corpus_;
+  TGrep2Engine engine_;
+};
+
+using V = std::vector<int32_t>;
+
+TEST_F(TgrepFigure1Test, WordsAreLeafNodes) {
+  // "saw" matches the word leaf; its elem_id maps to the V pre-terminal (4).
+  EXPECT_EQ(Ids("saw"), V({4}));
+  EXPECT_EQ(Ids("V < saw"), V({4}));
+  EXPECT_EQ(Ids("__ < saw"), V({4}));
+}
+
+TEST_F(TgrepFigure1Test, DominanceRelations) {
+  EXPECT_EQ(Ids("S << saw"), V({1}));
+  EXPECT_EQ(Ids("NP < Det"), V({6, 12}));
+  EXPECT_EQ(Ids("Det > NP"), V({7, 13}));
+  EXPECT_EQ(Ids("VP << Det"), V({3}));
+  EXPECT_EQ(Ids("Det >> VP"), V({7, 13}));
+  EXPECT_EQ(Ids("NP !<< Det"), V({2}));
+}
+
+TEST_F(TgrepFigure1Test, ChildOrdinals) {
+  EXPECT_EQ(Ids("NP <2 Adj"), V({6}));   // NP7's 2nd child is Adj
+  EXPECT_EQ(Ids("NP <-1 N"), V({6, 12}));
+  EXPECT_EQ(Ids("NP <, Det"), V({6, 12}));
+  EXPECT_EQ(Ids("NP <- N"), V({6, 12}));
+  EXPECT_EQ(Ids("Adj >2 NP"), V({8}));
+  EXPECT_EQ(Ids("N >- NP"), V({9, 14}));
+  // Only-child: VP's V? VP has two children. NP(I)'s word is an only child.
+  EXPECT_EQ(Ids("NP <: I"), V({2}));
+}
+
+TEST_F(TgrepFigure1Test, AdjacencyMatchesLPathImmediateFollowing) {
+  // Q2-style: NP immediately after V — NP6 and NP7.
+  EXPECT_EQ(Ids("NP , V"), V({5, 6}));
+  // And the mirror: V immediately precedes NP.
+  EXPECT_EQ(Ids("V . NP"), V({4}));
+  // Precedes / follows.
+  EXPECT_EQ(Ids("N ,, V"), V({9, 14, 15}));
+  EXPECT_EQ(Ids("NP .. N"), V({2, 5, 6, 12}));
+}
+
+TEST_F(TgrepFigure1Test, Sisters) {
+  EXPECT_EQ(Ids("NP $ VP"), V({2}));
+  EXPECT_EQ(Ids("VP $, NP"), V({3}));   // VP immediately follows sister NP
+  EXPECT_EQ(Ids("NP $. VP"), V({2}));
+  EXPECT_EQ(Ids("N $,, NP"), V({15}));  // N(today) follows sister NP(I)
+  EXPECT_EQ(Ids("Det $.. N"), V({7, 13}));
+}
+
+TEST_F(TgrepFigure1Test, EdgeDescendants) {
+  // Leftmost descendants of VP: V and the word "saw" (maps to 4).
+  EXPECT_EQ(Ids("VP <<, V"), V({3}));
+  EXPECT_EQ(Ids("V >>, VP"), V({4}));
+  // Rightmost descendant chain of VP: NP6, PP, NP12, N(dog), dog.
+  EXPECT_EQ(Ids("NP >>- VP"), V({5, 12}));
+  EXPECT_EQ(Ids("VP <<- N"), V({3}));
+}
+
+TEST_F(TgrepFigure1Test, BackrefsExpressScoping) {
+  // Q4-style: N following V within the same VP.
+  EXPECT_EQ(Ids("N=n ,, (V > (VP << =n))"), V({9, 14}));
+  // Without the scope link: all three following Ns.
+  EXPECT_EQ(Ids("N ,, (V > VP)"), V({9, 14, 15}));
+}
+
+TEST_F(TgrepFigure1Test, Q7ShapeWithBindings) {
+  // VP spanned exactly by V NP: leftmost descendant V, adjacent NP,
+  // rightmost descendant of the *same* VP (via binding).
+  EXPECT_EQ(Ids("VP=v <<, (V . (NP >>- =v))"), V({3}));
+}
+
+TEST_F(TgrepFigure1Test, AlternationAndBoolean) {
+  EXPECT_EQ(Ids("Det|Prep"), V({7, 11, 13}));
+  EXPECT_EQ(Ids("NP [< Det | < Prep]"), V({6, 12}));
+  EXPECT_EQ(Ids("NP < Det & < Adj"), V({6}));
+  EXPECT_EQ(Ids("NP < Det !< Adj"), V({12}));
+}
+
+TEST_F(TgrepFigure1Test, HeadBackrefRejected) {
+  EXPECT_TRUE(engine_.Run("=x < NP").status().IsInvalidArgument());
+}
+
+TEST(TgrepCorpusTest, BuildStructure) {
+  Corpus corpus = testing::BuildFigure1Corpus();
+  TgrepCorpus tc = TgrepCorpus::Build(corpus);
+  ASSERT_EQ(tc.size(), 1u);
+  // 15 elements + 9 word leaves.
+  EXPECT_EQ(tc.tree(0).size(), 24u);
+  EXPECT_TRUE(tc.Validate().ok());
+  // Element intervals must match the LPath labeling (S spans [1,10)).
+  EXPECT_EQ(tc.tree(0).left[0], 1);
+  EXPECT_EQ(tc.tree(0).right[0], 10);
+}
+
+TEST(TgrepCorpusTest, LabelIndex) {
+  Corpus corpus;
+  ASSERT_TRUE(ParseBracketText("(S (NP (N dog)))\n(S (VP (V ran)))", &corpus)
+                  .ok());
+  TgrepCorpus tc = TgrepCorpus::Build(corpus);
+  const Symbol dog = tc.Lookup("dog");
+  ASSERT_NE(dog, kNoSymbol);
+  EXPECT_EQ(tc.TreesWithLabel(dog), std::vector<int32_t>({0}));
+  const Symbol s = tc.Lookup("S");
+  EXPECT_EQ(tc.TreesWithLabel(s), std::vector<int32_t>({0, 1}));
+  EXPECT_TRUE(tc.TreesWithLabel(kNoSymbol).empty());
+}
+
+TEST(TgrepCorpusTest, SaveLoadRoundTrip) {
+  Corpus corpus = testing::RandomCorpus(/*seed=*/3, /*trees=*/20);
+  TgrepCorpus tc = TgrepCorpus::Build(corpus);
+  const std::string path = ::testing::TempDir() + "/lpath_tgrep_test.ltg2";
+  ASSERT_TRUE(tc.Save(path).ok());
+  Result<TgrepCorpus> loaded = TgrepCorpus::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ASSERT_EQ(loaded->size(), tc.size());
+  for (size_t i = 0; i < tc.size(); ++i) {
+    EXPECT_EQ(loaded->tree(i).label, tc.tree(i).label);
+    EXPECT_EQ(loaded->tree(i).left, tc.tree(i).left);
+    EXPECT_EQ(loaded->tree(i).elem_id, tc.tree(i).elem_id);
+  }
+  // Engines over the original and the loaded image agree.
+  TGrep2Engine a(std::move(tc));
+  TGrep2Engine b(std::move(loaded).value());
+  Result<QueryResult> ra = a.Run("NP << saw");
+  Result<QueryResult> rb = b.Run("NP << saw");
+  ASSERT_TRUE(ra.ok());
+  ASSERT_TRUE(rb.ok());
+  EXPECT_EQ(ra.value(), rb.value());
+}
+
+TEST(TgrepCorpusTest, LoadRejectsGarbage) {
+  const std::string path = ::testing::TempDir() + "/lpath_tgrep_garbage";
+  {
+    std::ofstream f(path, std::ios::binary);
+    f << "this is not a corpus image";
+  }
+  EXPECT_TRUE(TgrepCorpus::Load(path).status().IsCorruption());
+  EXPECT_TRUE(TgrepCorpus::Load("/nonexistent/x").status().IsIOError());
+}
+
+// Differential: TGrep2 translations of LPath queries agree with the LPath
+// engine on random corpora (head = LPath output node).
+TEST(TgrepDifferentialTest, AgreesWithLPathOnTranslations) {
+  struct Pair {
+    const char* lpath;
+    const char* tgrep;
+  };
+  const Pair kPairs[] = {
+      // In the TGrep2 model words are leaf *nodes*, so "S << saw" also
+      // matches an S pre-terminal carrying the word itself; the exact LPath
+      // equivalent includes the @lex test on the context node.
+      {"//S[@lex=saw or //_[@lex=saw]]", "S << saw"},
+      {"//V->NP", "NP , V"},
+      {"//VP/V-->N", "N ,, (V > VP)"},
+      {"//VP{/V-->N}", "N=n ,, (V > (VP << =n))"},
+      {"//VP{/NP$}", "NP >- VP"},
+      {"//VP{//NP$}", "NP >>- VP"},
+      {"//NP[not(//Det)]", "NP !<< Det"},
+      {"//NP/NP/NP", "NP > (NP > NP)"},
+      {"//PP=>X", "X $, PP"},
+      {"//NP=>NP=>NP", "NP $, (NP $, NP)"},
+      {"//S//N", "N >> S"},
+      {"//Det\\NP", "NP < Det"},
+  };
+  for (uint64_t seed : {5u, 15u, 25u}) {
+    Corpus corpus = testing::RandomCorpus(seed, /*trees=*/25);
+    Result<NodeRelation> rel = NodeRelation::Build(corpus);
+    ASSERT_TRUE(rel.ok());
+    LPathEngine lpath(rel.value());
+    TGrep2Engine tg(corpus);
+    for (const Pair& pair : kPairs) {
+      Result<QueryResult> a = lpath.Run(pair.lpath);
+      Result<QueryResult> b = tg.Run(pair.tgrep);
+      ASSERT_TRUE(a.ok()) << pair.lpath << ": " << a.status();
+      ASSERT_TRUE(b.ok()) << pair.tgrep << ": " << b.status();
+      EXPECT_EQ(a.value(), b.value())
+          << pair.lpath << " vs " << pair.tgrep << " seed " << seed;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lpath

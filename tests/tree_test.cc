@@ -1,0 +1,135 @@
+// Unit tests for the ordered-tree data model and corpus container.
+
+#include "tree/tree.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "tree/corpus.h"
+
+namespace lpath {
+namespace {
+
+TEST(TreeTest, EmptyTree) {
+  Tree t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_EQ(t.root(), kNoNode);
+  EXPECT_TRUE(t.Validate().ok());
+}
+
+TEST(TreeTest, SingleNode) {
+  Interner in;
+  Tree t;
+  NodeId r = t.AddRoot(in.Intern("S"));
+  EXPECT_EQ(r, 0);
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_TRUE(t.is_leaf(r));
+  EXPECT_EQ(t.parent(r), kNoNode);
+  EXPECT_EQ(t.Depth(r), 1);
+  EXPECT_TRUE(t.Validate().ok());
+}
+
+TEST(TreeTest, SiblingLinksAreSymmetric) {
+  Interner in;
+  Tree t;
+  NodeId r = t.AddRoot(in.Intern("S"));
+  NodeId a = t.AddChild(r, in.Intern("A"));
+  NodeId b = t.AddChild(r, in.Intern("B"));
+  NodeId c = t.AddChild(r, in.Intern("C"));
+  EXPECT_EQ(t.first_child(r), a);
+  EXPECT_EQ(t.last_child(r), c);
+  EXPECT_EQ(t.next_sibling(a), b);
+  EXPECT_EQ(t.next_sibling(b), c);
+  EXPECT_EQ(t.next_sibling(c), kNoNode);
+  EXPECT_EQ(t.prev_sibling(c), b);
+  EXPECT_EQ(t.prev_sibling(b), a);
+  EXPECT_EQ(t.prev_sibling(a), kNoNode);
+  EXPECT_EQ(t.ChildCount(r), 3);
+  EXPECT_EQ(t.ChildOrdinal(a), 1);
+  EXPECT_EQ(t.ChildOrdinal(b), 2);
+  EXPECT_EQ(t.ChildOrdinal(c), 3);
+  EXPECT_TRUE(t.Validate().ok());
+}
+
+TEST(TreeTest, AttrValue) {
+  Interner in;
+  Tree t;
+  NodeId r = t.AddRoot(in.Intern("N"));
+  t.AddAttr(r, in.Intern("@lex"), in.Intern("dog"));
+  t.AddAttr(r, in.Intern("@pos"), in.Intern("NN"));
+  EXPECT_EQ(t.attr_count(r), 2);
+  EXPECT_EQ(t.AttrValue(r, in.Intern("@lex")), in.Intern("dog"));
+  EXPECT_EQ(t.AttrValue(r, in.Intern("@pos")), in.Intern("NN"));
+  EXPECT_EQ(t.AttrValue(r, in.Intern("@missing")), kNoSymbol);
+}
+
+TEST(TreeTest, Figure1Shape) {
+  Interner in;
+  Tree t = testing::BuildFigure1Tree(&in);
+  ASSERT_EQ(t.size(), 15u);
+  EXPECT_TRUE(t.Validate().ok());
+  // Root S has three children: NP, VP, N.
+  NodeId s = t.root();
+  EXPECT_EQ(in.name(t.name(s)), "S");
+  EXPECT_EQ(t.ChildCount(s), 3);
+  // "saw" hangs off the V node.
+  NodeId vp = t.next_sibling(t.first_child(s));
+  EXPECT_EQ(in.name(t.name(vp)), "VP");
+  NodeId v = t.first_child(vp);
+  EXPECT_EQ(in.name(t.name(v)), "V");
+  EXPECT_EQ(t.AttrValue(v, in.Intern("@lex")), in.Intern("saw"));
+  EXPECT_EQ(t.Depth(v), 3);
+}
+
+TEST(TreeTest, IsAncestor) {
+  Interner in;
+  Tree t = testing::BuildFigure1Tree(&in);
+  // S (0) is an ancestor of everything; N(dog)=13 under PP chain.
+  EXPECT_TRUE(t.IsAncestor(0, 13));
+  EXPECT_TRUE(t.IsAncestor(9, 13));   // PP over N(dog)
+  EXPECT_FALSE(t.IsAncestor(13, 9));
+  EXPECT_FALSE(t.IsAncestor(1, 2));   // siblings
+  EXPECT_FALSE(t.IsAncestor(0, 0));   // not reflexive
+}
+
+TEST(TreeTest, ValidateRandomTrees) {
+  Rng rng(2024);
+  Interner in;
+  for (int i = 0; i < 200; ++i) {
+    Tree t = testing::RandomTree(&rng, &in, 60);
+    EXPECT_TRUE(t.Validate().ok()) << "tree " << i;
+  }
+}
+
+TEST(CorpusTest, AddAndTotals) {
+  Corpus corpus = testing::RandomCorpus(/*seed=*/7, /*trees=*/10);
+  EXPECT_EQ(corpus.size(), 10u);
+  size_t total = 0;
+  for (TreeId tid = 0; tid < 10; ++tid) total += corpus.tree(tid).size();
+  EXPECT_EQ(corpus.TotalNodes(), total);
+  EXPECT_TRUE(corpus.Validate().ok());
+}
+
+TEST(CorpusTest, ReplicateTo) {
+  Corpus corpus = testing::RandomCorpus(/*seed=*/8, /*trees=*/5);
+  const size_t nodes1 = corpus.TotalNodes();
+  corpus.ReplicateTo(3);
+  EXPECT_EQ(corpus.size(), 15u);
+  EXPECT_EQ(corpus.TotalNodes(), nodes1 * 3);
+  // Copies are structurally identical to the originals.
+  EXPECT_EQ(corpus.tree(0).size(), corpus.tree(5).size());
+  EXPECT_EQ(corpus.tree(4).size(), corpus.tree(14).size());
+  EXPECT_TRUE(corpus.Validate().ok());
+}
+
+TEST(CorpusTest, Truncate) {
+  Corpus corpus = testing::RandomCorpus(/*seed=*/9, /*trees=*/10);
+  corpus.Truncate(4);
+  EXPECT_EQ(corpus.size(), 4u);
+  corpus.Truncate(100);  // no-op
+  EXPECT_EQ(corpus.size(), 4u);
+}
+
+}  // namespace
+}  // namespace lpath
