@@ -54,7 +54,7 @@ void AblRegister() {
 
   for (int id : {1, 3, 6, 9, 12, 18, 22}) {
     const BenchmarkQuery& q = QueryById(id);
-    const std::string row = "Q" + std::to_string(q.id);
+    const std::string row = QueryRowName(q.id);
     for (size_t e = 0; e < Engines().size(); ++e) {
       RegisterQueryBench(&AblTable(), row, names[e], Engines()[e].get(),
                          q.lpath);

@@ -17,6 +17,23 @@
 namespace lpath {
 namespace bench {
 
+/// "Q<id>" row label.  Built with += rather than `"Q" + std::to_string(id)`:
+/// gcc 12's -Wrestrict misfires on the temporary concat at -O2 (PR 105651).
+inline std::string QueryRowName(int id) {
+  std::string name = "Q";
+  name += std::to_string(id);
+  return name;
+}
+
+/// "paper <dataset> count: <n>" annotation text (same -Wrestrict dodge).
+inline std::string PaperCountAnnotation(const char* dataset, size_t n) {
+  std::string text = "paper ";
+  text += dataset;
+  text += " count: ";
+  text += std::to_string(n);
+  return text;
+}
+
 /// Registers a benchmark that repeatedly evaluates `query` on `engine`,
 /// recording the mean wall time into `table` at (row, column).
 inline void RegisterQueryBench(ReportTable* table, const std::string& row,

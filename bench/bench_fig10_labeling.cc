@@ -20,7 +20,7 @@ ReportTable& Fig10Table() {
 void Fig10Register() {
   const EngineSet& fx = GetFixture(Dataset::kWsj);
   for (const BenchmarkQuery& q : XPathExpressibleQueries()) {
-    const std::string row = "Q" + std::to_string(q.id);
+    const std::string row = QueryRowName(q.id);
     RegisterQueryBench(&Fig10Table(), row, "LPath labeling", fx.lpath.get(),
                        q.lpath);
     RegisterQueryBench(&Fig10Table(), row, "XPath labeling", fx.xpath.get(),

@@ -20,7 +20,7 @@ ReportTable& Fig7Table() {
 void Fig7Register() {
   const EngineSet& fx = GetFixture(Dataset::kWsj);
   for (const BenchmarkQuery& q : The23Queries()) {
-    const std::string row = "Q" + std::to_string(q.id);
+    const std::string row = QueryRowName(q.id);
     RegisterQueryBench(&Fig7Table(), row, "LPath", fx.lpath.get(), q.lpath);
     RegisterQueryBench(&Fig7Table(), row, "TGrep2", fx.tgrep.get(), q.tgrep);
     RegisterQueryBench(&Fig7Table(), row, "CorpusSearch", fx.cs.get(), q.cs);
@@ -30,8 +30,7 @@ void Fig7Register() {
 void Fig7Print() {
   std::map<std::string, std::string> annotations;
   for (const BenchmarkQuery& q : The23Queries()) {
-    annotations["Q" + std::to_string(q.id)] =
-        "paper WSJ count: " + std::to_string(q.paper_wsj);
+    annotations[QueryRowName(q.id)] = PaperCountAnnotation("WSJ", q.paper_wsj);
   }
   printf("%s",
          Fig7Table()

@@ -20,7 +20,7 @@ ReportTable& Fig8Table() {
 void Fig8Register() {
   const EngineSet& fx = GetFixture(Dataset::kSwb);
   for (const BenchmarkQuery& q : The23Queries()) {
-    const std::string row = "Q" + std::to_string(q.id);
+    const std::string row = QueryRowName(q.id);
     RegisterQueryBench(&Fig8Table(), row, "LPath", fx.lpath.get(), q.lpath);
     RegisterQueryBench(&Fig8Table(), row, "TGrep2", fx.tgrep.get(), q.tgrep);
     RegisterQueryBench(&Fig8Table(), row, "CorpusSearch", fx.cs.get(), q.cs);
@@ -30,8 +30,7 @@ void Fig8Register() {
 void Fig8Print() {
   std::map<std::string, std::string> annotations;
   for (const BenchmarkQuery& q : The23Queries()) {
-    annotations["Q" + std::to_string(q.id)] =
-        "paper SWB count: " + std::to_string(q.paper_swb);
+    annotations[QueryRowName(q.id)] = PaperCountAnnotation("SWB", q.paper_swb);
   }
   printf("%s",
          Fig8Table()

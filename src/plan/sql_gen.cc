@@ -32,11 +32,12 @@ class Generator {
   static char Prefix(int depth) { return static_cast<char>('a' + depth); }
 
   std::string Alias(int var, int depth) const {
-    if (var >= Operand::kOuterVarBase) {
-      return std::string(1, Prefix(depth - 1)) +
-             std::to_string(var - Operand::kOuterVarBase);
-    }
-    return std::string(1, Prefix(depth)) + std::to_string(var);
+    // Built with += rather than operator+ on two temporaries: gcc 12's
+    // -Wrestrict misfires on the latter at -O2 (GCC PR 105651).
+    const bool outer = var >= Operand::kOuterVarBase;
+    std::string alias(1, Prefix(outer ? depth - 1 : depth));
+    alias += std::to_string(outer ? var - Operand::kOuterVarBase : var);
+    return alias;
   }
 
   void EmitOperand(const Operand& o, int depth, std::ostream& os) const {

@@ -85,7 +85,11 @@ TEST(StressTest, WideFlatTree) {
     NodeId root = t.AddRoot(in->Intern("S"));
     for (int i = 0; i < 5000; ++i) {
       NodeId child = t.AddChild(root, in->Intern(i % 2 ? "A" : "B"));
-      t.AddAttr(child, in->Intern("@lex"), in->Intern("w" + std::to_string(i % 7)));
+      // += rather than "w" + to_string(...): gcc 12 -Wrestrict misfires on
+      // the temporary concat at -O2 (GCC PR 105651).
+      std::string lex = "w";
+      lex += std::to_string(i % 7);
+      t.AddAttr(child, in->Intern("@lex"), in->Intern(lex));
     }
     corpus.Add(std::move(t));
   }
