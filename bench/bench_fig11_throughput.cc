@@ -1,0 +1,183 @@
+// "Figure 11" (ours, not the paper's): query throughput of the
+// QueryService serving layer versus thread count, on the WSJ and SWB
+// profile corpora.
+//
+// Two shapes are measured over the 23-query suite:
+//   Batch/<dataset>/threads:N — the serving path: the suite submitted as a
+//     batch, queries spread across N pool workers, plans from the LRU
+//     cache. Reported as items_per_second (QPS).
+//   Sharded/<dataset>/threads:N — single-query latency: each query's
+//     execution fanned out over N shard workers.
+// Expected shape: batch QPS scales near-linearly with threads until the
+// corpus's tree count or memory bandwidth binds; sharded latency gains are
+// query-dependent (long scans split well, tiny lookups are overhead-bound).
+// The printed table reports the speedup over threads:1.
+
+#include "bench_common.h"
+#include "service/query_service.h"
+
+namespace lpath {
+namespace bench {
+namespace {
+
+const std::vector<std::string>& SuiteQueries() {
+  static const std::vector<std::string>* queries = [] {
+    auto* q = new std::vector<std::string>();
+    for (const BenchmarkQuery& bq : The23Queries()) q->push_back(bq.lpath);
+    return q;
+  }();
+  return *queries;
+}
+
+/// Services keyed by (dataset, threads), shared by the Batch and Sharded
+/// benchmarks. A leaked-pointer map (so no static destructor drops the
+/// entries behind LeakSanitizer's back); main() frees the services, which
+/// also joins their pools.
+std::map<std::pair<Dataset, int>, service::QueryService*>& ServiceRegistry() {
+  static auto* services =
+      new std::map<std::pair<Dataset, int>, service::QueryService*>();
+  return *services;
+}
+
+service::QueryService* GetService(Dataset dataset, int threads) {
+  service::QueryService*& slot = ServiceRegistry()[{dataset, threads}];
+  if (slot == nullptr) {
+    const EngineSet& fx = GetFixture(dataset);
+    service::QueryServiceOptions opts;
+    opts.threads = threads;
+    slot = new service::QueryService(*fx.lpath_relation, opts);
+    // Warm the plan cache so the timed loop measures the serve path, not
+    // the one-off parse/compile/optimize of each query.
+    for (const std::string& q : SuiteQueries()) (void)slot->GetPlan(q);
+  }
+  return slot;
+}
+
+void FreeServices() {
+  for (auto& [key, service] : ServiceRegistry()) delete service;
+  ServiceRegistry().clear();
+}
+
+ReportTable& Fig11Table() {
+  static ReportTable* table = new ReportTable(
+      "Figure 11 — QueryService throughput vs. thread count (23-query "
+      "suite)");
+  return *table;
+}
+
+std::string ThreadColumn(int threads) {
+  std::string c = "T";
+  c += std::to_string(threads);
+  return c;
+}
+
+/// The full suite submitted as one batch; QPS = queries / wall time.
+void BenchBatch(benchmark::State& st, Dataset dataset, int threads) {
+  service::QueryService* service = GetService(dataset, threads);
+  const std::vector<std::string>& queries = SuiteQueries();
+
+  double total = 0.0;
+  uint64_t iters = 0;
+  for (auto _ : st) {
+    Timer timer;
+    std::vector<Result<QueryResult>> results = service->QueryBatch(queries);
+    total += timer.ElapsedSeconds();
+    for (const Result<QueryResult>& r : results) {
+      if (!r.ok()) {
+        st.SkipWithError(r.status().ToString().c_str());
+        return;
+      }
+    }
+    ++iters;
+  }
+  st.SetItemsProcessed(static_cast<int64_t>(iters * queries.size()));
+  if (iters > 0) {
+    const double per_batch = total / static_cast<double>(iters);
+    st.counters["qps"] =
+        static_cast<double>(queries.size()) / per_batch;
+    std::string row = "Batch/";
+    row += DatasetName(dataset);
+    Fig11Table().Record(row, ThreadColumn(threads),
+                        Measurement{per_batch, queries.size(), true});
+  }
+}
+
+/// One pass over the suite, each query shard-parallel; mean seconds/query.
+void BenchSharded(benchmark::State& st, Dataset dataset, int threads) {
+  service::QueryService* service = GetService(dataset, threads);
+  const std::vector<std::string>& queries = SuiteQueries();
+
+  double total = 0.0;
+  uint64_t iters = 0;
+  for (auto _ : st) {
+    Timer timer;
+    for (const std::string& q : queries) {
+      Result<QueryResult> r = service->Query(q);
+      if (!r.ok()) {
+        st.SkipWithError(r.status().ToString().c_str());
+        return;
+      }
+    }
+    total += timer.ElapsedSeconds();
+    ++iters;
+  }
+  st.SetItemsProcessed(static_cast<int64_t>(iters * queries.size()));
+  if (iters > 0) {
+    const double per_suite = total / static_cast<double>(iters);
+    std::string row = "Sharded/";
+    row += DatasetName(dataset);
+    Fig11Table().Record(row, ThreadColumn(threads),
+                        Measurement{per_suite, queries.size(), true});
+  }
+}
+
+void RegisterAll() {
+  for (Dataset dataset : {Dataset::kWsj, Dataset::kSwb}) {
+    for (int threads : {1, 2, 4, 8}) {
+      std::string batch_name = "Batch/";
+      batch_name += DatasetName(dataset);
+      batch_name += "/threads:";
+      batch_name += std::to_string(threads);
+      benchmark::RegisterBenchmark(
+          batch_name.c_str(),
+          [dataset, threads](benchmark::State& st) {
+            BenchBatch(st, dataset, threads);
+          })
+          ->UseRealTime()
+          ->Unit(benchmark::kMillisecond);
+      std::string shard_name = "Sharded/";
+      shard_name += DatasetName(dataset);
+      shard_name += "/threads:";
+      shard_name += std::to_string(threads);
+      benchmark::RegisterBenchmark(
+          shard_name.c_str(),
+          [dataset, threads](benchmark::State& st) {
+            BenchSharded(st, dataset, threads);
+          })
+          ->UseRealTime()
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+}
+
+void PrintTables() {
+  printf("%s", Fig11Table().Render({"T1", "T2", "T4", "T8"}).c_str());
+  printf("\n(times are per 23-query suite pass; speedup = T1 / TN; scale: "
+         "%d sentences, LPATHDB_SENTENCES overrides)\n",
+         BenchmarkSentences());
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace lpath
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  lpath::bench::RegisterAll();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  lpath::bench::PrintTables();
+  lpath::bench::FreeServices();
+  return 0;
+}

@@ -4,16 +4,20 @@
 //   ./examples/lpath_shell [--wsj N | --swb N | --corpus FILE.mrg]
 //
 // Commands:
-//   <lpath query>      evaluate and print the match count + a few matches
+//   <lpath query>      evaluate (shard-parallel) and print matches
 //   .sql <query>       show the SQL translation (what goes to the RDBMS)
 //   .plan <query>      show the execution plan IR
 //   .engines <query>   run on all engines that can express it and compare
 //   .stats             corpus statistics (Figure 6a/6b style)
+//   :threads N         rebuild the query service with N threads
+//                      (plan cache and stats start fresh)
+//   :cache             plan-cache and latency statistics
 //   .help              this text
 //   .quit              exit
 
 #include <cstdio>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 
@@ -22,6 +26,7 @@
 #include "gen/generator.h"
 #include "lpath/engines.h"
 #include "lpath/eval_nav.h"
+#include "service/query_service.h"
 #include "tree/bracket_io.h"
 #include "tree/stats.h"
 
@@ -35,7 +40,30 @@ void PrintHelp() {
       "  .plan <query>     show the execution-plan IR\n"
       "  .engines <query>  compare the relational and navigational engines\n"
       "  .stats            corpus statistics\n"
+      "  :threads N        rebuild the query service with N threads\n"
+      "                    (plan cache and stats start fresh)\n"
+      "  :cache            plan-cache and latency statistics\n"
       "  .help  .quit\n");
+}
+
+void PrintServiceStats(const lpath::service::QueryService& service) {
+  const lpath::service::ServiceStats st = service.Stats();
+  std::printf(
+      "service: %d threads, %llu queries (%llu errors)\n"
+      "plan cache: %zu/%zu plans, %llu hits, %llu misses, %llu evictions\n"
+      "latency: p50 %.3f ms, p90 %.3f ms, p99 %.3f ms, max %.3f ms "
+      "(%zu samples)\n"
+      "executor: %llu candidates, %llu bindings, %llu subqueries\n",
+      service.threads(), static_cast<unsigned long long>(st.queries),
+      static_cast<unsigned long long>(st.errors), st.cache.size,
+      st.cache.capacity, static_cast<unsigned long long>(st.cache.hits),
+      static_cast<unsigned long long>(st.cache.misses),
+      static_cast<unsigned long long>(st.cache.evictions), st.latency.p50_ms,
+      st.latency.p90_ms, st.latency.p99_ms, st.latency.max_ms,
+      st.latency.samples,
+      static_cast<unsigned long long>(st.exec.candidates),
+      static_cast<unsigned long long>(st.exec.bindings),
+      static_cast<unsigned long long>(st.exec.subqueries));
 }
 
 }  // namespace
@@ -82,9 +110,13 @@ int main(int argc, char** argv) {
   }
   LPathEngine engine(rel.value());
   NavigationalEngine nav(corpus);
+  service::QueryServiceOptions svc_opts;
+  auto service = std::make_unique<service::QueryService>(rel.value(), svc_opts);
 
-  std::printf("lpath_shell — %zu trees, %zu nodes. Type .help for help.\n",
-              corpus.size(), corpus.TotalNodes());
+  std::printf(
+      "lpath_shell — %zu trees, %zu nodes, %d query threads. "
+      "Type .help for help.\n",
+      corpus.size(), corpus.TotalNodes(), service->threads());
 
   std::string line;
   while (std::printf("lpath> "), std::fflush(stdout),
@@ -107,6 +139,23 @@ int main(int argc, char** argv) {
         std::printf("  %-12s %s\n", tag.c_str(),
                     FormatWithCommas(n).c_str());
       }
+      continue;
+    }
+    if (input == ":threads" || StartsWith(input, ":threads ")) {
+      const int n = std::atoi(input.substr(8).c_str());
+      if (n < 1 || n > 256) {
+        std::printf("usage: :threads N (1..256)\n");
+        continue;
+      }
+      svc_opts.threads = n;
+      service.reset();  // join the old pool before spawning the new one
+      service = std::make_unique<service::QueryService>(rel.value(), svc_opts);
+      std::printf("query service rebuilt with %d threads\n",
+                  service->threads());
+      continue;
+    }
+    if (input == ":cache") {
+      PrintServiceStats(*service);
       continue;
     }
     if (StartsWith(input, ".sql ")) {
@@ -140,7 +189,7 @@ int main(int argc, char** argv) {
     }
 
     Timer timer;
-    Result<QueryResult> r = engine.Run(input);
+    Result<QueryResult> r = service->Query(input);
     if (!r.ok()) {
       std::printf("error: %s\n", r.status().ToString().c_str());
       continue;

@@ -1,0 +1,91 @@
+#include "service/plan_cache.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace lpath {
+namespace service {
+
+std::string NormalizeQueryText(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  bool pending_space = false;
+  char quote = '\0';  // inside a '...' / "..." literal when non-null
+  for (char c : text) {
+    if (quote != '\0') {
+      // Quoted literals are preserved byte for byte: LPath allows any
+      // character (including whitespace runs) between quotes, and the
+      // normalized text is what actually gets parsed.
+      out.push_back(c);
+      if (c == quote) quote = '\0';
+      continue;
+    }
+    if (c == '\'' || c == '"') {
+      if (pending_space) {
+        out.push_back(' ');
+        pending_space = false;
+      }
+      quote = c;
+      out.push_back(c);
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      pending_space = !out.empty();
+      continue;
+    }
+    if (pending_space) {
+      out.push_back(' ');
+      pending_space = false;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+PlanCache::PlanCache(size_t capacity) : capacity_(std::max<size_t>(1, capacity)) {}
+
+std::shared_ptr<const sql::PreparedPlan> PlanCache::Get(
+    const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    misses_ += 1;
+    return nullptr;
+  }
+  hits_ += 1;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->second;
+}
+
+void PlanCache::Put(const std::string& key,
+                    std::shared_ptr<const sql::PreparedPlan> plan) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    // Concurrent misses may prepare the same query twice; keep the newest.
+    it->second->second = std::move(plan);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.emplace_front(key, std::move(plan));
+  index_.emplace(key, lru_.begin());
+  while (lru_.size() > capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+    evictions_ += 1;
+  }
+}
+
+PlanCache::Stats PlanCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.evictions = evictions_;
+  s.size = lru_.size();
+  s.capacity = capacity_;
+  return s;
+}
+
+}  // namespace service
+}  // namespace lpath

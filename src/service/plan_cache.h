@@ -1,0 +1,65 @@
+// A thread-safe LRU cache from normalized query text to shared prepared
+// plans — the parse/compile/optimize-once, execute-many half of the
+// serving path. Plans are handed out as shared_ptr<const PreparedPlan>, so
+// an entry evicted while queries still execute against it stays alive
+// until the last of them finishes.
+
+#ifndef LPATHDB_SERVICE_PLAN_CACHE_H_
+#define LPATHDB_SERVICE_PLAN_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "sql/optimizer.h"
+
+namespace lpath {
+namespace service {
+
+/// Collapses whitespace runs to single spaces and trims the ends, so that
+/// reformatted spellings of one query share a cache entry. Queries are
+/// case- and quote-sensitive beyond that.
+std::string NormalizeQueryText(std::string_view text);
+
+class PlanCache {
+ public:
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    size_t size = 0;
+    size_t capacity = 0;
+  };
+
+  /// A cache with room for `capacity` plans (at least one).
+  explicit PlanCache(size_t capacity);
+
+  /// Returns the plan for `key` (moving it to the front), or null.
+  std::shared_ptr<const sql::PreparedPlan> Get(const std::string& key);
+
+  /// Inserts (or replaces) the plan for `key`, evicting from the tail.
+  void Put(const std::string& key,
+           std::shared_ptr<const sql::PreparedPlan> plan);
+
+  Stats stats() const;
+
+ private:
+  using Entry = std::pair<std::string, std::shared_ptr<const sql::PreparedPlan>>;
+
+  mutable std::mutex mu_;
+  size_t capacity_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+};
+
+}  // namespace service
+}  // namespace lpath
+
+#endif  // LPATHDB_SERVICE_PLAN_CACHE_H_

@@ -1,0 +1,222 @@
+#include "service/query_service.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+
+#include "common/timer.h"
+#include "lpath/parser.h"
+#include "plan/compile.h"
+#include "plan/sql_gen.h"
+#include "sql/parser.h"
+
+namespace lpath {
+namespace service {
+
+namespace {
+
+/// Recent-query latencies kept for the percentile summary.
+constexpr size_t kLatencySamples = 8192;
+
+double Percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double rank = q * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+}  // namespace
+
+QueryService::QueryService(const NodeRelation& relation,
+                           QueryServiceOptions options)
+    : relation_(relation),
+      options_(options),
+      executor_(relation, options.exec),
+      cache_(options.plan_cache_capacity),
+      pool_(std::make_unique<ThreadPool>(options.threads)) {
+  latency_ring_ms_.reserve(kLatencySamples);
+}
+
+QueryService::~QueryService() = default;
+
+Result<std::shared_ptr<const sql::PreparedPlan>> QueryService::GetPlan(
+    const std::string& query) {
+  const std::string key = NormalizeQueryText(query);
+  if (std::shared_ptr<const sql::PreparedPlan> cached = cache_.Get(key)) {
+    return cached;
+  }
+  // Prepared outside the cache lock; a racing miss duplicates the work and
+  // the later Put wins, which is correct (plans are interchangeable).
+  LPATH_ASSIGN_OR_RETURN(LocationPath path, ParseLPath(key));
+  CompileOptions copts;
+  copts.scheme = relation_.scheme();
+  copts.unnest_predicates = options_.unnest_predicates;
+  LPATH_ASSIGN_OR_RETURN(ExecPlan plan, CompileLPath(path, copts));
+  if (options_.via_sql_text) {
+    const std::string sql_text = GenerateSql(plan);
+    LPATH_ASSIGN_OR_RETURN(plan, sql::ParseSql(sql_text));
+  }
+  LPATH_ASSIGN_OR_RETURN(std::unique_ptr<sql::PreparedPlan> prepared,
+                         sql::Prepare(plan, relation_, options_.exec));
+  std::shared_ptr<const sql::PreparedPlan> shared = std::move(prepared);
+  cache_.Put(key, shared);
+  return shared;
+}
+
+Result<QueryResult> QueryService::RunSharded(
+    std::shared_ptr<const sql::PreparedPlan> plan) {
+  const int32_t trees = relation_.tree_count();
+  int shards = options_.shards_per_query > 0 ? options_.shards_per_query
+                                             : pool_->size();
+  shards = std::max(1, std::min(shards, trees));
+  if (plan->always_empty || shards <= 1) {
+    sql::ExecStats stats;
+    Result<QueryResult> r = executor_.ExecutePrepared(*plan, &stats);
+    RecordExec(stats);
+    return r;
+  }
+
+  std::vector<Result<QueryResult>> results(shards,
+                                           Result<QueryResult>(QueryResult{}));
+  std::vector<sql::ExecStats> stats(shards);
+  // The item lambda owns the plan (copied into RunOnPool's shared state),
+  // keeping it alive for helpers scheduled after the query completes.
+  RunOnPool(shards, [this, plan, trees, shards, &results, &stats](int i) {
+    const int32_t lo = static_cast<int32_t>(int64_t{trees} * i / shards);
+    const int32_t hi = static_cast<int32_t>(int64_t{trees} * (i + 1) / shards);
+    results[i] = executor_.ExecuteShard(*plan, lo, hi, &stats[i]);
+  });
+
+  sql::ExecStats total;
+  for (int i = 0; i < shards; ++i) total.Add(stats[i]);
+  RecordExec(total);
+  QueryResult merged;
+  for (int i = 0; i < shards; ++i) {
+    if (!results[i].ok()) return results[i].status();
+    merged.hits.insert(merged.hits.end(), results[i]->hits.begin(),
+                       results[i]->hits.end());
+  }
+  // Distinct bindings in different shards can project to the same output
+  // node; Normalize dedups the concatenation.
+  merged.Normalize();
+  return merged;
+}
+
+void QueryService::RunOnPool(int items, std::function<void(int)> fn) {
+  // Shared by the submitting thread and the pool helpers. Helpers hold the
+  // state (and through it `fn` and whatever it owns) alive even if they
+  // only get scheduled after the call has returned and claim no item.
+  struct State {
+    std::function<void(int)> fn;
+    int items;
+    std::atomic<int> next{0};
+    std::mutex mu;
+    std::condition_variable done_cv;
+    int done = 0;
+  };
+  auto state = std::make_shared<State>();
+  state->fn = std::move(fn);
+  state->items = items;
+
+  auto drain = [state] {
+    for (;;) {
+      const int i = state->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= state->items) return;
+      state->fn(i);
+      std::lock_guard<std::mutex> lock(state->mu);
+      if (++state->done == state->items) state->done_cv.notify_all();
+    }
+  };
+  const int helpers = std::min(pool_->size(), items) - 1;
+  for (int i = 0; i < helpers; ++i) pool_->Post(drain);
+  drain();  // the caller works too, so a busy pool cannot stall the call
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->done_cv.wait(lock, [&state] { return state->done == state->items; });
+}
+
+Result<QueryResult> QueryService::QueryOnce(const std::string& query,
+                                            bool sharded) {
+  Timer timer;
+  Result<QueryResult> r = [&]() -> Result<QueryResult> {
+    LPATH_ASSIGN_OR_RETURN(std::shared_ptr<const sql::PreparedPlan> plan,
+                           GetPlan(query));
+    if (sharded) return RunSharded(std::move(plan));
+    sql::ExecStats stats;
+    Result<QueryResult> serial = executor_.ExecutePrepared(*plan, &stats);
+    RecordExec(stats);
+    return serial;
+  }();
+
+  const double seconds = timer.ElapsedSeconds();
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  queries_ += 1;
+  if (!r.ok()) errors_ += 1;
+  total_seconds_ += seconds;
+  const double ms = seconds * 1e3;
+  if (latency_ring_ms_.size() < kLatencySamples) {
+    latency_ring_ms_.push_back(ms);
+  } else {
+    latency_ring_ms_[next_sample_ % kLatencySamples] = ms;
+  }
+  next_sample_ += 1;
+  return r;
+}
+
+Result<QueryResult> QueryService::Query(const std::string& query) {
+  return QueryOnce(query, /*sharded=*/true);
+}
+
+std::vector<Result<QueryResult>> QueryService::QueryBatch(
+    const std::vector<std::string>& queries) {
+  std::vector<Result<QueryResult>> results(queries.size(),
+                                           Result<QueryResult>(QueryResult{}));
+  if (queries.empty()) return results;
+
+  // Workers claim whole queries; each runs serially so that concurrent
+  // batch items do not contend over intra-query shards.
+  RunOnPool(static_cast<int>(queries.size()), [this, &queries, &results](int i) {
+    results[i] = QueryOnce(queries[i], /*sharded=*/false);
+  });
+  return results;
+}
+
+void QueryService::RecordExec(const sql::ExecStats& exec) {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  exec_.Add(exec);
+}
+
+ServiceStats QueryService::Stats() const {
+  ServiceStats s;
+  s.cache = cache_.stats();
+  std::vector<double> sorted;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    s.queries = queries_;
+    s.errors = errors_;
+    s.exec = exec_;
+    s.total_seconds = total_seconds_;
+    sorted = latency_ring_ms_;
+  }
+  std::sort(sorted.begin(), sorted.end());
+  s.latency.samples = sorted.size();
+  s.latency.p50_ms = Percentile(sorted, 0.50);
+  s.latency.p90_ms = Percentile(sorted, 0.90);
+  s.latency.p99_ms = Percentile(sorted, 0.99);
+  s.latency.max_ms = sorted.empty() ? 0.0 : sorted.back();
+  return s;
+}
+
+void QueryService::ResetStats() {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  queries_ = 0;
+  errors_ = 0;
+  exec_ = sql::ExecStats{};
+  total_seconds_ = 0.0;
+  latency_ring_ms_.clear();
+  next_sample_ = 0;
+}
+
+}  // namespace service
+}  // namespace lpath

@@ -1,0 +1,135 @@
+// QueryService: the multi-user serving layer over one NodeRelation.
+//
+// The paper's pitch is that LPath compiles to something an RDBMS evaluates
+// correctly and fast; this module supplies the "many clients" shape around
+// that claim. A service owns
+//   - an LRU prepared-plan cache keyed by normalized query text, so each
+//     distinct query is parsed, compiled and optimized once and executed
+//     many times;
+//   - a fixed thread pool running shard-parallel execution: one prepared
+//     plan fans out over a partition of the tree-id space (see
+//     sql::PlanExecutor::ExecuteShard) and the per-shard DISTINCT (tid,id)
+//     sets are merged;
+//   - aggregated executor work counters and a latency reservoir with
+//     percentile summaries.
+//
+// Query() parallelizes one query across the pool; QueryBatch() spreads a
+// batch of queries over the pool workers (each evaluated serially) — the
+// throughput path a front end with its own request queue would use. Both
+// are safe to call concurrently from many threads.
+
+#ifndef LPATHDB_SERVICE_QUERY_SERVICE_H_
+#define LPATHDB_SERVICE_QUERY_SERVICE_H_
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "lpath/engine.h"
+#include "service/plan_cache.h"
+#include "service/thread_pool.h"
+#include "sql/executor.h"
+#include "storage/relation.h"
+
+namespace lpath {
+namespace service {
+
+struct QueryServiceOptions {
+  /// Worker threads; also the default shard fan-out of one query.
+  int threads = 4;
+  /// Shards a single Query() splits into; 0 means one per thread.
+  int shards_per_query = 0;
+  /// Prepared plans kept by the LRU cache.
+  size_t plan_cache_capacity = 256;
+  sql::ExecOptions exec;
+  /// Unnest positive predicates into the main join (see plan/compile.h).
+  bool unnest_predicates = true;
+  /// Compile through the SQL text round trip (the paper's full loop) when
+  /// preparing a plan. The plans are identical either way (tested); the
+  /// round trip costs a parse per cache miss.
+  bool via_sql_text = false;
+};
+
+/// Latency percentiles over the most recent queries (milliseconds).
+struct LatencySummary {
+  double p50_ms = 0.0;
+  double p90_ms = 0.0;
+  double p99_ms = 0.0;
+  double max_ms = 0.0;
+  size_t samples = 0;
+};
+
+struct ServiceStats {
+  uint64_t queries = 0;  ///< completed Query()/QueryBatch() evaluations
+  uint64_t errors = 0;
+  PlanCache::Stats cache;
+  sql::ExecStats exec;  ///< summed over all queries and shards
+  LatencySummary latency;
+  double total_seconds = 0.0;  ///< summed per-query wall time
+};
+
+class QueryService {
+ public:
+  /// The relation must outlive the service.
+  explicit QueryService(const NodeRelation& relation,
+                        QueryServiceOptions options = {});
+  ~QueryService();
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// Evaluates one LPath query, fanning its execution out across the pool.
+  Result<QueryResult> Query(const std::string& query);
+
+  /// Evaluates a batch of LPath queries, spreading them over the pool
+  /// workers; results are positionally aligned with `queries`.
+  std::vector<Result<QueryResult>> QueryBatch(
+      const std::vector<std::string>& queries);
+
+  /// Parses/compiles/optimizes `query` into the plan cache (or returns the
+  /// cached plan). Exposed for warmup and for plan introspection.
+  Result<std::shared_ptr<const sql::PreparedPlan>> GetPlan(
+      const std::string& query);
+
+  ServiceStats Stats() const;
+  void ResetStats();
+
+  int threads() const { return pool_->size(); }
+  const NodeRelation& relation() const { return relation_; }
+  const QueryServiceOptions& options() const { return options_; }
+
+ private:
+  Result<QueryResult> RunSharded(
+      std::shared_ptr<const sql::PreparedPlan> plan);
+  Result<QueryResult> QueryOnce(const std::string& query, bool sharded);
+  /// Runs fn(0..items-1) across the pool: helpers are posted for the other
+  /// workers while the calling thread drains the same claim counter, and
+  /// the call returns once every item has finished. A saturated pool
+  /// therefore degrades to serial execution instead of deadlocking.
+  void RunOnPool(int items, std::function<void(int)> fn);
+  void RecordExec(const sql::ExecStats& exec);
+
+  const NodeRelation& relation_;
+  const QueryServiceOptions options_;
+  sql::PlanExecutor executor_;
+  PlanCache cache_;
+
+  mutable std::mutex stats_mu_;
+  uint64_t queries_ = 0;
+  uint64_t errors_ = 0;
+  sql::ExecStats exec_;
+  double total_seconds_ = 0.0;
+  std::vector<double> latency_ring_ms_;  // bounded reservoir of recent queries
+  size_t next_sample_ = 0;
+
+  // Last member: its destructor joins the workers while everything the
+  // in-flight tasks touch is still alive.
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace service
+}  // namespace lpath
+
+#endif  // LPATHDB_SERVICE_QUERY_SERVICE_H_

@@ -1,0 +1,50 @@
+// A fixed-size worker pool over an unbounded FIFO task queue.
+//
+// Deliberately minimal: the QueryService never blocks inside a pool task
+// waiting for another pool task. Its shard scheme has the submitting
+// thread drain the shard queue itself, with pool workers merely helping,
+// so a saturated pool degrades to serial execution instead of deadlocking.
+
+#ifndef LPATHDB_SERVICE_THREAD_POOL_H_
+#define LPATHDB_SERVICE_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace lpath {
+namespace service {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (at least one).
+  explicit ThreadPool(int threads);
+
+  /// Completes every queued task, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task; never blocks.
+  void Post(std::function<void()> task);
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace service
+}  // namespace lpath
+
+#endif  // LPATHDB_SERVICE_THREAD_POOL_H_

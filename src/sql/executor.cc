@@ -1,5 +1,6 @@
 #include "sql/executor.h"
 
+#include <algorithm>
 #include <limits>
 #include <unordered_map>
 #include <unordered_set>
@@ -41,7 +42,19 @@ class Runner {
       : rel_(rel), options_(options), stats_(stats) {}
 
   Status Run(const PreparedPlan& pp, QueryResult* out) {
+    return RunShard(pp, 0, kMaxInt, out);
+  }
+
+  /// Like Run, but the root plan's first variable enumerates only rows of
+  /// trees in [tid_lo, tid_hi). Subplan frames are unaffected: they chase
+  /// correlations wherever the bound rows point. A vacuous range leaves
+  /// root_pp_ null so serial execution keeps the unclamped fast paths.
+  Status RunShard(const PreparedPlan& pp, int32_t tid_lo, int32_t tid_hi,
+                  QueryResult* out) {
     if (pp.always_empty) return Status::OK();
+    root_pp_ = (tid_lo > 0 || tid_hi < kMaxInt) ? &pp : nullptr;
+    shard_lo_ = tid_lo;
+    shard_hi_ = tid_hi;
     Frame frame;
     frame.pp = &pp;
     frame.bound.assign(pp.plan.num_vars, kNoRow);
@@ -128,7 +141,9 @@ class Runner {
   bool EvalExists(Frame& f, const BoolExpr& e) {
     const auto sub_it = f.pp->subs.find(&e);
     const PreparedPlan& sub = *sub_it->second;
-    if (sub.always_empty) return false;
+    // Subplans never carry always_empty: their unknown literals resolve to
+    // the unsatisfiable sentinel, so an impossible EXISTS enumerates
+    // nothing and evaluates to false here.
 
     // Memoize on the single correlation variable when there is one.
     const int outer_var = f.pp->sub_outer_var.at(&e);
@@ -317,6 +332,15 @@ class Runner {
       }
     }
 
+    // Shard constraint: only the root plan's first variable is clamped to
+    // the shard's tid slice; every path below inherits the restriction
+    // through the tid links. tids are non-negative, so the unsharded
+    // [0, kMaxInt) defaults are vacuous.
+    const bool sharded = &pp == root_pp_ && pos == 0;
+    const int32_t tid_lo = sharded ? shard_lo_ : 0;
+    const int32_t tid_hi = sharded ? shard_hi_ : kMaxInt;
+    if (b.has_tid && (b.tid < tid_lo || b.tid >= tid_hi)) return;
+
     const int32_t left_lo =
         static_cast<int32_t>(std::max<int64_t>(b.left_lo, kMinInt + 1));
     const int32_t left_hi =
@@ -341,12 +365,21 @@ class Runner {
       }
       return;
     }
-    // 2. Value index.
+    // 2. Value index. The global index is ordered by (tid, id), so a shard
+    // binary-searches to its first tree and stops at its last.
     if (b.has_value) {
       auto rows = b.has_tid ? rel_.ValueRangeForTree(b.value, b.tid)
                             : rel_.ValueRange(b.value);
-      for (Row r : rows) {
-        if (fn(r)) return;
+      auto it = rows.begin();
+      if (sharded && !b.has_tid) {
+        it = std::lower_bound(rows.begin(), rows.end(), tid_lo,
+                              [this](Row r, int32_t t) {
+                                return rel_.tid(r) < t;
+                              });
+      }
+      for (; it != rows.end(); ++it) {
+        if (sharded && !b.has_tid && rel_.tid(*it) >= tid_hi) break;
+        if (fn(*it)) return;
       }
       return;
     }
@@ -392,7 +425,8 @@ class Runner {
         }
         return;
       }
-      const RowRange range = rel_.run(name);
+      const RowRange range = sharded ? rel_.RunTidRange(name, tid_lo, tid_hi)
+                                     : rel_.run(name);
       for (Row r = range.begin; r < range.end; ++r) {
         if (fn(r)) return;
       }
@@ -415,6 +449,9 @@ class Runner {
     }
     // 6. Full scan.
     for (Row r = 0; r < static_cast<Row>(rel_.row_count()); ++r) {
+      if (sharded && (rel_.tid(r) < tid_lo || rel_.tid(r) >= tid_hi)) {
+        continue;
+      }
       if (kind >= 0 && static_cast<int>(rel_.kind(r)) != kind) continue;
       if (fn(r)) return;
     }
@@ -423,6 +460,9 @@ class Runner {
   const NodeRelation& rel_;
   const ExecOptions& options_;
   ExecStats* stats_;
+  const PreparedPlan* root_pp_ = nullptr;
+  int32_t shard_lo_ = 0;
+  int32_t shard_hi_ = kMaxInt;
   std::unordered_set<uint64_t> out_set_;
   std::unordered_map<const BoolExpr*, std::unordered_map<uint64_t, bool>>
       memo_;
@@ -442,6 +482,15 @@ Result<QueryResult> PlanExecutor::ExecutePrepared(const PreparedPlan& pp,
   Runner runner(rel_, options_, stats);
   QueryResult out;
   LPATH_RETURN_IF_ERROR(runner.Run(pp, &out));
+  return out;
+}
+
+Result<QueryResult> PlanExecutor::ExecuteShard(const PreparedPlan& pp,
+                                               int32_t tid_lo, int32_t tid_hi,
+                                               ExecStats* stats) const {
+  Runner runner(rel_, options_, stats);
+  QueryResult out;
+  LPATH_RETURN_IF_ERROR(runner.RunShard(pp, tid_lo, tid_hi, &out));
   return out;
 }
 

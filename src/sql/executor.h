@@ -26,6 +26,14 @@ struct ExecStats {
   uint64_t bindings = 0;     ///< rows surviving conjuncts + filters
   uint64_t subqueries = 0;   ///< EXISTS evaluations (after memo hits)
   uint64_t memo_hits = 0;
+
+  /// Accumulates another run's counters (per-shard stats roll up).
+  void Add(const ExecStats& o) {
+    candidates += o.candidates;
+    bindings += o.bindings;
+    subqueries += o.subqueries;
+    memo_hits += o.memo_hits;
+  }
 };
 
 /// Executes prepared plans. Stateless between calls; one executor can be
@@ -42,6 +50,17 @@ class PlanExecutor {
   /// Runs an already prepared plan.
   Result<QueryResult> ExecutePrepared(const PreparedPlan& pp,
                                       ExecStats* stats = nullptr) const;
+
+  /// Runs one shard of a prepared plan: the root frame's candidate
+  /// enumeration is constrained to trees with tid in [tid_lo, tid_hi).
+  /// Every complete binding is found by exactly one shard, so the union of
+  /// the shard results over a partition of the tid space — deduplicated,
+  /// since distinct bindings in different shards may project to the same
+  /// output node — equals ExecutePrepared's result. Safe to call
+  /// concurrently from many threads with one shared PreparedPlan.
+  Result<QueryResult> ExecuteShard(const PreparedPlan& pp, int32_t tid_lo,
+                                   int32_t tid_hi,
+                                   ExecStats* stats = nullptr) const;
 
   const ExecOptions& options() const { return options_; }
   const NodeRelation& relation() const { return rel_; }

@@ -74,28 +74,24 @@ void CollectOuterAsLocal(const ExecPlan& sub, std::set<int>* vars) {
   }
 }
 
-/// Rewrites string literals to dictionary symbol ids in place; validates
-/// that string comparisons use only = / !=. Marks the plan empty if an
-/// equality names an unknown symbol.
-Status ResolveLiterals(ExecPlan* plan, const Interner& interner,
-                       bool* always_empty) {
-  auto resolve = [&](Conjunct* c) -> Status {
-    for (Operand* o : {&c->lhs, &c->rhs}) {
-      if (!o->is_literal() || !o->is_string) continue;
-      if (c->op != CmpOp::kEq && c->op != CmpOp::kNe) {
-        return Status::NotSupported(
-            "string literals support only = and != comparisons");
-      }
-      const Symbol sym = interner.Lookup(o->str);
-      if (sym == kNoSymbol && c->op == CmpOp::kEq) *always_empty = true;
-      o->num = static_cast<int64_t>(sym);
-      o->is_string = false;  // now a resolved symbol id
-    }
-    return Status::OK();
-  };
-  for (Conjunct& c : plan->conjuncts) {
-    LPATH_RETURN_IF_ERROR(resolve(&c));
+/// Mirror of a comparison operator, for swapping a conjunct's sides.
+CmpOp MirrorOp(CmpOp op) {
+  switch (op) {
+    case CmpOp::kLt: return CmpOp::kGt;
+    case CmpOp::kLe: return CmpOp::kGe;
+    case CmpOp::kGt: return CmpOp::kLt;
+    case CmpOp::kGe: return CmpOp::kLe;
+    default: return op;
   }
+}
+
+/// Walks the plan's filter trees, applying `cmp_fn` to every comparison
+/// and `sub_fn` to every EXISTS subplan (one level; `sub_fn` recurses if
+/// it wants the whole nest). The single traversal the literal-resolution
+/// and orientation passes share.
+Status ForEachFilterNode(ExecPlan* plan,
+                         const std::function<Status(Conjunct*)>& cmp_fn,
+                         const std::function<Status(ExecPlan*)>& sub_fn) {
   std::vector<BoolExpr*> stack;
   for (auto& f : plan->filters) stack.push_back(f.get());
   while (!stack.empty()) {
@@ -110,24 +106,85 @@ Status ResolveLiterals(ExecPlan* plan, const Interner& interner,
       case BoolExpr::Kind::kNot:
         stack.push_back(e->lhs.get());
         break;
-      case BoolExpr::Kind::kCmp: {
-        // Inside OR/NOT trees an unknown symbol does not empty the plan.
-        bool ignored = false;
-        LPATH_RETURN_IF_ERROR(resolve(&e->cmp));
-        (void)ignored;
+      case BoolExpr::Kind::kCmp:
+        LPATH_RETURN_IF_ERROR(cmp_fn(&e->cmp));
         break;
-      }
-      case BoolExpr::Kind::kExists: {
-        bool sub_empty = false;
-        LPATH_RETURN_IF_ERROR(
-            ResolveLiterals(e->sub.get(), interner, &sub_empty));
-        // An always-empty EXISTS is simply false at evaluation time; the
-        // executor handles it via the unknown symbol id.
+      case BoolExpr::Kind::kExists:
+        LPATH_RETURN_IF_ERROR(sub_fn(e->sub.get()));
         break;
-      }
     }
   }
   return Status::OK();
+}
+
+/// Rewrites string literals to dictionary symbol ids in place; validates
+/// that string comparisons use only = / !=. An unknown symbol in an
+/// equality empties the plan only when the equality is a top-level
+/// conjunct (an AND leg that can never hold) and `always_empty` is
+/// non-null. Inside OR/NOT filter trees — and throughout EXISTS subplans,
+/// which pass a null flag — the comparison is rewritten to an
+/// unsatisfiable sentinel and evaluation decides: `x = 'unknown' OR
+/// <other>` must still consider <other>, and an impossible EXISTS simply
+/// enumerates nothing.
+Status ResolveLiterals(ExecPlan* plan, const Interner& interner,
+                       bool* always_empty) {
+  // `empty_flag` is the enclosing plan's always_empty for top-level
+  // conjuncts and null for comparisons inside filter trees.
+  auto resolve = [&interner](Conjunct* c, bool* empty_flag) -> Status {
+    for (Operand* o : {&c->lhs, &c->rhs}) {
+      if (!o->is_literal() || !o->is_string) continue;
+      if (c->op != CmpOp::kEq && c->op != CmpOp::kNe) {
+        return Status::NotSupported(
+            "string literals support only = and != comparisons");
+      }
+      const Symbol sym = interner.Lookup(o->str);
+      if (sym == kNoSymbol) {
+        if (c->op == CmpOp::kEq && empty_flag != nullptr) *empty_flag = true;
+        // -1 compares equal to no column (symbols are non-negative), so an
+        // unknown = is always false and an unknown != always true — the
+        // same answers a known-but-absent word would give. (kNoSymbol
+        // itself would falsely match the value column of element rows,
+        // which store kNoSymbol for "no value".)
+        o->num = -1;
+      } else {
+        o->num = static_cast<int64_t>(sym);
+      }
+      o->is_string = false;  // now a resolved symbol id
+    }
+    return Status::OK();
+  };
+  for (Conjunct& c : plan->conjuncts) {
+    LPATH_RETURN_IF_ERROR(resolve(&c, always_empty));
+  }
+  return ForEachFilterNode(
+      plan, [&resolve](Conjunct* c) { return resolve(c, nullptr); },
+      [&interner](ExecPlan* sub) {
+        return ResolveLiterals(sub, interner, /*always_empty=*/nullptr);
+      });
+}
+
+/// Puts the column reference on the lhs of literal-first comparisons
+/// (`'VB' = a.name`), mirroring the operator. The fact harvesters and the
+/// access-path derivation inspect only var-on-lhs conjuncts, so without
+/// this a literal-first spelling silently degrades to a full scan. The SQL
+/// parser normalizes as it parses; plans built programmatically may not be.
+void NormalizeOrientation(ExecPlan* plan) {
+  auto flip = [](Conjunct* c) {
+    if (!c->lhs.is_literal() || c->rhs.is_literal()) return;
+    std::swap(c->lhs, c->rhs);
+    c->op = MirrorOp(c->op);
+  };
+  for (Conjunct& c : plan->conjuncts) flip(&c);
+  (void)ForEachFilterNode(
+      plan,
+      [&flip](Conjunct* c) {
+        flip(c);
+        return Status::OK();
+      },
+      [](ExecPlan* sub) {
+        NormalizeOrientation(sub);
+        return Status::OK();
+      });
 }
 
 /// Static per-variable access facts harvested from literal conjuncts.
@@ -275,13 +332,7 @@ Conjunct Orient(const Conjunct& c, int var_at_pos) {
     Conjunct m;
     m.lhs = c.rhs;
     m.rhs = c.lhs;
-    switch (c.op) {
-      case CmpOp::kLt: m.op = CmpOp::kGt; break;
-      case CmpOp::kLe: m.op = CmpOp::kGe; break;
-      case CmpOp::kGt: m.op = CmpOp::kLt; break;
-      case CmpOp::kGe: m.op = CmpOp::kLe; break;
-      default: m.op = c.op; break;
-    }
+    m.op = MirrorOp(c.op);
     return m;
   }
   return c;
@@ -394,6 +445,7 @@ Result<std::unique_ptr<PreparedPlan>> Prepare(const ExecPlan& plan,
                                               const NodeRelation& rel,
                                               const ExecOptions& options) {
   ExecPlan resolved = plan.Clone();
+  NormalizeOrientation(&resolved);
   bool always_empty = false;
   LPATH_RETURN_IF_ERROR(
       ResolveLiterals(&resolved, rel.interner(), &always_empty));

@@ -1,8 +1,10 @@
 // Plan preparation: the statistics-driven join-order optimizer.
 //
 // Prepare() turns an ExecPlan into a PreparedPlan the executor can run:
-//   1. string literals are resolved against the relation's dictionary
-//      (unknown tags/words short-circuit to empty results);
+//   1. comparisons are oriented column-first and string literals resolved
+//      against the relation's dictionary (an unknown tag/word in a
+//      top-level equality short-circuits the plan to empty; inside OR/NOT
+//      filter trees it resolves to an unsatisfiable sentinel instead);
 //   2. a variable evaluation order is chosen — greedy by estimated
 //      cardinality (tag-run and value-index sizes, exactly the statistics
 //      the paper's §5.2 discussion turns on), or left-to-right for the

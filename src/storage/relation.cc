@@ -186,6 +186,16 @@ RowRange NodeRelation::RunForTree(Symbol name, int32_t t) const {
   return RowRange{static_cast<Row>(lo - tb), static_cast<Row>(hi - tb)};
 }
 
+RowRange NodeRelation::RunTidRange(Symbol name, int32_t tid_lo,
+                                   int32_t tid_hi) const {
+  const RowRange full = run(name);
+  if (full.empty() || tid_lo >= tid_hi) return RowRange{full.begin, full.begin};
+  const auto tb = tid_.begin();
+  auto lo = std::lower_bound(tb + full.begin, tb + full.end, tid_lo);
+  auto hi = std::lower_bound(lo, tb + full.end, tid_hi);
+  return RowRange{static_cast<Row>(lo - tb), static_cast<Row>(hi - tb)};
+}
+
 RowRange NodeRelation::RunLeftRange(Symbol name, int32_t t, int32_t left_lo,
                                     int32_t left_hi) const {
   const RowRange in_tree = RunForTree(name, t);
@@ -234,7 +244,11 @@ std::span<const Row> NodeRelation::RunPidRange(Symbol name, int32_t t,
 }
 
 std::span<const Row> NodeRelation::ValueRange(Symbol v) const {
-  if (v == kNoSymbol || v + 1 >= value_offsets_.size()) return {};
+  // size_t arithmetic: v + 1 would wrap to 0 for the unsatisfiable
+  // 0xffffffff sentinel the optimizer feeds unknown-literal lookups.
+  if (v == kNoSymbol || static_cast<size_t>(v) + 1 >= value_offsets_.size()) {
+    return {};
+  }
   const uint32_t b = value_offsets_[v];
   const uint32_t e = value_offsets_[v + 1];
   if (b >= e) return {};

@@ -93,6 +93,11 @@ class NodeRelation {
   /// Subrange of run(name) with tid == t; binary search.
   RowRange RunForTree(Symbol name, int32_t t) const;
 
+  /// Subrange of run(name) with tid in [tid_lo, tid_hi); binary search.
+  /// This is how a shard of the parallel executor carves its slice of a
+  /// tag run out of the clustered storage.
+  RowRange RunTidRange(Symbol name, int32_t tid_lo, int32_t tid_hi) const;
+
   /// Subrange of run(name) with tid == t and left in [left_lo, left_hi).
   /// This is the workhorse for descendant/following/immediate-following.
   RowRange RunLeftRange(Symbol name, int32_t t, int32_t left_lo,

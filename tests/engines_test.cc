@@ -108,6 +108,29 @@ TEST(EngineFigure1Test, MatchesNavigationalOnFigure1) {
   CheckCorpus(corpus, 0);
 }
 
+TEST(EngineFigure1Test, UnknownWordInsideOrNotStillMatchesOtherLegs) {
+  // Regression (LPath level): an unknown word inside an OR/NOT predicate
+  // tree must not empty the whole query.
+  Corpus corpus = testing::BuildFigure1Corpus();
+  Result<NodeRelation> rel = NodeRelation::Build(corpus);
+  ASSERT_TRUE(rel.ok());
+  LPathEngine engine(rel.value());
+  NavigationalEngine nav(corpus);
+  for (const char* q : {"//V[@lex='zzz_unknown' or @lex='saw']",
+                        "//_[@lex='zzz_unknown' or @lex='saw']",
+                        "//NP[not(@lex='zzz_unknown')]",
+                        "//N[not(@lex='zzz_unknown' or @lex='man')]"}) {
+    Result<QueryResult> got = engine.Run(q);
+    Result<QueryResult> expected = nav.Run(q);
+    ASSERT_TRUE(got.ok()) << q << " -> " << got.status();
+    ASSERT_TRUE(expected.ok()) << q << " -> " << expected.status();
+    EXPECT_EQ(got.value(), expected.value()) << q;
+  }
+  Result<QueryResult> saw = engine.Run("//V[@lex='zzz_unknown' or @lex='saw']");
+  ASSERT_TRUE(saw.ok());
+  EXPECT_EQ(saw->count(), 1u);
+}
+
 TEST_P(DifferentialTest, MatchesNavigationalOnRandomCorpora) {
   Corpus corpus = testing::RandomCorpus(GetParam(), /*trees=*/25,
                                         /*max_nodes=*/35);

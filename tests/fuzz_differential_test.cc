@@ -1,8 +1,11 @@
 // Differential fuzzing: generate random LPath queries (random axes, node
-// tests, scopes, alignment, predicates) and random corpora, then require
-// the relational engine (through the full SQL round trip) to agree exactly
-// with the navigational reference evaluator. This sweeps query shapes the
-// hand-written batteries never enumerate.
+// tests, scopes, alignment, predicates — including unknown tags/words and
+// OR/NOT combinations over them, the shape of the filter-tree literal
+// resolution bug) and random corpora, then require the relational engine
+// (through the full SQL round trip) to agree exactly with the navigational
+// reference evaluator. This sweeps query shapes the hand-written batteries
+// never enumerate. The generator itself lives in test_util.h, shared with
+// the shard and service differentials.
 
 #include <gtest/gtest.h>
 
@@ -16,105 +19,7 @@
 namespace lpath {
 namespace {
 
-/// Random query generator over the test tag/word alphabet. Generates only
-/// queries the relational translation supports (no position()/last()).
-class QueryGen {
- public:
-  explicit QueryGen(Rng* rng) : rng_(rng) {}
-
-  std::string Query() {
-    std::string q = rng_->Chance(0.9) ? "//" : "/";
-    q += NodeTestWithSuffix(/*depth=*/0, /*in_scope=*/false);
-    int steps = static_cast<int>(rng_->Below(4));
-    bool scope_open = false;
-    for (int i = 0; i < steps; ++i) {
-      if (!scope_open && rng_->Chance(0.25)) {
-        q += "{";
-        scope_open = true;
-      }
-      q += AxisToken();
-      q += NodeTestWithSuffix(0, scope_open);
-    }
-    if (scope_open) q += "}";
-    return q;
-  }
-
- private:
-  const char* Tag() {
-    static const char* kTags[] = {"S", "NP", "VP", "PP", "N",
-                                  "V", "Det", "Adj", "X", "Y"};
-    return kTags[rng_->Below(10)];
-  }
-  const char* Word() {
-    static const char* kWords[] = {"a", "b", "c", "saw", "dog",
-                                   "man", "of", "what", "building"};
-    return kWords[rng_->Below(9)];
-  }
-  const char* AxisToken() {
-    static const char* kAxes[] = {
-        "/",  "//",  "\\",  "\\\\", "->", "-->", "<-", "<--",
-        "=>", "==>", "<=",  "<==",  "/descendant-or-self::",
-        "/ancestor-or-self::", "/following-or-self::",
-        "/preceding-or-self::", "/following-sibling-or-self::",
-        "/preceding-sibling-or-self::", "/self::",
-    };
-    return kAxes[rng_->Below(19)];
-  }
-
-  std::string NodeTestWithSuffix(int depth, bool in_scope) {
-    std::string out;
-    if (in_scope && rng_->Chance(0.2)) out += "^";
-    out += rng_->Chance(0.25) ? "_" : Tag();
-    if (in_scope && rng_->Chance(0.2)) out += "$";
-    if (depth < 2 && rng_->Chance(0.35)) {
-      out += "[";
-      out += Predicate(depth + 1);
-      out += "]";
-    }
-    return out;
-  }
-
-  std::string Predicate(int depth) {
-    const double roll = rng_->NextDouble();
-    if (roll < 0.30) {  // attribute compare
-      std::string op = rng_->Chance(0.8) ? "=" : "!=";
-      return std::string("@lex") + op + Word();
-    }
-    if (roll < 0.45 && depth < 2) {  // boolean
-      const char* joiner = rng_->Chance(0.5) ? " and " : " or ";
-      return PredPath(depth) + joiner + Predicate(depth + 1);
-    }
-    if (roll < 0.60) {  // negation
-      return "not(" + PredPath(depth) + ")";
-    }
-    return PredPath(depth);
-  }
-
-  std::string PredPath(int depth) {
-    std::string q;
-    bool scope_open = false;
-    if (rng_->Chance(0.25)) {
-      q += "{";
-      scope_open = true;
-    }
-    const double roll = rng_->NextDouble();
-    if (roll < 0.4) {
-      q += "//";
-    } else if (roll < 0.6) {
-      q += AxisToken();
-      if (q.back() == '{') q += "//";  // never happens; keep simple
-    }
-    q += NodeTestWithSuffix(depth + 1, scope_open);
-    if (rng_->Chance(0.4)) {
-      q += AxisToken();
-      q += NodeTestWithSuffix(depth + 1, scope_open);
-    }
-    if (scope_open) q += "}";
-    return q;
-  }
-
-  Rng* rng_;
-};
+using testing::QueryGen;
 
 class FuzzDifferentialTest : public ::testing::TestWithParam<uint64_t> {};
 

@@ -47,6 +47,55 @@ TEST_F(OptimizerTest, UnknownNameInequalityIsNotEmpty) {
   EXPECT_FALSE(pp->always_empty);
 }
 
+TEST_F(OptimizerTest, UnknownLiteralInsideOrIsNotAlwaysEmpty) {
+  // Regression: resolution used to write the top-level always_empty flag
+  // from inside filter trees, emptying `... OR <satisfiable>` plans.
+  auto pp = Prepare(
+      "SELECT DISTINCT a.tid, a.id FROM nodes AS a WHERE a.name = 'V' AND "
+      "(a.value = 'zzz_unknown' OR a.left >= 0)");
+  EXPECT_FALSE(pp->always_empty);
+}
+
+TEST_F(OptimizerTest, UnknownLiteralInsideNotIsNotAlwaysEmpty) {
+  auto pp = Prepare(
+      "SELECT DISTINCT a.tid, a.id FROM nodes AS a WHERE a.name = 'NP' AND "
+      "NOT (a.value = 'zzz_unknown')");
+  EXPECT_FALSE(pp->always_empty);
+}
+
+TEST_F(OptimizerTest, LiteralFirstConjunctIsOriented) {
+  // A hand-built plan spelled literal-first must be flipped column-first
+  // at prepare time so HarvestFacts/StaticFacts see the name equality.
+  ExecPlan plan;
+  plan.num_vars = 1;
+  plan.conjuncts.push_back(Conjunct{Operand::String("NP"), CmpOp::kEq,
+                                    Operand::Column(0, PlanCol::kName)});
+  Result<std::unique_ptr<sql::PreparedPlan>> pp =
+      sql::Prepare(plan, *rel_, {});
+  ASSERT_TRUE(pp.ok()) << pp.status();
+  ASSERT_EQ(pp.value()->plan.conjuncts.size(), 1u);
+  const Conjunct& c = pp.value()->plan.conjuncts[0];
+  EXPECT_FALSE(c.lhs.is_literal());
+  EXPECT_EQ(c.lhs.col, PlanCol::kName);
+  EXPECT_TRUE(c.rhs.is_literal());
+}
+
+TEST_F(OptimizerTest, LiteralFirstOrderingOperatorIsMirrored) {
+  // `5 < a.left` must become `a.left > 5`.
+  ExecPlan plan;
+  plan.num_vars = 1;
+  plan.conjuncts.push_back(Conjunct{Operand::Number(5), CmpOp::kLt,
+                                    Operand::Column(0, PlanCol::kLeft)});
+  Result<std::unique_ptr<sql::PreparedPlan>> pp =
+      sql::Prepare(plan, *rel_, {});
+  ASSERT_TRUE(pp.ok()) << pp.status();
+  const Conjunct& c = pp.value()->plan.conjuncts[0];
+  EXPECT_FALSE(c.lhs.is_literal());
+  EXPECT_EQ(c.lhs.col, PlanCol::kLeft);
+  EXPECT_EQ(c.op, CmpOp::kGt);
+  EXPECT_EQ(c.rhs.num, 5);
+}
+
 TEST_F(OptimizerTest, GreedyOrderAnchorsOnSmallestRun) {
   // S occurs once; NP four times; the wildcard var has no name. Greedy must
   // start from the S variable.

@@ -170,6 +170,67 @@ TEST_F(SqlExecTest, UnknownSymbolIsEmptyNotError) {
             0u);
 }
 
+TEST_F(SqlExecTest, UnknownLiteralInsideOrDoesNotEmptyQuery) {
+  // Regression: an unknown word in one OR leg used to mark the whole plan
+  // always-empty. The V row must still match through the other leg.
+  EXPECT_EQ(Count("SELECT DISTINCT a.tid, a.id FROM nodes AS a WHERE "
+                  "a.name = 'V' AND (a.value = 'zzz_unknown' OR "
+                  "a.left >= 0)"),
+            1u);
+}
+
+TEST_F(SqlExecTest, UnknownLiteralInsideNotIsSimplyFalse) {
+  // NOT (value = unknown) holds for every row, so the name conjunct alone
+  // decides: all four NPs.
+  EXPECT_EQ(Count("SELECT DISTINCT a.tid, a.id FROM nodes AS a WHERE "
+                  "a.name = 'NP' AND NOT (a.value = 'zzz_unknown')"),
+            4u);
+}
+
+TEST_F(SqlExecTest, UnknownLiteralInequalityMatchesLikeAbsentWord) {
+  // `!= unknown-word` must answer like `!=` against a known word that the
+  // rows don't carry, and like its De Morgan twin NOT (= unknown): all
+  // four NPs (whose value column is empty) pass.
+  EXPECT_EQ(Count("SELECT DISTINCT a.tid, a.id FROM nodes AS a WHERE "
+                  "a.name = 'NP' AND a.value != 'zzz_unknown'"),
+            4u);
+  EXPECT_EQ(Count("SELECT DISTINCT a.tid, a.id FROM nodes AS a WHERE "
+                  "a.name = 'NP' AND a.value != 'saw'"),
+            4u);
+}
+
+TEST_F(SqlExecTest, UnknownValueEqualityMatchesNoElementRow) {
+  // Element rows store kNoSymbol in the value column; an unknown literal
+  // must not alias to that sentinel, or this OR would match all 15
+  // elements instead of just V.
+  EXPECT_EQ(Count("SELECT DISTINCT a.tid, a.id FROM nodes AS a WHERE "
+                  "a.kind = 0 AND (a.value = 'zzz_unknown' OR "
+                  "a.name = 'V')"),
+            1u);
+}
+
+TEST_F(SqlExecTest, LiteralFirstSpellingUsesTheNameRun) {
+  // `'NP' = a.name` must drive the same run-index access path as
+  // `a.name = 'NP'` — identical results and identical candidate counts.
+  sql::PlanExecutor executor(*rel_);
+  ExecPlan var_first;
+  var_first.num_vars = 1;
+  var_first.conjuncts.push_back(Conjunct{Operand::Column(0, PlanCol::kName),
+                                         CmpOp::kEq, Operand::String("NP")});
+  ExecPlan lit_first;
+  lit_first.num_vars = 1;
+  lit_first.conjuncts.push_back(Conjunct{Operand::String("NP"), CmpOp::kEq,
+                                         Operand::Column(0, PlanCol::kName)});
+  sql::ExecStats var_stats, lit_stats;
+  Result<QueryResult> var_result = executor.Execute(var_first, &var_stats);
+  Result<QueryResult> lit_result = executor.Execute(lit_first, &lit_stats);
+  ASSERT_TRUE(var_result.ok()) << var_result.status();
+  ASSERT_TRUE(lit_result.ok()) << lit_result.status();
+  EXPECT_EQ(var_result->count(), 4u);
+  EXPECT_EQ(lit_result.value(), var_result.value());
+  EXPECT_EQ(lit_stats.candidates, var_stats.candidates);
+}
+
 TEST_F(SqlExecTest, StringInequalityRejected) {
   Result<QueryResult> r =
       RunSql(*rel_,

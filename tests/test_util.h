@@ -113,6 +113,124 @@ inline Corpus RandomCorpus(uint64_t seed, int trees, int max_nodes = 40) {
   return corpus;
 }
 
+/// Random LPath query generator over the test tag/word alphabet, plus
+/// deliberately unknown tags and words — resolving an unknown literal
+/// inside an OR/NOT tree once emptied the whole plan, so the generator
+/// emits those shapes on purpose. Generates only queries the relational
+/// translation supports (no position()/last()). Shared by the fuzz
+/// differential, the shard differential and the service tests.
+class QueryGen {
+ public:
+  explicit QueryGen(Rng* rng) : rng_(rng) {}
+
+  std::string Query() {
+    std::string q = rng_->Chance(0.9) ? "//" : "/";
+    q += NodeTestWithSuffix(/*depth=*/0, /*in_scope=*/false);
+    int steps = static_cast<int>(rng_->Below(4));
+    bool scope_open = false;
+    for (int i = 0; i < steps; ++i) {
+      if (!scope_open && rng_->Chance(0.25)) {
+        q += "{";
+        scope_open = true;
+      }
+      q += AxisToken();
+      q += NodeTestWithSuffix(0, scope_open);
+    }
+    if (scope_open) q += "}";
+    return q;
+  }
+
+ private:
+  const char* Tag() {
+    // "ZZZUNK" is interned by no corpus: unknown-tag plans must stay
+    // empty without leaking emptiness into enclosing OR/NOT trees.
+    static const char* kTags[] = {"S", "NP", "VP", "PP", "N", "V",
+                                  "Det", "Adj", "X", "Y", "ZZZUNK"};
+    return kTags[rng_->Chance(0.08) ? 10 : rng_->Below(10)];
+  }
+  const char* Word() {
+    // "zzzunknown" likewise never appears in any corpus.
+    static const char* kWords[] = {"a", "b", "c", "saw", "dog",
+                                   "man", "of", "what", "building",
+                                   "zzzunknown"};
+    return kWords[rng_->Chance(0.15) ? 9 : rng_->Below(9)];
+  }
+  const char* AxisToken() {
+    static const char* kAxes[] = {
+        "/",  "//",  "\\",  "\\\\", "->", "-->", "<-", "<--",
+        "=>", "==>", "<=",  "<==",  "/descendant-or-self::",
+        "/ancestor-or-self::", "/following-or-self::",
+        "/preceding-or-self::", "/following-sibling-or-self::",
+        "/preceding-sibling-or-self::", "/self::",
+    };
+    return kAxes[rng_->Below(19)];
+  }
+
+  std::string NodeTestWithSuffix(int depth, bool in_scope) {
+    std::string out;
+    if (in_scope && rng_->Chance(0.2)) out += "^";
+    out += rng_->Chance(0.25) ? "_" : Tag();
+    if (in_scope && rng_->Chance(0.2)) out += "$";
+    if (depth < 2 && rng_->Chance(0.35)) {
+      out += "[";
+      out += Predicate(depth + 1);
+      out += "]";
+    }
+    return out;
+  }
+
+  std::string AttrCompare() {
+    std::string cmp = "@lex";
+    cmp += rng_->Chance(0.8) ? "=" : "!=";
+    cmp += Word();
+    return cmp;
+  }
+
+  std::string Predicate(int depth) {
+    const double roll = rng_->NextDouble();
+    if (roll < 0.25) return AttrCompare();
+    if (roll < 0.37) {  // boolean trees over attribute compares
+      const double kind = rng_->NextDouble();
+      if (kind < 0.40) return AttrCompare() + " or " + AttrCompare();
+      if (kind < 0.60) return AttrCompare() + " and " + AttrCompare();
+      if (kind < 0.80) return "not(" + AttrCompare() + ")";
+      return "not(" + AttrCompare() + " or " + AttrCompare() + ")";
+    }
+    if (roll < 0.50 && depth < 2) {  // boolean over paths
+      const char* joiner = rng_->Chance(0.5) ? " and " : " or ";
+      return PredPath(depth) + joiner + Predicate(depth + 1);
+    }
+    if (roll < 0.62) {  // negation
+      return "not(" + PredPath(depth) + ")";
+    }
+    return PredPath(depth);
+  }
+
+  std::string PredPath(int depth) {
+    std::string q;
+    bool scope_open = false;
+    if (rng_->Chance(0.25)) {
+      q += "{";
+      scope_open = true;
+    }
+    const double roll = rng_->NextDouble();
+    if (roll < 0.4) {
+      q += "//";
+    } else if (roll < 0.6) {
+      q += AxisToken();
+    }
+    q += NodeTestWithSuffix(depth + 1, scope_open);
+    if (rng_->Chance(0.4)) {
+      q += AxisToken();
+      q += NodeTestWithSuffix(depth + 1, scope_open);
+    }
+    if (scope_open) q += "}";
+    return q;
+  }
+
+  Rng* rng_;
+};
+
 }  // namespace testing
 }  // namespace lpath
 
