@@ -16,7 +16,7 @@ namespace bench {
 
 void BuildRegister() {
   const EngineSet& fx = GetFixture(Dataset::kWsj);
-  const Corpus& corpus = fx.corpus;
+  const Corpus& corpus = fx.corpus();
 
   benchmark::RegisterBenchmark("LabelLPath", [&corpus](benchmark::State& st) {
     std::vector<Label> labels;
@@ -124,6 +124,6 @@ int main(int argc, char** argv) {
   std::printf("(corpus: %d WSJ-profile sentences, %zu nodes)\n",
               lpath::bench::BenchmarkSentences(),
               lpath::bench::GetFixture(lpath::bench::Dataset::kWsj)
-                  .corpus.TotalNodes());
+                  .corpus().TotalNodes());
   return 0;
 }

@@ -41,14 +41,14 @@ void AblRegister() {
   nested.unnest_predicates = false;
 
   Engines().push_back(
-      std::make_unique<LPathEngine>(*fx.lpath_relation, greedy));
-  Engines().push_back(std::make_unique<LPathEngine>(*fx.lpath_relation, ltr));
+      std::make_unique<LPathEngine>(fx.lpath_relation(), greedy));
+  Engines().push_back(std::make_unique<LPathEngine>(fx.lpath_relation(), ltr));
   Engines().push_back(
-      std::make_unique<LPathEngine>(*fx.lpath_relation, naive));
+      std::make_unique<LPathEngine>(fx.lpath_relation(), naive));
   Engines().push_back(
-      std::make_unique<LPathEngine>(*fx.lpath_relation, direct));
+      std::make_unique<LPathEngine>(fx.lpath_relation(), direct));
   Engines().push_back(
-      std::make_unique<LPathEngine>(*fx.lpath_relation, nested));
+      std::make_unique<LPathEngine>(fx.lpath_relation(), nested));
   const char* names[] = {"greedy", "left-to-right", "no-early-exit",
                          "direct-plan", "no-unnesting"};
 

@@ -45,7 +45,10 @@ service::QueryService* GetService(Dataset dataset, int threads) {
     const EngineSet& fx = GetFixture(dataset);
     service::QueryServiceOptions opts;
     opts.threads = threads;
-    slot = new service::QueryService(*fx.lpath_relation, opts);
+    // Fixed fan-out: this figure measures sharding against thread count, so
+    // the adaptive serial heuristic is disabled.
+    opts.adaptive_serial_rows = 0;
+    slot = new service::QueryService(fx.lpath_snapshot, opts);
     // Warm the plan cache so the timed loop measures the serve path, not
     // the one-off parse/compile/optimize of each query.
     for (const std::string& q : SuiteQueries()) (void)slot->GetPlan(q);

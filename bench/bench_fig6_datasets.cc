@@ -39,7 +39,7 @@ void Fig6Register() {
         ("BuildRelation/" + suffix).c_str(), [d](benchmark::State& st) {
           const EngineSet& fx = GetFixture(d);
           for (auto _ : st) {
-            Result<NodeRelation> rel = NodeRelation::Build(fx.corpus);
+            Result<NodeRelation> rel = NodeRelation::Build(fx.corpus());
             if (!rel.ok()) {
               st.SkipWithError("build failed");
               return;
@@ -51,7 +51,7 @@ void Fig6Register() {
         ("BuildTgrepImage/" + suffix).c_str(), [d](benchmark::State& st) {
           const EngineSet& fx = GetFixture(d);
           for (auto _ : st) {
-            tgrep::TgrepCorpus tc = tgrep::TgrepCorpus::Build(fx.corpus);
+            tgrep::TgrepCorpus tc = tgrep::TgrepCorpus::Build(fx.corpus());
             benchmark::DoNotOptimize(tc.size());
           }
         });
@@ -61,8 +61,8 @@ void Fig6Register() {
 void PrintFig6a() {
   printf("\n=== Figure 6(a) — data set characteristics ===\n");
   printf("  %-18s | %14s | %14s\n", "", "WSJ profile", "SWB profile");
-  CorpusStats wsj = ComputeStats(GetFixture(Dataset::kWsj).corpus);
-  CorpusStats swb = ComputeStats(GetFixture(Dataset::kSwb).corpus);
+  CorpusStats wsj = ComputeStats(GetFixture(Dataset::kWsj).corpus());
+  CorpusStats swb = ComputeStats(GetFixture(Dataset::kSwb).corpus());
   auto line = [](const char* label, const std::string& a,
                  const std::string& b) {
     printf("  %-18s | %14s | %14s\n", label, a.c_str(), b.c_str());

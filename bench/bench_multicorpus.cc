@@ -1,0 +1,230 @@
+// Multi-corpus database benchmark: the serving shapes the db:: layer adds
+// on top of one QueryService.
+//
+//   Routed/qps            — the 23-query suite round-robined across every
+//                           attached corpus through Database::Query; QPS of
+//                           the name → snapshot → plan-cache routing path.
+//   Swap/publish          — latency of Database::Swap publishing a prebuilt
+//                           snapshot while loader threads keep querying the
+//                           same corpus (readers never block: swap time is
+//                           one session build + one atomic store).
+//   Swap/reload           — latency of Database::Reload (index rebuild over
+//                           the same corpus + publish) under the same load.
+//
+// Expected shape: routed QPS tracks the single-corpus batch path (routing
+// adds a map lookup per query); publish stays in the tens of microseconds
+// regardless of corpus size; reload scales with relation build time.
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "db/database.h"
+#include "gen/generator.h"
+
+namespace lpath {
+namespace bench {
+namespace {
+
+/// Corpus scale: a fraction of the fixture default keeps the swap loops
+/// (which rebuild relations) comfortably inside the smoke budget.
+int MulticorpusSentences() {
+  return std::max(100, BenchmarkSentences() / 8);
+}
+
+const std::vector<std::string>& SuiteQueries() {
+  static const std::vector<std::string>* queries = [] {
+    auto* q = new std::vector<std::string>();
+    for (const BenchmarkQuery& bq : The23Queries()) q->push_back(bq.lpath);
+    return q;
+  }();
+  return *queries;
+}
+
+/// One database holding both profile corpora; leaked-pointer singleton so
+/// no static destructor runs behind the sanitizers' backs — main() frees.
+db::Database* TheDatabase() {
+  static db::Database* database = [] {
+    db::DatabaseOptions opts;
+    opts.service.threads = 2;
+    auto* d = new db::Database(opts);
+    const int n = MulticorpusSentences();
+    Result<Corpus> wsj = gen::GenerateWsj(n);
+    Result<Corpus> swb = gen::GenerateSwb(n);
+    if (!wsj.ok() || !swb.ok()) return d;  // benches will report the error
+    (void)d->OpenCorpus("wsj", std::move(wsj).value());
+    (void)d->OpenCorpus("swb", std::move(swb).value());
+    return d;
+  }();
+  return database;
+}
+
+void FreeDatabase() { delete TheDatabase(); }
+
+ReportTable& MulticorpusTable() {
+  static ReportTable* table = new ReportTable(
+      "Multi-corpus database — routed throughput and hot-swap latency");
+  return *table;
+}
+
+/// The suite round-robined over every corpus; QPS counts routed queries.
+void BenchRouted(benchmark::State& st) {
+  db::Database* database = TheDatabase();
+  const std::vector<std::string>& queries = SuiteQueries();
+  const std::vector<std::string> names = database->CorpusNames();
+  if (names.empty()) {
+    st.SkipWithError("no corpora attached");
+    return;
+  }
+
+  double total = 0.0;
+  uint64_t evaluated = 0;
+  for (auto _ : st) {
+    Timer timer;
+    for (const std::string& name : names) {
+      for (const std::string& q : queries) {
+        Result<QueryResult> r = database->Query(name, q);
+        if (!r.ok()) {
+          st.SkipWithError(r.status().ToString().c_str());
+          return;
+        }
+      }
+    }
+    total += timer.ElapsedSeconds();
+    evaluated += names.size() * queries.size();
+  }
+  st.SetItemsProcessed(static_cast<int64_t>(evaluated));
+  if (evaluated > 0 && total > 0.0) {
+    st.counters["qps"] = static_cast<double>(evaluated) / total;
+    MulticorpusTable().Record(
+        "Routed", "per-query",
+        Measurement{total / static_cast<double>(evaluated), evaluated, true});
+  }
+}
+
+/// Measures one swap primitive per iteration while loader threads hammer
+/// queries against the corpus being republished.
+template <typename SwapFn>
+void BenchSwapUnderLoad(benchmark::State& st, const char* row, SwapFn swap_fn) {
+  db::Database* database = TheDatabase();
+  if (!database->Has("wsj")) {
+    st.SkipWithError("no corpora attached");
+    return;
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> load_queries{0};
+  std::atomic<int> load_errors{0};
+  constexpr int kLoaders = 2;
+  Timer load_timer;  // spans the loaders' whole lifetime, not just swaps
+  std::vector<std::thread> loaders;
+  loaders.reserve(kLoaders);
+  for (int i = 0; i < kLoaders; ++i) {
+    loaders.emplace_back([database, i, &stop, &load_queries, &load_errors] {
+      const std::vector<std::string>& queries = SuiteQueries();
+      size_t qi = static_cast<size_t>(i);
+      while (!stop.load(std::memory_order_relaxed)) {
+        Result<QueryResult> r =
+            database->Query("wsj", queries[qi++ % queries.size()]);
+        if (!r.ok()) load_errors.fetch_add(1, std::memory_order_relaxed);
+        load_queries.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  double total = 0.0;
+  uint64_t swaps = 0;
+  for (auto _ : st) {
+    Timer timer;
+    const Status s = swap_fn(database);
+    total += timer.ElapsedSeconds();
+    if (!s.ok()) {
+      stop.store(true);
+      for (std::thread& t : loaders) t.join();
+      st.SkipWithError(s.ToString().c_str());
+      return;
+    }
+    ++swaps;
+  }
+  stop.store(true);
+  for (std::thread& t : loaders) t.join();
+  const double load_seconds = load_timer.ElapsedSeconds();
+  if (load_errors.load() != 0) {
+    st.SkipWithError("queries failed during swap");
+    return;
+  }
+  st.SetItemsProcessed(static_cast<int64_t>(swaps));
+  st.counters["load_qps"] =
+      load_seconds > 0.0
+          ? static_cast<double>(load_queries.load()) / load_seconds
+          : 0.0;
+  if (swaps > 0) {
+    MulticorpusTable().Record(
+        row, "per-query",
+        Measurement{total / static_cast<double>(swaps), swaps, true});
+  }
+}
+
+void RegisterAll() {
+  benchmark::RegisterBenchmark("Routed/qps", BenchRouted)
+      ->UseRealTime()
+      ->Unit(benchmark::kMillisecond);
+  benchmark::RegisterBenchmark(
+      "Swap/publish",
+      [](benchmark::State& st) {
+        // Two prebuilt snapshots of the same corpus alternate, so each
+        // iteration times exactly the publish (session build + store).
+        db::Database* database = TheDatabase();
+        SnapshotPtr a = database->snapshot("wsj");
+        if (a == nullptr) {
+          st.SkipWithError("no corpora attached");
+          return;
+        }
+        Result<SnapshotPtr> b = a->Rebuild();
+        if (!b.ok()) {
+          st.SkipWithError(b.status().ToString().c_str());
+          return;
+        }
+        bool use_a = false;
+        BenchSwapUnderLoad(st, "Swap(publish)",
+                           [&](db::Database* d) {
+                             use_a = !use_a;
+                             return d->Swap("wsj", use_a ? a : b.value());
+                           });
+      })
+      ->UseRealTime()
+      ->Unit(benchmark::kMillisecond);
+  benchmark::RegisterBenchmark(
+      "Swap/reload",
+      [](benchmark::State& st) {
+        BenchSwapUnderLoad(st, "Swap(reload)",
+                           [](db::Database* d) { return d->Reload("wsj"); });
+      })
+      ->UseRealTime()
+      ->Unit(benchmark::kMillisecond);
+}
+
+void PrintTables() {
+  printf("%s", MulticorpusTable().Render({"per-query"}).c_str());
+  printf("\n(Routed: mean per routed query over %zu corpora x 23 queries; "
+         "Swap rows: mean per swap under %d loader threads; scale: %d "
+         "sentences/corpus)\n",
+         TheDatabase()->CorpusNames().size(), 2, MulticorpusSentences());
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace lpath
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  lpath::bench::RegisterAll();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  lpath::bench::PrintTables();
+  lpath::bench::FreeDatabase();
+  return 0;
+}

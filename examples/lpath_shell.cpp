@@ -1,7 +1,12 @@
-// lpath_shell — an interactive LPath console over a generated or loaded
-// treebank, in the spirit of the query tools the paper's linguists used.
+// lpath_shell — an interactive LPath console over a multi-corpus database,
+// in the spirit of the query tools the paper's linguists used.
 //
 //   ./examples/lpath_shell [--wsj N | --swb N | --corpus FILE.mrg]
+//
+// The shell fronts a db::Database: several corpora may be attached at
+// once, each served by its own QueryService (plan cache + shard pool);
+// queries are routed to the current corpus, and a rebuilt index can be
+// hot-swapped in (:reload) without restarting.
 //
 // Commands:
 //   <lpath query>      evaluate (shard-parallel) and print matches
@@ -9,8 +14,12 @@
 //   .plan <query>      show the execution plan IR
 //   .engines <query>   run on all engines that can express it and compare
 //   .stats             corpus statistics (Figure 6a/6b style)
-//   :threads N         rebuild the query service with N threads
-//                      (plan cache and stats start fresh)
+//   :open NAME FILE    load a bracketed treebank as corpus NAME and use it
+//   :use NAME          switch queries to corpus NAME
+//   :corpora           list attached corpora (snapshot ids, sizes)
+//   :reload            rebuild the current corpus's index and hot-swap it
+//   :threads N         rebuild every query service with N threads
+//                      (plan caches and stats start fresh)
 //   :cache             plan-cache and latency statistics
 //   .help              this text
 //   .quit              exit
@@ -23,14 +32,16 @@
 
 #include "common/str_util.h"
 #include "common/timer.h"
+#include "db/database.h"
 #include "gen/generator.h"
 #include "lpath/engines.h"
 #include "lpath/eval_nav.h"
-#include "service/query_service.h"
 #include "tree/bracket_io.h"
 #include "tree/stats.h"
 
 namespace {
+
+using namespace lpath;
 
 void PrintHelp() {
   std::printf(
@@ -40,37 +51,63 @@ void PrintHelp() {
       "  .plan <query>     show the execution-plan IR\n"
       "  .engines <query>  compare the relational and navigational engines\n"
       "  .stats            corpus statistics\n"
-      "  :threads N        rebuild the query service with N threads\n"
-      "                    (plan cache and stats start fresh)\n"
+      "  :open NAME FILE   load a bracketed treebank as corpus NAME, use it\n"
+      "  :use NAME         switch queries to corpus NAME\n"
+      "  :corpora          list attached corpora\n"
+      "  :reload           rebuild the current index and hot-swap it\n"
+      "  :threads N        rebuild the query services with N threads\n"
+      "                    (plan caches and stats start fresh)\n"
       "  :cache            plan-cache and latency statistics\n"
       "  .help  .quit\n");
 }
 
-void PrintServiceStats(const lpath::service::QueryService& service) {
-  const lpath::service::ServiceStats st = service.Stats();
+void PrintServiceStats(const std::string& name,
+                       const service::QueryService& service) {
+  const service::ServiceStats st = service.Stats();
   std::printf(
-      "service: %d threads, %llu queries (%llu errors)\n"
-      "plan cache: %zu/%zu plans, %llu hits, %llu misses, %llu evictions\n"
+      "service[%s]: %d threads, %llu queries (%llu errors, %llu sharded, "
+      "%llu serial)\n"
+      "plan cache: %zu/%zu plans, %llu hits (%llu negative), %llu misses, "
+      "%llu evictions\n"
       "latency: p50 %.3f ms, p90 %.3f ms, p99 %.3f ms, max %.3f ms "
       "(%zu samples)\n"
-      "executor: %llu candidates, %llu bindings, %llu subqueries\n",
-      service.threads(), static_cast<unsigned long long>(st.queries),
-      static_cast<unsigned long long>(st.errors), st.cache.size,
+      "executor: %llu candidates, %llu bindings, %llu subqueries, "
+      "%llu shard runs\n",
+      name.c_str(), service.threads(),
+      static_cast<unsigned long long>(st.queries),
+      static_cast<unsigned long long>(st.errors),
+      static_cast<unsigned long long>(st.sharded_queries),
+      static_cast<unsigned long long>(st.serial_queries), st.cache.size,
       st.cache.capacity, static_cast<unsigned long long>(st.cache.hits),
+      static_cast<unsigned long long>(st.cache.negative_hits),
       static_cast<unsigned long long>(st.cache.misses),
       static_cast<unsigned long long>(st.cache.evictions), st.latency.p50_ms,
       st.latency.p90_ms, st.latency.p99_ms, st.latency.max_ms,
       st.latency.samples,
       static_cast<unsigned long long>(st.exec.candidates),
       static_cast<unsigned long long>(st.exec.bindings),
-      static_cast<unsigned long long>(st.exec.subqueries));
+      static_cast<unsigned long long>(st.exec.subqueries),
+      static_cast<unsigned long long>(st.exec.shards));
 }
+
+/// Per-snapshot comparison engines for .sql/.plan/.engines: rebuilt lazily
+/// whenever the current corpus's snapshot changes (swap or :use).
+struct EngineView {
+  SnapshotPtr snap;
+  std::unique_ptr<LPathEngine> lpath;
+  std::unique_ptr<NavigationalEngine> nav;
+
+  void Refresh(const SnapshotPtr& current) {
+    if (snap != nullptr && current != nullptr && snap == current) return;
+    snap = current;
+    lpath = std::make_unique<LPathEngine>(snap->relation());
+    nav = std::make_unique<NavigationalEngine>(snap->corpus());
+  }
+};
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  using namespace lpath;
-
   std::string profile = "wsj";
   std::string corpus_path;
   int sentences = 1000;
@@ -84,15 +121,19 @@ int main(int argc, char** argv) {
     }
   }
 
-  Corpus corpus;
+  db::DatabaseOptions db_opts;
+  db::Database db(db_opts);
+  std::string current;
   if (!corpus_path.empty()) {
-    Status s = LoadBracketFile(corpus_path, &corpus);
+    current = "main";
+    Status s = db.Open(current, corpus_path);
     if (!s.ok()) {
       std::fprintf(stderr, "cannot load %s: %s\n", corpus_path.c_str(),
                    s.ToString().c_str());
       return 1;
     }
   } else {
+    current = profile;
     Result<Corpus> generated = profile == "wsj"
                                    ? gen::GenerateWsj(sentences)
                                    : gen::GenerateSwb(sentences);
@@ -100,36 +141,37 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "%s\n", generated.status().ToString().c_str());
       return 1;
     }
-    corpus = std::move(generated).value();
+    Status s = db.OpenCorpus(current, std::move(generated).value());
+    if (!s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
   }
 
-  Result<NodeRelation> rel = NodeRelation::Build(corpus);
-  if (!rel.ok()) {
-    std::fprintf(stderr, "%s\n", rel.status().ToString().c_str());
-    return 1;
-  }
-  LPathEngine engine(rel.value());
-  NavigationalEngine nav(corpus);
-  service::QueryServiceOptions svc_opts;
-  auto service = std::make_unique<service::QueryService>(rel.value(), svc_opts);
-
+  EngineView view;
+  view.Refresh(db.snapshot(current));
   std::printf(
-      "lpath_shell — %zu trees, %zu nodes, %d query threads. "
+      "lpath_shell — corpus '%s': %zu trees, %zu nodes, %d query threads. "
       "Type .help for help.\n",
-      corpus.size(), corpus.TotalNodes(), service->threads());
+      current.c_str(), view.snap->corpus().size(),
+      view.snap->corpus().TotalNodes(), db.service(current)->threads());
 
   std::string line;
-  while (std::printf("lpath> "), std::fflush(stdout),
+  while (std::printf("lpath:%s> ", current.c_str()), std::fflush(stdout),
          std::getline(std::cin, line)) {
     std::string input(StripWhitespace(line));
     if (input.empty()) continue;
     if (input == ".quit" || input == ".exit" || input == "q") break;
+    // One refresh per command: a no-op unless :reload/:open/:use (or a
+    // concurrent embedder) changed the current snapshot. Branches that
+    // change `current` refresh again after doing so.
+    view.Refresh(db.snapshot(current));
     if (input == ".help") {
       PrintHelp();
       continue;
     }
     if (input == ".stats") {
-      CorpusStats stats = ComputeStats(corpus);
+      CorpusStats stats = ComputeStats(view.snap->corpus());
       std::printf("trees %zu, nodes %zu, words %zu, unique tags %zu, "
                   "max depth %d, bracketed size %s bytes\n",
                   stats.tree_count, stats.node_count, stats.word_count,
@@ -141,39 +183,96 @@ int main(int argc, char** argv) {
       }
       continue;
     }
+    if (StartsWith(input, ":open ")) {
+      std::istringstream args(input.substr(6));
+      std::string name, file;
+      args >> name >> file;
+      if (name.empty() || file.empty()) {
+        std::printf("usage: :open NAME FILE\n");
+        continue;
+      }
+      Status s = db.Open(name, file);
+      if (!s.ok()) {
+        std::printf("error: %s\n", s.ToString().c_str());
+        continue;
+      }
+      current = name;
+      view.Refresh(db.snapshot(current));
+      std::printf("opened '%s': %zu trees, %zu nodes (now current)\n",
+                  name.c_str(), view.snap->corpus().size(),
+                  view.snap->corpus().TotalNodes());
+      continue;
+    }
+    if (StartsWith(input, ":use ")) {
+      const std::string name(StripWhitespace(input.substr(5)));
+      if (!db.Has(name)) {
+        std::printf("no corpus '%s' — see :corpora\n", name.c_str());
+        continue;
+      }
+      current = name;
+      view.Refresh(db.snapshot(current));
+      std::printf("using '%s'\n", name.c_str());
+      continue;
+    }
+    if (input == ":corpora") {
+      for (const db::CorpusInfo& info : db.List()) {
+        std::printf("  %c %-10s snapshot #%llu  %zu trees, %zu nodes, "
+                    "%s relation bytes, %d threads\n",
+                    info.name == current ? '*' : ' ', info.name.c_str(),
+                    static_cast<unsigned long long>(info.snapshot_id),
+                    info.trees, info.nodes,
+                    FormatWithCommas(info.relation_bytes).c_str(),
+                    info.threads);
+      }
+      continue;
+    }
+    if (input == ":reload") {
+      Timer timer;
+      Status s = db.Reload(current);
+      if (!s.ok()) {
+        std::printf("error: %s\n", s.ToString().c_str());
+        continue;
+      }
+      view.Refresh(db.snapshot(current));
+      std::printf("rebuilt and swapped '%s' to snapshot #%llu (%.1f ms); "
+                  "in-flight queries kept the old one\n",
+                  current.c_str(),
+                  static_cast<unsigned long long>(view.snap->id()),
+                  timer.ElapsedSeconds() * 1e3);
+      continue;
+    }
     if (input == ":threads" || StartsWith(input, ":threads ")) {
       const int n = std::atoi(input.substr(8).c_str());
       if (n < 1 || n > 256) {
         std::printf("usage: :threads N (1..256)\n");
         continue;
       }
-      svc_opts.threads = n;
-      service.reset();  // join the old pool before spawning the new one
-      service = std::make_unique<service::QueryService>(rel.value(), svc_opts);
-      std::printf("query service rebuilt with %d threads\n",
-                  service->threads());
+      db_opts.service.threads = n;
+      db.SetServiceOptions(db_opts.service);
+      std::printf("query services rebuilt with %d threads\n",
+                  db.service(current)->threads());
       continue;
     }
     if (input == ":cache") {
-      PrintServiceStats(*service);
+      PrintServiceStats(current, *db.service(current));
       continue;
     }
     if (StartsWith(input, ".sql ")) {
-      Result<std::string> sql = engine.TranslateToSql(input.substr(5));
+      Result<std::string> sql = view.lpath->TranslateToSql(input.substr(5));
       std::printf("%s\n", sql.ok() ? sql->c_str()
                                    : sql.status().ToString().c_str());
       continue;
     }
     if (StartsWith(input, ".plan ")) {
-      Result<ExecPlan> plan = engine.Translate(input.substr(6));
+      Result<ExecPlan> plan = view.lpath->Translate(input.substr(6));
       std::printf("%s\n", plan.ok() ? plan->DebugString().c_str()
                                     : plan.status().ToString().c_str());
       continue;
     }
     if (StartsWith(input, ".engines ")) {
       const std::string q = input.substr(9);
-      for (const QueryEngine* e :
-           std::initializer_list<const QueryEngine*>{&engine, &nav}) {
+      for (const QueryEngine* e : std::initializer_list<const QueryEngine*>{
+               view.lpath.get(), view.nav.get()}) {
         Timer timer;
         Result<QueryResult> r = e->Run(q);
         const double secs = timer.ElapsedSeconds();
@@ -188,8 +287,13 @@ int main(int argc, char** argv) {
       continue;
     }
 
+    // Resolve the corpus once for printing the matched trees. The shell is
+    // single-threaded, so this is the same snapshot Query() runs against;
+    // and across :reload swaps the corpus object is shared anyway, so the
+    // result tids stay valid for it either way.
+    const SnapshotPtr snap = db.snapshot(current);
     Timer timer;
-    Result<QueryResult> r = service->Query(input);
+    Result<QueryResult> r = db.Query(current, input);
     if (!r.ok()) {
       std::printf("error: %s\n", r.status().ToString().c_str());
       continue;
@@ -203,7 +307,7 @@ int main(int argc, char** argv) {
       last_tid = hit.tid;
       if (shown++ >= 3) break;
       std::string text;
-      WriteBracketTree(corpus.tree(hit.tid), corpus.interner(), &text);
+      WriteBracketTree(snap->corpus().tree(hit.tid), snap->interner(), &text);
       if (text.size() > 140) text = text.substr(0, 137) + "...";
       std::printf("  [%d] %s\n", hit.tid, text.c_str());
     }

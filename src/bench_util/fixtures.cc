@@ -27,33 +27,31 @@ int BenchmarkSentences() {
 
 std::unique_ptr<EngineSet> BuildEngineSet(Corpus corpus) {
   auto set = std::make_unique<EngineSet>();
-  set->corpus = std::move(corpus);
+  auto shared = std::make_shared<const Corpus>(std::move(corpus));
 
-  Result<NodeRelation> lrel = NodeRelation::Build(set->corpus);
-  if (!lrel.ok()) {
+  Result<SnapshotPtr> lsnap = CorpusSnapshot::Build(shared);
+  if (!lsnap.ok()) {
     std::fprintf(stderr, "relation build failed: %s\n",
-                 lrel.status().ToString().c_str());
+                 lsnap.status().ToString().c_str());
     std::abort();
   }
-  set->lpath_relation =
-      std::make_unique<NodeRelation>(std::move(lrel).value());
+  set->lpath_snapshot = std::move(lsnap).value();
 
   RelationOptions xopts;
   xopts.scheme = LabelScheme::kXPath;
-  Result<NodeRelation> xrel = NodeRelation::Build(set->corpus, xopts);
-  if (!xrel.ok()) {
+  Result<SnapshotPtr> xsnap = CorpusSnapshot::Build(shared, xopts);
+  if (!xsnap.ok()) {
     std::fprintf(stderr, "xpath relation build failed: %s\n",
-                 xrel.status().ToString().c_str());
+                 xsnap.status().ToString().c_str());
     std::abort();
   }
-  set->xpath_relation =
-      std::make_unique<NodeRelation>(std::move(xrel).value());
+  set->xpath_snapshot = std::move(xsnap).value();
 
-  set->lpath = std::make_unique<LPathEngine>(*set->lpath_relation);
-  set->xpath = std::make_unique<LPathEngine>(*set->xpath_relation);
-  set->navigational = std::make_unique<NavigationalEngine>(set->corpus);
-  set->tgrep = std::make_unique<tgrep::TGrep2Engine>(set->corpus);
-  set->cs = std::make_unique<cs::CorpusSearchEngine>(set->corpus);
+  set->lpath = std::make_unique<LPathEngine>(set->lpath_relation());
+  set->xpath = std::make_unique<LPathEngine>(set->xpath_relation());
+  set->navigational = std::make_unique<NavigationalEngine>(set->corpus());
+  set->tgrep = std::make_unique<tgrep::TGrep2Engine>(set->corpus());
+  set->cs = std::make_unique<cs::CorpusSearchEngine>(set->corpus());
   return set;
 }
 

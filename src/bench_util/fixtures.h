@@ -14,6 +14,7 @@
 #include "cs/engine.h"
 #include "lpath/engines.h"
 #include "lpath/eval_nav.h"
+#include "storage/snapshot.h"
 #include "tgrep/engine.h"
 #include "tree/corpus.h"
 
@@ -29,16 +30,25 @@ const char* DatasetName(Dataset d);
 int BenchmarkSentences();
 
 /// A corpus with every engine built over it. Construction is expensive;
-/// use Fixture::Get for process-lifetime caching.
+/// use Fixture::Get for process-lifetime caching. The corpus and relations
+/// live in shared snapshots (both labelings share one corpus), so service
+/// benchmarks can hand them straight to snapshot-owning components.
 struct EngineSet {
-  Corpus corpus;
-  std::unique_ptr<NodeRelation> lpath_relation;   // LPath labeling
-  std::unique_ptr<NodeRelation> xpath_relation;   // XPath labeling
+  SnapshotPtr lpath_snapshot;  // owns the corpus; LPath labeling
+  SnapshotPtr xpath_snapshot;  // same corpus; XPath labeling
   std::unique_ptr<LPathEngine> lpath;
   std::unique_ptr<LPathEngine> xpath;
   std::unique_ptr<NavigationalEngine> navigational;
   std::unique_ptr<tgrep::TGrep2Engine> tgrep;
   std::unique_ptr<cs::CorpusSearchEngine> cs;
+
+  const Corpus& corpus() const { return lpath_snapshot->corpus(); }
+  const NodeRelation& lpath_relation() const {
+    return lpath_snapshot->relation();
+  }
+  const NodeRelation& xpath_relation() const {
+    return xpath_snapshot->relation();
+  }
 };
 
 /// Builds every engine over `corpus` (consumes it).

@@ -79,6 +79,9 @@ class Status {
     return code_ == StatusCode::kInvalidArgument;
   }
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const {
+    return code_ == StatusCode::kAlreadyExists;
+  }
   bool IsNotSupported() const { return code_ == StatusCode::kNotSupported; }
   bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
   bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }

@@ -1,0 +1,298 @@
+#include "db/database.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "tree/bracket_io.h"
+
+namespace lpath {
+namespace db {
+
+Database::Database(DatabaseOptions options) : options_(std::move(options)) {}
+
+Database::~Database() = default;
+
+Status Database::Attach(const std::string& name, SnapshotPtr snapshot) {
+  if (name.empty()) {
+    return Status::InvalidArgument("Database::Attach: empty corpus name");
+  }
+  if (snapshot == nullptr) {
+    return Status::InvalidArgument("Database::Attach: null snapshot");
+  }
+  service::QueryServiceOptions service_options;
+  uint64_t seen_version = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (catalog_.count(name) > 0) {
+      return Status::AlreadyExists("corpus already attached: " + name);
+    }
+    service_options = options_.service;
+    seen_version = options_version_;
+  }
+  for (;;) {
+    // The service (and its thread pool) is built outside the catalog lock;
+    // the insert below re-checks both a racing attach of the same name and
+    // a racing SetServiceOptions (which only rebuilds services already in
+    // the catalog — inserting one built on the old options would leave
+    // this corpus permanently behind).
+    auto created =
+        std::make_shared<service::QueryService>(snapshot, service_options);
+    bool exists = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (catalog_.count(name) > 0) {
+        exists = true;
+      } else if (options_version_ == seen_version) {
+        catalog_.emplace(name, std::move(created));
+        return Status::OK();
+      } else {
+        service_options = options_.service;
+        seen_version = options_version_;
+      }
+    }
+    // The rejected service (an idle pool) winds down here, unlocked; on a
+    // version change the loop rebuilds with the fresh options.
+    created.reset();
+    if (exists) {
+      return Status::AlreadyExists("corpus already attached: " + name);
+    }
+  }
+}
+
+Status Database::OpenCorpus(const std::string& name, Corpus corpus) {
+  RelationOptions relation_options;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Fast-fail before the expensive snapshot build; Attach re-checks
+    // authoritatively for the racing case.
+    if (catalog_.count(name) > 0) {
+      return Status::AlreadyExists("corpus already attached: " + name);
+    }
+    relation_options = options_.relation;
+  }
+  LPATH_ASSIGN_OR_RETURN(
+      SnapshotPtr snapshot,
+      CorpusSnapshot::Build(std::move(corpus), relation_options));
+  return Attach(name, std::move(snapshot));
+}
+
+Status Database::Open(const std::string& name, const std::string& path) {
+  Corpus corpus;
+  LPATH_RETURN_IF_ERROR(LoadBracketFile(path, &corpus));
+  if (corpus.empty()) {
+    return Status::InvalidArgument("no trees in " + path);
+  }
+  return OpenCorpus(name, std::move(corpus));
+}
+
+Status Database::Swap(const std::string& name, SnapshotPtr snapshot) {
+  if (snapshot == nullptr) {
+    return Status::InvalidArgument("Database::Swap: null snapshot");
+  }
+  std::shared_ptr<const void> retired;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = catalog_.find(name);
+    if (it == catalog_.end()) {
+      return Status::NotFound("corpus not attached: " + name);
+    }
+    // Published under the catalog lock (a session build is a couple of
+    // small allocations), so a concurrent SetServiceOptions rebuild can
+    // never install a service that misses this snapshot. Queries in
+    // flight are unaffected — each holds its own session reference.
+    retired = it->second->UpdateSnapshot(std::move(snapshot));
+  }
+  // `retired` drops here, unlocked: if it was the last reference to the
+  // old session, the corpus + relation teardown must not stall routing.
+  return Status::OK();
+}
+
+Status Database::Reload(const std::string& name) {
+  for (;;) {
+    SnapshotPtr current = snapshot(name);
+    if (current == nullptr) {
+      return Status::NotFound("corpus not attached: " + name);
+    }
+    // The expensive rebuild runs unlocked, under the snapshot's own
+    // options: a corpus attached with a non-default labeling keeps it
+    // across reloads.
+    LPATH_ASSIGN_OR_RETURN(SnapshotPtr rebuilt, current->Rebuild());
+    std::shared_ptr<const void> retired;
+    bool published = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = catalog_.find(name);
+      if (it == catalog_.end()) {
+        return Status::NotFound("corpus not attached: " + name);
+      }
+      // Publish only if the snapshot we rebuilt from is still current; a
+      // Swap that landed during the (long) rebuild must not be silently
+      // rolled back by a rebuild of its predecessor. On conflict, loop
+      // and rebuild the newer snapshot instead.
+      if (it->second->snapshot() == current) {
+        retired = it->second->UpdateSnapshot(std::move(rebuilt));
+        published = true;
+      }
+    }
+    if (published) return Status::OK();
+  }
+}
+
+Status Database::Detach(const std::string& name) {
+  std::shared_ptr<service::QueryService> victim;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = catalog_.find(name);
+    if (it == catalog_.end()) {
+      return Status::NotFound("corpus not attached: " + name);
+    }
+    victim = std::move(it->second);
+    catalog_.erase(it);
+  }
+  // `victim` drops here, outside the lock: if this was the last reference
+  // the pool joins now, without stalling the catalog.
+  return Status::OK();
+}
+
+void Database::SetServiceOptions(const service::QueryServiceOptions& options) {
+  std::vector<std::string> names;
+  uint64_t my_version = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    options_.service = options;
+    options_version_ += 1;
+    my_version = options_version_;
+    names.reserve(catalog_.size());
+    for (const auto& [name, service] : catalog_) names.push_back(name);
+  }
+  // Old services are parked here and wind down (drain + pool join) after
+  // the last unlock, so slow in-flight queries never stall the catalog.
+  std::vector<std::shared_ptr<service::QueryService>> retired;
+  for (const std::string& name : names) {
+    SnapshotPtr snap;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = catalog_.find(name);
+      if (it == catalog_.end()) continue;  // detached meanwhile
+      snap = it->second->snapshot();
+    }
+    // Slow: spawns the replacement pool. Runs unlocked, so Swap/Query on
+    // every corpus proceed meanwhile.
+    auto rebuilt = std::make_shared<service::QueryService>(snap, options);
+    std::lock_guard<std::mutex> lock(mu_);
+    if (options_version_ != my_version) {
+      // A later SetServiceOptions superseded this one mid-rebuild; it
+      // republishes every corpus with the newer options, so installing
+      // ours would leave this corpus permanently behind. Stop entirely.
+      retired.push_back(std::move(rebuilt));
+      break;
+    }
+    auto it = catalog_.find(name);
+    if (it == catalog_.end()) {
+      retired.push_back(std::move(rebuilt));  // detached while rebuilding
+      continue;
+    }
+    // A Swap may have published a newer snapshot while the pool was being
+    // built; re-publish it into the replacement before installing. Swap
+    // also holds mu_, so the entry cannot change under us again. The
+    // replaced session is the replacement's freshly built one — its
+    // snapshot is still referenced by `snap`, so dropping it here is cheap.
+    SnapshotPtr current = it->second->snapshot();
+    if (current != snap) (void)rebuilt->UpdateSnapshot(std::move(current));
+    retired.push_back(std::exchange(it->second, std::move(rebuilt)));
+  }
+}
+
+DatabaseOptions Database::options() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return options_;
+}
+
+bool Database::Has(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return catalog_.count(name) > 0;
+}
+
+std::vector<std::string> Database::CorpusNames() const {
+  std::vector<std::string> names;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    names.reserve(catalog_.size());
+    for (const auto& [name, service] : catalog_) names.push_back(name);
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+std::vector<CorpusInfo> Database::List() const {
+  std::vector<std::pair<std::string, std::shared_ptr<service::QueryService>>>
+      rows;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    rows.reserve(catalog_.size());
+    for (const auto& [name, service] : catalog_) rows.emplace_back(name, service);
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<CorpusInfo> out;
+  out.reserve(rows.size());
+  for (const auto& [name, service] : rows) {
+    const SnapshotPtr snap = service->snapshot();
+    CorpusInfo info;
+    info.name = name;
+    info.snapshot_id = snap->id();
+    info.trees = snap->corpus().size();
+    info.nodes = snap->corpus().TotalNodes();
+    info.relation_bytes = snap->relation().MemoryBytes();
+    info.threads = service->threads();
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
+SnapshotPtr Database::snapshot(const std::string& name) const {
+  std::shared_ptr<service::QueryService> service = Resolve(name);
+  return service == nullptr ? nullptr : service->snapshot();
+}
+
+std::shared_ptr<service::QueryService> Database::service(
+    const std::string& name) const {
+  return Resolve(name);
+}
+
+Result<QueryResult> Database::Query(const std::string& name,
+                                    const std::string& query) {
+  std::shared_ptr<service::QueryService> service = Resolve(name);
+  if (service == nullptr) {
+    return Status::NotFound("corpus not attached: " + name);
+  }
+  return service->Query(query);
+}
+
+Result<service::PendingQuery> Database::Submit(const std::string& name,
+                                               const std::string& query) {
+  std::shared_ptr<service::QueryService> service = Resolve(name);
+  if (service == nullptr) {
+    return Status::NotFound("corpus not attached: " + name);
+  }
+  return service->Submit(query);
+}
+
+Status Database::QueryStream(const std::string& name, const std::string& query,
+                             const service::RowSink& sink) {
+  std::shared_ptr<service::QueryService> service = Resolve(name);
+  if (service == nullptr) {
+    return Status::NotFound("corpus not attached: " + name);
+  }
+  return service->QueryStream(query, sink);
+}
+
+std::shared_ptr<service::QueryService> Database::Resolve(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = catalog_.find(name);
+  return it == catalog_.end() ? nullptr : it->second;
+}
+
+}  // namespace db
+}  // namespace lpath

@@ -1,0 +1,150 @@
+// The multi-corpus database layer: a catalog mapping corpus names to their
+// current snapshot, each served by its own QueryService (prepared-plan
+// cache + shard pool). This is the shape of the server the paper's pitch
+// implies: one process holding several treebanks (WSJ, SWB, ...), routing
+// each query to the right corpus, swapping in rebuilt indexes without
+// downtime, and serving clients synchronously, asynchronously or streaming.
+//
+// Concurrency model:
+//   - One mutex guards the catalog map shape and the options, taken only
+//     for name resolution, attach/detach bookkeeping and snapshot
+//     publication — never across query execution, pool construction, pool
+//     join, or relation rebuild.
+//   - Swap(name, snapshot) publishes through the service's session pointer
+//     *while holding the catalog mutex* (a session build is a handful of
+//     small allocations), which serializes publication against
+//     SetServiceOptions' catalog replacement — a swap can never be
+//     silently reverted by a concurrent service rebuild. Readers never
+//     block on a swap: queries in flight hold the old snapshot alive
+//     through shared ownership, and no torn state exists — a query sees
+//     entirely the old or entirely the new snapshot.
+
+#ifndef LPATHDB_DB_DATABASE_H_
+#define LPATHDB_DB_DATABASE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "service/query_service.h"
+#include "storage/snapshot.h"
+#include "tree/corpus.h"
+
+namespace lpath {
+namespace db {
+
+struct DatabaseOptions {
+  /// Per-corpus serving options (threads, plan-cache size, sharding).
+  service::QueryServiceOptions service;
+  /// Labeling scheme used when the database builds a corpus's *first*
+  /// snapshot (Open/OpenCorpus). Snapshots attached prebuilt keep their
+  /// own, and Reload always rebuilds under the current snapshot's own
+  /// options — to change a corpus's labeling, attach a rebuilt snapshot
+  /// via Swap.
+  RelationOptions relation;
+};
+
+/// One catalog row, for listings and monitoring.
+struct CorpusInfo {
+  std::string name;
+  uint64_t snapshot_id = 0;
+  size_t trees = 0;
+  size_t nodes = 0;
+  size_t relation_bytes = 0;
+  int threads = 0;
+};
+
+class Database {
+ public:
+  explicit Database(DatabaseOptions options = {});
+  ~Database();
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  // --- Catalog management ---------------------------------------------------
+
+  /// Attaches a prebuilt snapshot under `name` and spins up its service.
+  /// AlreadyExists if the name is taken; InvalidArgument for an empty name
+  /// or null snapshot.
+  Status Attach(const std::string& name, SnapshotPtr snapshot);
+
+  /// Builds a snapshot from `corpus` (consumed) and attaches it.
+  Status OpenCorpus(const std::string& name, Corpus corpus);
+
+  /// Loads a Penn-bracketed treebank file and attaches it as `name`.
+  Status Open(const std::string& name, const std::string& path);
+
+  /// Atomically publishes `snapshot` as the current version of `name`.
+  /// In-flight queries finish on the snapshot they started with; queries
+  /// starting after the call see the new one. NotFound if `name` is not
+  /// attached.
+  Status Swap(const std::string& name, SnapshotPtr snapshot);
+
+  /// Rebuilds the current snapshot's relation over the same corpus (the
+  /// index-rebuild path) and publishes it via Swap.
+  Status Reload(const std::string& name);
+
+  /// Removes `name` from the catalog. In-flight queries on its service are
+  /// unaffected (the service lives until its last shared reference drops).
+  Status Detach(const std::string& name);
+
+  /// Rebuilds every corpus's service (fresh pools and plan caches, same
+  /// snapshots) under new serving options — the ":threads N" path.
+  void SetServiceOptions(const service::QueryServiceOptions& options);
+
+  // --- Introspection --------------------------------------------------------
+
+  bool Has(const std::string& name) const;
+  std::vector<std::string> CorpusNames() const;  // sorted
+  std::vector<CorpusInfo> List() const;          // sorted by name
+
+  /// The current snapshot of `name`, or null if not attached.
+  SnapshotPtr snapshot(const std::string& name) const;
+
+  /// The serving handle for `name`, or null if not attached. Shared: keeps
+  /// working (on its last published snapshot) even if the name is detached
+  /// or swapped afterwards.
+  std::shared_ptr<service::QueryService> service(const std::string& name) const;
+
+  /// A copy: options may be rewritten concurrently by SetServiceOptions.
+  DatabaseOptions options() const;
+
+  // --- Routed query entry points -------------------------------------------
+
+  /// Evaluates `query` against corpus `name`, synchronously.
+  Result<QueryResult> Query(const std::string& name, const std::string& query);
+
+  /// Submits `query` against corpus `name` for asynchronous evaluation.
+  Result<service::PendingQuery> Submit(const std::string& name,
+                                       const std::string& query);
+
+  /// Streams `query`'s result rows against corpus `name` (see RowSink).
+  Status QueryStream(const std::string& name, const std::string& query,
+                     const service::RowSink& sink);
+
+ private:
+  std::shared_ptr<service::QueryService> Resolve(const std::string& name) const;
+
+  // Guards catalog_, options_ and options_version_, and serializes
+  // snapshot publication with catalog replacement; never held across
+  // queries or pool lifetimes.
+  mutable std::mutex mu_;
+  DatabaseOptions options_;
+  /// Bumped by SetServiceOptions; Attach re-checks it before inserting a
+  /// service built unlocked, so a freshly attached corpus can never serve
+  /// on options that were replaced while its pool was being built.
+  uint64_t options_version_ = 0;
+  std::unordered_map<std::string, std::shared_ptr<service::QueryService>>
+      catalog_;
+};
+
+}  // namespace db
+}  // namespace lpath
+
+#endif  // LPATHDB_DB_DATABASE_H_

@@ -44,30 +44,29 @@ std::string NormalizeQueryText(std::string_view text) {
 
 PlanCache::PlanCache(size_t capacity) : capacity_(std::max<size_t>(1, capacity)) {}
 
-std::shared_ptr<const sql::PreparedPlan> PlanCache::Get(
-    const std::string& key) {
+std::optional<CachedPlan> PlanCache::Get(const std::string& key) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = index_.find(key);
   if (it == index_.end()) {
     misses_ += 1;
-    return nullptr;
+    return std::nullopt;
   }
   hits_ += 1;
+  if (it->second->second.negative()) negative_hits_ += 1;
   lru_.splice(lru_.begin(), lru_, it->second);
   return it->second->second;
 }
 
-void PlanCache::Put(const std::string& key,
-                    std::shared_ptr<const sql::PreparedPlan> plan) {
+void PlanCache::Put(const std::string& key, CachedPlan entry) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = index_.find(key);
   if (it != index_.end()) {
     // Concurrent misses may prepare the same query twice; keep the newest.
-    it->second->second = std::move(plan);
+    it->second->second = std::move(entry);
     lru_.splice(lru_.begin(), lru_, it->second);
     return;
   }
-  lru_.emplace_front(key, std::move(plan));
+  lru_.emplace_front(key, std::move(entry));
   index_.emplace(key, lru_.begin());
   while (lru_.size() > capacity_) {
     index_.erase(lru_.back().first);
@@ -80,6 +79,7 @@ PlanCache::Stats PlanCache::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   Stats s;
   s.hits = hits_;
+  s.negative_hits = negative_hits_;
   s.misses = misses_;
   s.evictions = evictions_;
   s.size = lru_.size();

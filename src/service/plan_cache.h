@@ -1,8 +1,13 @@
-// A thread-safe LRU cache from normalized query text to shared prepared
-// plans — the parse/compile/optimize-once, execute-many half of the
-// serving path. Plans are handed out as shared_ptr<const PreparedPlan>, so
-// an entry evicted while queries still execute against it stays alive
-// until the last of them finishes.
+// A thread-safe LRU cache from normalized query text to preparation
+// outcomes — the parse/compile/optimize-once, execute-many half of the
+// serving path. An entry is either a shared prepared plan or the error
+// Status the text produced (a *negative* entry): bad query text gets
+// resubmitted just like good text, and re-deriving the same parse error on
+// every submission is wasted work. Both kinds share one LRU policy.
+//
+// Plans are handed out as shared_ptr<const PreparedPlan>, so an entry
+// evicted while queries still execute against it stays alive until the
+// last of them finishes.
 
 #ifndef LPATHDB_SERVICE_PLAN_CACHE_H_
 #define LPATHDB_SERVICE_PLAN_CACHE_H_
@@ -11,10 +16,12 @@
 #include <list>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <utility>
 
+#include "common/status.h"
 #include "sql/optimizer.h"
 
 namespace lpath {
@@ -25,36 +32,46 @@ namespace service {
 /// case- and quote-sensitive beyond that.
 std::string NormalizeQueryText(std::string_view text);
 
+/// One preparation outcome: a plan, or (negative entry) the error Status
+/// that preparing the text produced.
+struct CachedPlan {
+  std::shared_ptr<const sql::PreparedPlan> plan;  ///< null iff negative
+  Status error = Status::OK();                    ///< !ok() iff negative
+
+  bool negative() const { return plan == nullptr; }
+};
+
 class PlanCache {
  public:
   struct Stats {
-    uint64_t hits = 0;
+    uint64_t hits = 0;           ///< total, including negative hits
+    uint64_t negative_hits = 0;  ///< hits that returned a cached error
     uint64_t misses = 0;
     uint64_t evictions = 0;
     size_t size = 0;
     size_t capacity = 0;
   };
 
-  /// A cache with room for `capacity` plans (at least one).
+  /// A cache with room for `capacity` entries (at least one).
   explicit PlanCache(size_t capacity);
 
-  /// Returns the plan for `key` (moving it to the front), or null.
-  std::shared_ptr<const sql::PreparedPlan> Get(const std::string& key);
+  /// Returns the entry for `key` (moving it to the front), or nullopt.
+  std::optional<CachedPlan> Get(const std::string& key);
 
-  /// Inserts (or replaces) the plan for `key`, evicting from the tail.
-  void Put(const std::string& key,
-           std::shared_ptr<const sql::PreparedPlan> plan);
+  /// Inserts (or replaces) the entry for `key`, evicting from the tail.
+  void Put(const std::string& key, CachedPlan entry);
 
   Stats stats() const;
 
  private:
-  using Entry = std::pair<std::string, std::shared_ptr<const sql::PreparedPlan>>;
+  using Entry = std::pair<std::string, CachedPlan>;
 
   mutable std::mutex mu_;
   size_t capacity_;
   std::list<Entry> lru_;  // front = most recently used
   std::unordered_map<std::string, std::list<Entry>::iterator> index_;
   uint64_t hits_ = 0;
+  uint64_t negative_hits_ = 0;
   uint64_t misses_ = 0;
   uint64_t evictions_ = 0;
 };

@@ -1,8 +1,10 @@
 #include "service/query_service.h"
 
 #include <algorithm>
-#include <atomic>
+#include <chrono>
 #include <condition_variable>
+#include <unordered_set>
+#include <utility>
 
 #include "common/timer.h"
 #include "lpath/parser.h"
@@ -27,31 +29,64 @@ double Percentile(const std::vector<double>& sorted, double q) {
   return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
 }
 
+uint64_t HitKey(const Hit& h) {
+  return (static_cast<uint64_t>(static_cast<uint32_t>(h.tid)) << 32) |
+         static_cast<uint32_t>(h.id);
+}
+
 }  // namespace
 
-QueryService::QueryService(const NodeRelation& relation,
-                           QueryServiceOptions options)
-    : relation_(relation),
-      options_(options),
-      executor_(relation, options.exec),
-      cache_(options.plan_cache_capacity),
+bool PendingQuery::ready() const {
+  return future_.valid() &&
+         future_.wait_for(std::chrono::seconds(0)) ==
+             std::future_status::ready;
+}
+
+Result<QueryResult> PendingQuery::Get() const {
+  if (!future_.valid()) {
+    return Status::InvalidArgument("PendingQuery: empty handle");
+  }
+  return future_.get();
+}
+
+QueryService::QueryService(SnapshotPtr snapshot, QueryServiceOptions options)
+    : options_(options),
+      session_(std::make_shared<const Session>(std::move(snapshot), options_)),
       pool_(std::make_unique<ThreadPool>(options.threads)) {
   latency_ring_ms_.reserve(kLatencySamples);
 }
 
 QueryService::~QueryService() = default;
 
-Result<std::shared_ptr<const sql::PreparedPlan>> QueryService::GetPlan(
-    const std::string& query) {
-  const std::string key = NormalizeQueryText(query);
-  if (std::shared_ptr<const sql::PreparedPlan> cached = cache_.Get(key)) {
-    return cached;
+QueryService::SessionPtr QueryService::CurrentSession() const {
+  std::lock_guard<std::mutex> lock(session_mu_);
+  return session_;
+}
+
+std::shared_ptr<const void> QueryService::UpdateSnapshot(SnapshotPtr snapshot) {
+  // Building the session (executor + empty cache) happens before the
+  // exchange; the exchange is the single publication point. Readers that
+  // loaded the old session keep it alive through their own shared_ptr; the
+  // old session goes back to the caller so its last reference (possibly
+  // the teardown of a whole snapshot) is never dropped under session_mu_
+  // — nor under whatever lock the caller holds.
+  auto next = std::make_shared<const Session>(std::move(snapshot), options_);
+  SessionPtr old;
+  {
+    std::lock_guard<std::mutex> lock(session_mu_);
+    old = std::exchange(session_, std::move(next));
   }
-  // Prepared outside the cache lock; a racing miss duplicates the work and
-  // the later Put wins, which is correct (plans are interchangeable).
-  LPATH_ASSIGN_OR_RETURN(LocationPath path, ParseLPath(key));
+  return old;
+}
+
+SnapshotPtr QueryService::snapshot() const { return CurrentSession()->snapshot; }
+
+Result<std::shared_ptr<const sql::PreparedPlan>> QueryService::PrepareUncached(
+    const Session& session, const std::string& normalized) {
+  const NodeRelation& relation = session.snapshot->relation();
+  LPATH_ASSIGN_OR_RETURN(LocationPath path, ParseLPath(normalized));
   CompileOptions copts;
-  copts.scheme = relation_.scheme();
+  copts.scheme = relation.scheme();
   copts.unnest_predicates = options_.unnest_predicates;
   LPATH_ASSIGN_OR_RETURN(ExecPlan plan, CompileLPath(path, copts));
   if (options_.via_sql_text) {
@@ -59,39 +94,95 @@ Result<std::shared_ptr<const sql::PreparedPlan>> QueryService::GetPlan(
     LPATH_ASSIGN_OR_RETURN(plan, sql::ParseSql(sql_text));
   }
   LPATH_ASSIGN_OR_RETURN(std::unique_ptr<sql::PreparedPlan> prepared,
-                         sql::Prepare(plan, relation_, options_.exec));
-  std::shared_ptr<const sql::PreparedPlan> shared = std::move(prepared);
-  cache_.Put(key, shared);
-  return shared;
+                         sql::Prepare(plan, relation, options_.exec));
+  return std::shared_ptr<const sql::PreparedPlan>(std::move(prepared));
+}
+
+Result<std::shared_ptr<const sql::PreparedPlan>> QueryService::GetPlanIn(
+    const Session& session, const std::string& query) {
+  const std::string key = NormalizeQueryText(query);
+  if (std::optional<CachedPlan> cached = session.cache.Get(key)) {
+    if (cached->negative()) return cached->error;
+    return std::move(cached->plan);
+  }
+  // Prepared outside the cache lock; a racing miss duplicates the work and
+  // the later Put wins, which is correct (plans are interchangeable).
+  Result<std::shared_ptr<const sql::PreparedPlan>> prepared =
+      PrepareUncached(session, key);
+  if (prepared.ok()) {
+    session.cache.Put(key, CachedPlan{prepared.value(), Status::OK()});
+  } else {
+    // Negative entry: the same bad text will be answered from the cache.
+    session.cache.Put(key, CachedPlan{nullptr, prepared.status()});
+  }
+  return prepared;
+}
+
+Result<std::shared_ptr<const sql::PreparedPlan>> QueryService::GetPlan(
+    const std::string& query) {
+  SessionPtr session = CurrentSession();
+  return GetPlanIn(*session, query);
 }
 
 Result<QueryResult> QueryService::RunSharded(
-    std::shared_ptr<const sql::PreparedPlan> plan) {
-  const int32_t trees = relation_.tree_count();
+    const Session& session, std::shared_ptr<const sql::PreparedPlan> plan,
+    const RowSink* sink) {
+  const int32_t trees = session.snapshot->relation().tree_count();
   int shards = options_.shards_per_query > 0 ? options_.shards_per_query
                                              : pool_->size();
   shards = std::max(1, std::min(shards, trees));
+  // Adaptive fan-out: when the optimizer expects the root variable to
+  // enumerate only a handful of rows, the per-shard setup (task posts,
+  // binary-searched run cuts, result merge) costs more than it parallelizes.
+  if (shards > 1 && options_.adaptive_serial_rows > 0 &&
+      plan->root_cardinality < options_.adaptive_serial_rows) {
+    shards = 1;
+  }
   if (plan->always_empty || shards <= 1) {
     sql::ExecStats stats;
-    Result<QueryResult> r = executor_.ExecutePrepared(*plan, &stats);
-    RecordExec(stats);
+    Result<QueryResult> r = session.executor.ExecutePrepared(*plan, &stats);
+    RecordExec(stats, /*sharded=*/false);
+    if (sink != nullptr && r.ok() && !r->hits.empty()) {
+      (*sink)(std::span<const Hit>(r->hits));
+    }
     return r;
   }
+
+  // Merge stage for streaming: per-shard results are deduplicated against
+  // everything already delivered, so sink batches are disjoint and their
+  // union equals the DISTINCT result. The mutex also serializes sink calls.
+  struct StreamMerge {
+    std::mutex mu;
+    std::unordered_set<uint64_t> seen;
+  };
+  auto merge = sink != nullptr ? std::make_shared<StreamMerge>() : nullptr;
 
   std::vector<Result<QueryResult>> results(shards,
                                            Result<QueryResult>(QueryResult{}));
   std::vector<sql::ExecStats> stats(shards);
   // The item lambda owns the plan (copied into RunOnPool's shared state),
   // keeping it alive for helpers scheduled after the query completes.
-  RunOnPool(shards, [this, plan, trees, shards, &results, &stats](int i) {
+  RunOnPool(shards, [&session, plan, trees, shards, &results, &stats, sink,
+                     merge](int i) {
     const int32_t lo = static_cast<int32_t>(int64_t{trees} * i / shards);
     const int32_t hi = static_cast<int32_t>(int64_t{trees} * (i + 1) / shards);
-    results[i] = executor_.ExecuteShard(*plan, lo, hi, &stats[i]);
+    results[i] = session.executor.ExecuteShard(*plan, lo, hi, &stats[i]);
+    if (sink != nullptr && results[i].ok()) {
+      std::vector<Hit> fresh;
+      std::lock_guard<std::mutex> lock(merge->mu);
+      for (const Hit& h : results[i]->hits) {
+        if (merge->seen.insert(HitKey(h)).second) fresh.push_back(h);
+      }
+      if (!fresh.empty()) {
+        std::sort(fresh.begin(), fresh.end());
+        (*sink)(std::span<const Hit>(fresh));
+      }
+    }
   });
 
   sql::ExecStats total;
   for (int i = 0; i < shards; ++i) total.Add(stats[i]);
-  RecordExec(total);
+  RecordExec(total, /*sharded=*/true);
   QueryResult merged;
   for (int i = 0; i < shards; ++i) {
     if (!results[i].ok()) return results[i].status();
@@ -137,15 +228,21 @@ void QueryService::RunOnPool(int items, std::function<void(int)> fn) {
 }
 
 Result<QueryResult> QueryService::QueryOnce(const std::string& query,
-                                            bool sharded) {
+                                            bool sharded, const RowSink* sink) {
   Timer timer;
+  // One consistent session per query: plan lookup and execution see the
+  // same snapshot even if a swap lands mid-query.
+  SessionPtr session = CurrentSession();
   Result<QueryResult> r = [&]() -> Result<QueryResult> {
     LPATH_ASSIGN_OR_RETURN(std::shared_ptr<const sql::PreparedPlan> plan,
-                           GetPlan(query));
-    if (sharded) return RunSharded(std::move(plan));
+                           GetPlanIn(*session, query));
+    if (sharded) return RunSharded(*session, std::move(plan), sink);
     sql::ExecStats stats;
-    Result<QueryResult> serial = executor_.ExecutePrepared(*plan, &stats);
-    RecordExec(stats);
+    Result<QueryResult> serial = session->executor.ExecutePrepared(*plan, &stats);
+    RecordExec(stats, /*sharded=*/false);
+    if (sink != nullptr && serial.ok() && !serial->hits.empty()) {
+      (*sink)(std::span<const Hit>(serial->hits));
+    }
     return serial;
   }();
 
@@ -165,7 +262,29 @@ Result<QueryResult> QueryService::QueryOnce(const std::string& query,
 }
 
 Result<QueryResult> QueryService::Query(const std::string& query) {
-  return QueryOnce(query, /*sharded=*/true);
+  return QueryOnce(query, /*sharded=*/true, /*sink=*/nullptr);
+}
+
+Status QueryService::QueryStream(const std::string& query,
+                                 const RowSink& sink) {
+  return QueryOnce(query, /*sharded=*/true, &sink).status();
+}
+
+PendingQuery QueryService::Submit(const std::string& query) {
+  return Submit(query, RowSink{});
+}
+
+PendingQuery QueryService::Submit(const std::string& query, RowSink sink) {
+  // The task owns query + sink; the packaged_task's shared state feeds the
+  // caller's handle. Queued tasks are drained by the pool destructor, so a
+  // handle outliving the service still resolves.
+  auto task = std::make_shared<std::packaged_task<Result<QueryResult>()>>(
+      [this, query, sink = std::move(sink)]() {
+        return QueryOnce(query, /*sharded=*/true, sink ? &sink : nullptr);
+      });
+  PendingQuery handle(task->get_future().share());
+  pool_->Post([task] { (*task)(); });
+  return handle;
 }
 
 std::vector<Result<QueryResult>> QueryService::QueryBatch(
@@ -177,24 +296,31 @@ std::vector<Result<QueryResult>> QueryService::QueryBatch(
   // Workers claim whole queries; each runs serially so that concurrent
   // batch items do not contend over intra-query shards.
   RunOnPool(static_cast<int>(queries.size()), [this, &queries, &results](int i) {
-    results[i] = QueryOnce(queries[i], /*sharded=*/false);
+    results[i] = QueryOnce(queries[i], /*sharded=*/false, /*sink=*/nullptr);
   });
   return results;
 }
 
-void QueryService::RecordExec(const sql::ExecStats& exec) {
+void QueryService::RecordExec(const sql::ExecStats& exec, bool sharded) {
   std::lock_guard<std::mutex> lock(stats_mu_);
   exec_.Add(exec);
+  if (sharded) {
+    sharded_queries_ += 1;
+  } else {
+    serial_queries_ += 1;
+  }
 }
 
 ServiceStats QueryService::Stats() const {
   ServiceStats s;
-  s.cache = cache_.stats();
+  s.cache = CurrentSession()->cache.stats();
   std::vector<double> sorted;
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
     s.queries = queries_;
     s.errors = errors_;
+    s.sharded_queries = sharded_queries_;
+    s.serial_queries = serial_queries_;
     s.exec = exec_;
     s.total_seconds = total_seconds_;
     sorted = latency_ring_ms_;
@@ -212,6 +338,8 @@ void QueryService::ResetStats() {
   std::lock_guard<std::mutex> lock(stats_mu_);
   queries_ = 0;
   errors_ = 0;
+  sharded_queries_ = 0;
+  serial_queries_ = 0;
   exec_ = sql::ExecStats{};
   total_seconds_ = 0.0;
   latency_ring_ms_.clear();

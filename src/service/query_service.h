@@ -1,29 +1,46 @@
-// QueryService: the multi-user serving layer over one NodeRelation.
+// QueryService: the multi-user serving layer over one corpus snapshot.
 //
 // The paper's pitch is that LPath compiles to something an RDBMS evaluates
 // correctly and fast; this module supplies the "many clients" shape around
 // that claim. A service owns
+//   - a *session*: an immutable (snapshot, plan cache, executor) triple
+//     published through one atomic pointer. UpdateSnapshot() builds a fresh
+//     session and swaps the pointer — a hot swap that never blocks readers:
+//     queries in flight keep the old session (and through it the old corpus
+//     and relation) alive via shared ownership, and new queries pick up the
+//     new one. Prepared plans resolve symbols against one snapshot's
+//     dictionary, so each session gets its own cache;
 //   - an LRU prepared-plan cache keyed by normalized query text, so each
 //     distinct query is parsed, compiled and optimized once and executed
-//     many times;
+//     many times — including *negative* entries that cache the error of a
+//     malformed query instead of re-deriving it per submission;
 //   - a fixed thread pool running shard-parallel execution: one prepared
 //     plan fans out over a partition of the tree-id space (see
 //     sql::PlanExecutor::ExecuteShard) and the per-shard DISTINCT (tid,id)
-//     sets are merged;
+//     sets are merged. Fan-out is adaptive: a query whose root-variable
+//     cardinality estimate is tiny runs serially instead (the decision is
+//     visible as ExecStats::shards);
 //   - aggregated executor work counters and a latency reservoir with
 //     percentile summaries.
 //
-// Query() parallelizes one query across the pool; QueryBatch() spreads a
-// batch of queries over the pool workers (each evaluated serially) — the
-// throughput path a front end with its own request queue would use. Both
-// are safe to call concurrently from many threads.
+// Entry points, all safe to call concurrently from many threads:
+//   Query()       synchronous; a thin wrapper over the streaming path.
+//   QueryStream() rows delivered to a callback per shard as shards finish,
+//                 DISTINCT enforced by a merge stage.
+//   Submit()      asynchronous; returns a future-like PendingQuery handle
+//                 (optionally also streaming to a callback).
+//   QueryBatch()  spreads a batch of queries over the pool workers — the
+//                 throughput path a front end with its own queue would use.
 
 #ifndef LPATHDB_SERVICE_QUERY_SERVICE_H_
 #define LPATHDB_SERVICE_QUERY_SERVICE_H_
 
+#include <atomic>
 #include <functional>
+#include <future>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -31,7 +48,7 @@
 #include "service/plan_cache.h"
 #include "service/thread_pool.h"
 #include "sql/executor.h"
-#include "storage/relation.h"
+#include "storage/snapshot.h"
 
 namespace lpath {
 namespace service {
@@ -41,7 +58,7 @@ struct QueryServiceOptions {
   int threads = 4;
   /// Shards a single Query() splits into; 0 means one per thread.
   int shards_per_query = 0;
-  /// Prepared plans kept by the LRU cache.
+  /// Prepared plans kept by each session's LRU cache.
   size_t plan_cache_capacity = 256;
   sql::ExecOptions exec;
   /// Unnest positive predicates into the main join (see plan/compile.h).
@@ -50,6 +67,11 @@ struct QueryServiceOptions {
   /// preparing a plan. The plans are identical either way (tested); the
   /// round trip costs a parse per cache miss.
   bool via_sql_text = false;
+  /// Adaptive sharding: a query whose root-variable cardinality estimate
+  /// falls below this many rows runs serially — fanning a tiny query out
+  /// costs more than it saves. 0 disables the heuristic (always shard when
+  /// the pool allows).
+  size_t adaptive_serial_rows = 4096;
 };
 
 /// Latency percentiles over the most recent queries (milliseconds).
@@ -62,34 +84,88 @@ struct LatencySummary {
 };
 
 struct ServiceStats {
-  uint64_t queries = 0;  ///< completed Query()/QueryBatch() evaluations
+  uint64_t queries = 0;  ///< completed evaluations across all entry points
   uint64_t errors = 0;
-  PlanCache::Stats cache;
-  sql::ExecStats exec;  ///< summed over all queries and shards
+  uint64_t sharded_queries = 0;  ///< executed with fan-out > 1
+  uint64_t serial_queries = 0;   ///< executed serially (incl. adaptive picks)
+  PlanCache::Stats cache;        ///< current session's cache (reset by swap)
+  sql::ExecStats exec;           ///< summed over all queries and shards
   LatencySummary latency;
   double total_seconds = 0.0;  ///< summed per-query wall time
 };
 
+/// Batches of newly-distinct result rows, delivered as shards complete.
+/// Each batch is internally sorted; batches are disjoint and their union is
+/// the query's DISTINCT result. Invocations are serialized (never
+/// concurrent), but may come from pool threads.
+using RowSink = std::function<void(std::span<const Hit>)>;
+
+/// Future-like handle to a query submitted with QueryService::Submit.
+class PendingQuery {
+ public:
+  PendingQuery() = default;
+
+  bool valid() const { return future_.valid(); }
+  /// Non-blocking completion poll.
+  bool ready() const;
+  /// Blocks until the query completes; repeatable (shared state).
+  Result<QueryResult> Get() const;
+
+ private:
+  friend class QueryService;
+  explicit PendingQuery(std::shared_future<Result<QueryResult>> future)
+      : future_(std::move(future)) {}
+
+  std::shared_future<Result<QueryResult>> future_;
+};
+
 class QueryService {
  public:
-  /// The relation must outlive the service.
-  explicit QueryService(const NodeRelation& relation,
-                        QueryServiceOptions options = {});
+  /// Serves queries against `snapshot` (must be non-null). The service
+  /// shares ownership: callers may drop their reference immediately.
+  explicit QueryService(SnapshotPtr snapshot, QueryServiceOptions options = {});
   ~QueryService();
 
   QueryService(const QueryService&) = delete;
   QueryService& operator=(const QueryService&) = delete;
 
-  /// Evaluates one LPath query, fanning its execution out across the pool.
+  /// Atomically publishes a new snapshot (with a fresh plan cache).
+  /// Queries in flight keep the old snapshot alive, never block on the
+  /// publication and never observe a torn state; queries starting after
+  /// the exchange see the new one. `snapshot` must be non-null.
+  ///
+  /// Returns an opaque keep-alive for the replaced session: if the caller
+  /// holds a lock, it should drop the handle only after unlocking —
+  /// releasing the last reference may tear down a whole corpus + relation.
+  std::shared_ptr<const void> UpdateSnapshot(SnapshotPtr snapshot);
+
+  /// The currently published snapshot.
+  SnapshotPtr snapshot() const;
+
+  /// Evaluates one LPath query, fanning its execution out across the pool
+  /// (unless the adaptive heuristic picks serial).
   Result<QueryResult> Query(const std::string& query);
+
+  /// Evaluates one query, streaming result rows to `sink` per shard as
+  /// shards complete (see RowSink for the delivery contract). Rows may
+  /// have been delivered even when the final status is an error (a late
+  /// shard can fail after earlier ones streamed).
+  Status QueryStream(const std::string& query, const RowSink& sink);
+
+  /// Submits a query for asynchronous evaluation on the pool. The second
+  /// form also streams rows to `sink` as shards complete; the handle
+  /// resolves after the final batch was delivered.
+  PendingQuery Submit(const std::string& query);
+  PendingQuery Submit(const std::string& query, RowSink sink);
 
   /// Evaluates a batch of LPath queries, spreading them over the pool
   /// workers; results are positionally aligned with `queries`.
   std::vector<Result<QueryResult>> QueryBatch(
       const std::vector<std::string>& queries);
 
-  /// Parses/compiles/optimizes `query` into the plan cache (or returns the
-  /// cached plan). Exposed for warmup and for plan introspection.
+  /// Parses/compiles/optimizes `query` into the current session's plan
+  /// cache (or returns the cached plan). Exposed for warmup and for plan
+  /// introspection.
   Result<std::shared_ptr<const sql::PreparedPlan>> GetPlan(
       const std::string& query);
 
@@ -97,35 +173,71 @@ class QueryService {
   void ResetStats();
 
   int threads() const { return pool_->size(); }
-  const NodeRelation& relation() const { return relation_; }
   const QueryServiceOptions& options() const { return options_; }
 
  private:
-  Result<QueryResult> RunSharded(
-      std::shared_ptr<const sql::PreparedPlan> plan);
-  Result<QueryResult> QueryOnce(const std::string& query, bool sharded);
+  /// Everything one query needs, bundled so a hot swap replaces it as a
+  /// unit: plans in `cache` resolve symbols against exactly `snapshot`'s
+  /// dictionary, and `executor` shares ownership of the snapshot.
+  struct Session {
+    SnapshotPtr snapshot;
+    sql::PlanExecutor executor;
+    mutable PlanCache cache;
+
+    Session(SnapshotPtr snap, const QueryServiceOptions& options)
+        : snapshot(std::move(snap)),
+          executor(snapshot, options.exec),
+          cache(options.plan_cache_capacity) {}
+  };
+  using SessionPtr = std::shared_ptr<const Session>;
+
+  Result<std::shared_ptr<const sql::PreparedPlan>> GetPlanIn(
+      const Session& session, const std::string& query);
+  Result<std::shared_ptr<const sql::PreparedPlan>> PrepareUncached(
+      const Session& session, const std::string& normalized);
+  Result<QueryResult> RunSharded(const Session& session,
+                                 std::shared_ptr<const sql::PreparedPlan> plan,
+                                 const RowSink* sink);
+  Result<QueryResult> QueryOnce(const std::string& query, bool sharded,
+                                const RowSink* sink);
   /// Runs fn(0..items-1) across the pool: helpers are posted for the other
   /// workers while the calling thread drains the same claim counter, and
   /// the call returns once every item has finished. A saturated pool
   /// therefore degrades to serial execution instead of deadlocking.
   void RunOnPool(int items, std::function<void(int)> fn);
-  void RecordExec(const sql::ExecStats& exec);
+  void RecordExec(const sql::ExecStats& exec, bool sharded);
 
-  const NodeRelation& relation_;
+  SessionPtr CurrentSession() const;
+
   const QueryServiceOptions options_;
-  sql::PlanExecutor executor_;
-  PlanCache cache_;
+
+  /// The one swap point. Readers copy the shared_ptr under a mutex held
+  /// only for the pointer copy itself (tens of nanoseconds); UpdateSnapshot
+  /// exchanges it and releases the old session outside the critical
+  /// section. A query in flight holds its own session reference, so a swap
+  /// never blocks it and it never observes a torn state.
+  ///
+  /// Not std::atomic<shared_ptr>: libstdc++'s _Sp_atomic unlocks its
+  /// embedded spinlock with a relaxed RMW on the load path, which leaves
+  /// the internal pointer read formally unordered against a concurrent
+  /// store — ThreadSanitizer (correctly, per the model) reports it. The
+  /// micro critical section has the same publication semantics and is
+  /// provably clean under the tsan hot-swap hammer.
+  mutable std::mutex session_mu_;
+  SessionPtr session_;
 
   mutable std::mutex stats_mu_;
   uint64_t queries_ = 0;
   uint64_t errors_ = 0;
+  uint64_t sharded_queries_ = 0;
+  uint64_t serial_queries_ = 0;
   sql::ExecStats exec_;
   double total_seconds_ = 0.0;
   std::vector<double> latency_ring_ms_;  // bounded reservoir of recent queries
   size_t next_sample_ = 0;
 
-  // Last member: its destructor joins the workers while everything the
-  // in-flight tasks touch is still alive.
+  // Last member: its destructor drains and joins the workers while
+  // everything the in-flight tasks touch (session_, stats) is still alive.
   std::unique_ptr<ThreadPool> pool_;
 };
 

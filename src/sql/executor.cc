@@ -479,6 +479,7 @@ Result<QueryResult> PlanExecutor::Execute(const ExecPlan& plan,
 
 Result<QueryResult> PlanExecutor::ExecutePrepared(const PreparedPlan& pp,
                                                   ExecStats* stats) const {
+  if (stats != nullptr) stats->shards += 1;
   Runner runner(rel_, options_, stats);
   QueryResult out;
   LPATH_RETURN_IF_ERROR(runner.Run(pp, &out));
@@ -488,6 +489,7 @@ Result<QueryResult> PlanExecutor::ExecutePrepared(const PreparedPlan& pp,
 Result<QueryResult> PlanExecutor::ExecuteShard(const PreparedPlan& pp,
                                                int32_t tid_lo, int32_t tid_hi,
                                                ExecStats* stats) const {
+  if (stats != nullptr) stats->shards += 1;
   Runner runner(rel_, options_, stats);
   QueryResult out;
   LPATH_RETURN_IF_ERROR(runner.RunShard(pp, tid_lo, tid_hi, &out));

@@ -12,10 +12,12 @@
 #define LPATHDB_SQL_EXECUTOR_H_
 
 #include <cstdint>
+#include <utility>
 
 #include "common/result.h"
 #include "lpath/engine.h"
 #include "sql/optimizer.h"
+#include "storage/snapshot.h"
 
 namespace lpath {
 namespace sql {
@@ -26,6 +28,10 @@ struct ExecStats {
   uint64_t bindings = 0;     ///< rows surviving conjuncts + filters
   uint64_t subqueries = 0;   ///< EXISTS evaluations (after memo hits)
   uint64_t memo_hits = 0;
+  /// Plan executions: each ExecutePrepared/ExecuteShard call contributes 1,
+  /// so rolled up per query this is the fan-out the service chose — 1 means
+  /// the adaptive heuristic ran the query serially.
+  uint64_t shards = 0;
 
   /// Accumulates another run's counters (per-shard stats roll up).
   void Add(const ExecStats& o) {
@@ -33,6 +39,7 @@ struct ExecStats {
     bindings += o.bindings;
     subqueries += o.subqueries;
     memo_hits += o.memo_hits;
+    shards += o.shards;
   }
 };
 
@@ -40,8 +47,18 @@ struct ExecStats {
 /// shared for many queries against the same relation.
 class PlanExecutor {
  public:
+  /// Borrowing executor: the caller guarantees `rel` outlives it (engines
+  /// and tests with stack-scoped relations).
   explicit PlanExecutor(const NodeRelation& rel, ExecOptions options = {})
       : rel_(rel), options_(options) {}
+
+  /// Snapshot-owning executor: shares ownership of the snapshot, so the
+  /// relation it reads stays alive even after the snapshot is swapped out
+  /// of its service — the hot-swap safety contract.
+  explicit PlanExecutor(SnapshotPtr snapshot, ExecOptions options = {})
+      : snapshot_(std::move(snapshot)),
+        rel_(snapshot_->relation()),
+        options_(options) {}
 
   /// Prepares and runs `plan`.
   Result<QueryResult> Execute(const ExecPlan& plan,
@@ -66,6 +83,9 @@ class PlanExecutor {
   const NodeRelation& relation() const { return rel_; }
 
  private:
+  // Declared before rel_: the snapshot ctor binds rel_ to snapshot_'s
+  // relation, so the snapshot must be initialized first.
+  SnapshotPtr snapshot_;
   const NodeRelation& rel_;
   ExecOptions options_;
 };

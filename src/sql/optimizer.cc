@@ -224,12 +224,10 @@ std::vector<VarFacts> HarvestFacts(const ExecPlan& plan) {
   return facts;
 }
 
-/// Estimated rows produced when binding `v` given the `bound` set (join
-/// links give discounts). All heuristic — the point is the *ranking*.
-double EstimateCost(const ExecPlan& plan, const std::vector<VarFacts>& facts,
-                    const NodeRelation& rel, int v,
-                    const std::vector<bool>& bound, bool anything_bound) {
-  const VarFacts& f = facts[v];
+/// Rows a standalone scan of `v`'s best access path yields: the value or
+/// tag-run cardinality, the whole relation for wildcards, capped at one
+/// row per tree for roots. Also the service's shardability estimate.
+double BaseCardinality(const VarFacts& f, const NodeRelation& rel) {
   const double trees = std::max<double>(1.0, rel.tree_count());
   double base;
   if (f.has_value) {
@@ -240,6 +238,17 @@ double EstimateCost(const ExecPlan& plan, const std::vector<VarFacts>& facts,
     base = std::max<double>(1.0, rel.row_count());
   }
   if (f.has_pid0) base = std::min(base, trees);
+  return base;
+}
+
+/// Estimated rows produced when binding `v` given the `bound` set (join
+/// links give discounts). All heuristic — the point is the *ranking*.
+double EstimateCost(const ExecPlan& plan, const std::vector<VarFacts>& facts,
+                    const NodeRelation& rel, int v,
+                    const std::vector<bool>& bound, bool anything_bound) {
+  const VarFacts& f = facts[v];
+  const double trees = std::max<double>(1.0, rel.tree_count());
+  const double base = BaseCardinality(f, rel);
 
   if (!anything_bound) return base;
 
@@ -348,6 +357,10 @@ Result<std::unique_ptr<PreparedPlan>> PrepareResolved(
 
   const std::vector<VarFacts> facts = HarvestFacts(p);
   pp->order = ChooseOrder(p, facts, rel, options.join_order);
+  pp->root_cardinality =
+      pp->order.empty()
+          ? 0
+          : static_cast<size_t>(BaseCardinality(facts[pp->order[0]], rel));
   pp->pos_of.assign(p.num_vars, 0);
   for (int pos = 0; pos < static_cast<int>(pp->order.size()); ++pos) {
     pp->pos_of[pp->order[pos]] = pos;

@@ -70,6 +70,12 @@ struct PreparedPlan {
   /// True if some conjunct can never hold (e.g. name = unknown tag).
   bool always_empty = false;
 
+  /// The optimizer's cardinality estimate for the root (first-bound)
+  /// variable — the number of rows a shard partition would split. The
+  /// service's adaptive heuristic runs the query serially when this is
+  /// small (fan-out overhead would dominate).
+  size_t root_cardinality = 0;
+
   /// tid equivalence classes: variables linked (transitively) by tid
   /// equality conjuncts share a class, so the executor can derive a
   /// variable's tree from *any* bound variable in its class — not only

@@ -1,7 +1,9 @@
 #include "storage/relation.h"
 
 #include <algorithm>
+#include <memory>
 #include <numeric>
+#include <utility>
 
 namespace lpath {
 
@@ -20,9 +22,21 @@ struct Staged {
 
 Result<NodeRelation> NodeRelation::Build(const Corpus& corpus,
                                          RelationOptions options) {
+  // Non-owning alias: the caller keeps the corpus alive and in place.
+  return Build(std::shared_ptr<const Corpus>(std::shared_ptr<const Corpus>(),
+                                             &corpus),
+               options);
+}
+
+Result<NodeRelation> NodeRelation::Build(std::shared_ptr<const Corpus> owned,
+                                         RelationOptions options) {
+  if (owned == nullptr) {
+    return Status::InvalidArgument("NodeRelation::Build: null corpus");
+  }
+  const Corpus& corpus = *owned;
   NodeRelation rel;
   rel.scheme_ = options.scheme;
-  rel.corpus_ = &corpus;
+  rel.corpus_ = std::move(owned);
   rel.tree_count_ = static_cast<int32_t>(corpus.size());
 
   // 1. Label every tree and stage rows.

@@ -18,6 +18,7 @@
 #define LPATHDB_STORAGE_RELATION_H_
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -50,15 +51,26 @@ struct RelationOptions {
 /// Immutable, columnar, dictionary-encoded node relation.
 class NodeRelation {
  public:
-  /// Labels every tree of `corpus` under `options.scheme`, flattens nodes
+  /// Labels every tree of `*corpus` under `options.scheme`, flattens nodes
   /// and attributes to rows, sorts into the clustered order and builds all
-  /// secondary indexes. The corpus must outlive the relation (the relation
-  /// shares its interner).
+  /// secondary indexes. The relation shares ownership of the corpus (and
+  /// through it the interner), so the corpus stays alive as long as any
+  /// relation built over it — the invariant CorpusSnapshot and the
+  /// hot-swap path rely on.
+  static Result<NodeRelation> Build(std::shared_ptr<const Corpus> corpus,
+                                    RelationOptions options = {});
+
+  /// Borrowing overload for stack-scoped uses (tests, one-shot tools): the
+  /// caller guarantees `corpus` outlives the relation and is not moved.
   static Result<NodeRelation> Build(const Corpus& corpus,
                                     RelationOptions options = {});
 
   LabelScheme scheme() const { return scheme_; }
   const Corpus& corpus() const { return *corpus_; }
+  /// Shared owner of the corpus. Built through the borrowing overload it
+  /// is a non-owning alias (non-null but use_count() == 0) — do not treat
+  /// it as something that keeps the corpus alive.
+  const std::shared_ptr<const Corpus>& corpus_ptr() const { return corpus_; }
   const Interner& interner() const { return corpus_->interner(); }
 
   size_t row_count() const { return tid_.size(); }
@@ -151,7 +163,9 @@ class NodeRelation {
   NodeRelation() = default;
 
   LabelScheme scheme_ = LabelScheme::kLPath;
-  const Corpus* corpus_ = nullptr;
+  // Shared so the corpus (symbols, trees) outlives every reader; built
+  // through the borrowing overload this is a non-owning alias.
+  std::shared_ptr<const Corpus> corpus_;
   int32_t tree_count_ = 0;
   size_t element_count_ = 0;
 

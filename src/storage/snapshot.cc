@@ -1,0 +1,46 @@
+#include "storage/snapshot.h"
+
+#include <atomic>
+#include <utility>
+
+namespace lpath {
+
+namespace {
+
+uint64_t NextSnapshotId() {
+  static std::atomic<uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+}  // namespace
+
+CorpusSnapshot::CorpusSnapshot(std::shared_ptr<const Corpus> corpus,
+                               NodeRelation relation, RelationOptions options)
+    : corpus_(std::move(corpus)),
+      relation_(std::move(relation)),
+      options_(options),
+      id_(NextSnapshotId()) {}
+
+Result<SnapshotPtr> CorpusSnapshot::Build(Corpus corpus,
+                                          RelationOptions options) {
+  return Build(std::make_shared<const Corpus>(std::move(corpus)), options);
+}
+
+Result<SnapshotPtr> CorpusSnapshot::Build(std::shared_ptr<const Corpus> corpus,
+                                          RelationOptions options) {
+  if (corpus == nullptr) {
+    return Status::InvalidArgument("CorpusSnapshot::Build: null corpus");
+  }
+  LPATH_ASSIGN_OR_RETURN(NodeRelation relation,
+                         NodeRelation::Build(corpus, options));
+  return SnapshotPtr(
+      new CorpusSnapshot(std::move(corpus), std::move(relation), options));
+}
+
+Result<SnapshotPtr> CorpusSnapshot::Rebuild() const { return Rebuild(options_); }
+
+Result<SnapshotPtr> CorpusSnapshot::Rebuild(RelationOptions options) const {
+  return Build(corpus_, options);
+}
+
+}  // namespace lpath

@@ -1,0 +1,72 @@
+// An immutable, shared-ownership bundle of a corpus and the node relation
+// built over it — the unit that services and executors hold.
+//
+// The raw "corpus must outlive the relation" contract of early revisions
+// made hot-swapping a rebuilt relation impossible: nothing pinned the old
+// corpus while in-flight queries still read it. A CorpusSnapshot fixes the
+// lifetime by construction: the snapshot owns the corpus (shared), the
+// relation keeps the corpus alive (shared again), and everything reachable
+// from a SnapshotPtr is immutable. Publishing a rebuilt snapshot is then a
+// single pointer exchange (see db::Database::Swap); queries in flight
+// keep their old snapshot alive through their own reference and never
+// observe a torn state.
+
+#ifndef LPATHDB_STORAGE_SNAPSHOT_H_
+#define LPATHDB_STORAGE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "common/result.h"
+#include "storage/relation.h"
+#include "tree/corpus.h"
+
+namespace lpath {
+
+class CorpusSnapshot;
+
+/// How snapshots travel: immutable and shared. Holders (services, executors,
+/// in-flight queries) each keep their own reference, so a swap never
+/// invalidates what anyone is reading.
+using SnapshotPtr = std::shared_ptr<const CorpusSnapshot>;
+
+class CorpusSnapshot {
+ public:
+  /// Consumes `corpus`, builds the relation over it under `options`, and
+  /// wraps both. The returned snapshot is self-contained: no external
+  /// lifetime contract remains.
+  static Result<SnapshotPtr> Build(Corpus corpus, RelationOptions options = {});
+
+  /// Same, over an already-shared corpus (the Rebuild path — several
+  /// snapshots may share one corpus with differently built relations).
+  static Result<SnapshotPtr> Build(std::shared_ptr<const Corpus> corpus,
+                                   RelationOptions options = {});
+
+  /// A new snapshot over the same corpus with a freshly built relation —
+  /// the "rebuilt index" input to a hot swap.
+  Result<SnapshotPtr> Rebuild() const;
+  Result<SnapshotPtr> Rebuild(RelationOptions options) const;
+
+  const Corpus& corpus() const { return *corpus_; }
+  const std::shared_ptr<const Corpus>& corpus_ptr() const { return corpus_; }
+  const NodeRelation& relation() const { return relation_; }
+  const Interner& interner() const { return corpus_->interner(); }
+  const RelationOptions& options() const { return options_; }
+
+  /// Process-wide monotonically increasing build number, so two snapshots
+  /// over the same corpus are distinguishable (swap tests, shell display).
+  uint64_t id() const { return id_; }
+
+ private:
+  CorpusSnapshot(std::shared_ptr<const Corpus> corpus, NodeRelation relation,
+                 RelationOptions options);
+
+  std::shared_ptr<const Corpus> corpus_;
+  NodeRelation relation_;
+  RelationOptions options_;
+  uint64_t id_;
+};
+
+}  // namespace lpath
+
+#endif  // LPATHDB_STORAGE_SNAPSHOT_H_

@@ -1,0 +1,161 @@
+// Async/streaming differential tests: rows streamed per shard, once
+// collected, must be bit-identical to the synchronous Query() result (and
+// to the serial reference engine) over the fuzz corpus; Submit() handles
+// must resolve to the same results. This suite runs under ThreadSanitizer
+// in CI.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "lpath/engines.h"
+#include "service/query_service.h"
+#include "test_util.h"
+
+namespace lpath {
+namespace {
+
+using testing::QueryGen;
+
+class ServiceStreamTest : public ::testing::Test {
+ protected:
+  ServiceStreamTest() {
+    Result<SnapshotPtr> snap =
+        CorpusSnapshot::Build(testing::RandomCorpus(4242, 24, 30));
+    EXPECT_TRUE(snap.ok());
+    snap_ = std::move(snap).value();
+    serial_ = std::make_unique<LPathEngine>(snap_->relation());
+  }
+
+  std::unique_ptr<service::QueryService> MakeService(
+      service::QueryServiceOptions opts = {}) {
+    return std::make_unique<service::QueryService>(snap_, opts);
+  }
+
+  SnapshotPtr snap_;
+  std::unique_ptr<LPathEngine> serial_;
+};
+
+TEST_F(ServiceStreamTest, StreamedRowsEqualSynchronousResults) {
+  service::QueryServiceOptions opts;
+  opts.threads = 4;
+  opts.adaptive_serial_rows = 0;  // force fan-out so shards really stream
+  auto service = MakeService(opts);
+  Rng rng(99);
+  QueryGen gen(&rng);
+  for (int i = 0; i < 120; ++i) {
+    const std::string q = gen.Query();
+    std::vector<std::vector<Hit>> batches;
+    Status s = service->QueryStream(q, [&batches](std::span<const Hit> rows) {
+      batches.emplace_back(rows.begin(), rows.end());
+    });
+    ASSERT_TRUE(s.ok()) << q << " -> " << s;
+
+    // Delivery contract: batches internally sorted, disjoint across the
+    // stream, never empty.
+    std::set<Hit> seen;
+    QueryResult streamed;
+    for (const std::vector<Hit>& batch : batches) {
+      ASSERT_FALSE(batch.empty()) << q;
+      ASSERT_TRUE(std::is_sorted(batch.begin(), batch.end())) << q;
+      for (const Hit& h : batch) {
+        ASSERT_TRUE(seen.insert(h).second) << "duplicate row streamed: " << q;
+        streamed.hits.push_back(h);
+      }
+    }
+    streamed.Normalize();
+
+    Result<QueryResult> sync = service->Query(q);
+    Result<QueryResult> expected = serial_->Run(q);
+    ASSERT_TRUE(sync.ok()) << q;
+    ASSERT_TRUE(expected.ok()) << q;
+    ASSERT_EQ(streamed, sync.value()) << "query: " << q;
+    ASSERT_EQ(streamed, expected.value()) << "query: " << q;
+  }
+}
+
+TEST_F(ServiceStreamTest, StreamingReportsErrorsWithoutRows) {
+  auto service = MakeService();
+  int batches = 0;
+  Status s = service->QueryStream("///[[",
+                                  [&batches](std::span<const Hit>) { ++batches; });
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(batches, 0);
+}
+
+TEST_F(ServiceStreamTest, SubmittedQueriesResolveToSynchronousResults) {
+  service::QueryServiceOptions opts;
+  opts.threads = 4;
+  auto service = MakeService(opts);
+  Rng rng(555);
+  QueryGen gen(&rng);
+  std::vector<std::string> queries;
+  std::vector<service::PendingQuery> pending;
+  for (int i = 0; i < 50; ++i) {
+    queries.push_back(gen.Query());
+    pending.push_back(service->Submit(queries.back()));
+  }
+  for (size_t i = 0; i < queries.size(); ++i) {
+    Result<QueryResult> got = pending[i].Get();
+    Result<QueryResult> expected = serial_->Run(queries[i]);
+    ASSERT_TRUE(got.ok()) << queries[i] << " -> " << got.status();
+    ASSERT_TRUE(expected.ok());
+    ASSERT_EQ(got.value(), expected.value()) << "query: " << queries[i];
+    EXPECT_TRUE(pending[i].ready());  // resolved handles stay readable
+  }
+}
+
+TEST_F(ServiceStreamTest, SubmitWithSinkStreamsAndResolves) {
+  service::QueryServiceOptions opts;
+  opts.threads = 4;
+  opts.adaptive_serial_rows = 0;
+  auto service = MakeService(opts);
+  const std::string q = "//NP//_";
+  QueryResult streamed;
+  service::PendingQuery pending =
+      service->Submit(q, [&streamed](std::span<const Hit> rows) {
+        streamed.hits.insert(streamed.hits.end(), rows.begin(), rows.end());
+      });
+  Result<QueryResult> got = pending.Get();  // also fences the sink writes
+  ASSERT_TRUE(got.ok());
+  streamed.Normalize();
+  EXPECT_EQ(streamed, got.value());
+  Result<QueryResult> expected = serial_->Run(q);
+  ASSERT_TRUE(expected.ok());
+  EXPECT_EQ(got.value(), expected.value());
+}
+
+TEST_F(ServiceStreamTest, SubmittedErrorsSurfaceThroughTheHandle) {
+  auto service = MakeService();
+  service::PendingQuery bad = service->Submit("///[[");
+  Result<QueryResult> r = bad.Get();
+  EXPECT_FALSE(r.ok());
+
+  service::PendingQuery empty;
+  EXPECT_FALSE(empty.valid());
+  EXPECT_FALSE(empty.ready());
+  EXPECT_TRUE(empty.Get().status().IsInvalidArgument());
+}
+
+TEST_F(ServiceStreamTest, HandlesOutliveTheService) {
+  // Queued tasks are drained by the pool destructor; a handle held past
+  // service destruction must still resolve.
+  service::PendingQuery pending;
+  Result<QueryResult> expected = serial_->Run("//VP[//N]");
+  ASSERT_TRUE(expected.ok());
+  {
+    auto service = MakeService();
+    pending = service->Submit("//VP[//N]");
+  }
+  Result<QueryResult> got = pending.Get();
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value(), expected.value());
+}
+
+}  // namespace
+}  // namespace lpath

@@ -61,47 +61,62 @@ TEST(PlanCacheTest, NormalizePreservesQuotedLiterals) {
 TEST(PlanCacheTest, LruEvictsOldestAndCountsStats) {
   service::PlanCache cache(2);
   auto plan = [] {
-    auto p = std::make_shared<sql::PreparedPlan>();
-    return std::shared_ptr<const sql::PreparedPlan>(p);
+    return service::CachedPlan{std::make_shared<sql::PreparedPlan>(),
+                               Status::OK()};
   };
-  EXPECT_EQ(cache.Get("a"), nullptr);
+  EXPECT_FALSE(cache.Get("a").has_value());
   cache.Put("a", plan());
   cache.Put("b", plan());
-  EXPECT_NE(cache.Get("a"), nullptr);  // "a" now most recent
-  cache.Put("c", plan());              // evicts "b"
-  EXPECT_EQ(cache.Get("b"), nullptr);
-  EXPECT_NE(cache.Get("a"), nullptr);
-  EXPECT_NE(cache.Get("c"), nullptr);
+  EXPECT_TRUE(cache.Get("a").has_value());  // "a" now most recent
+  cache.Put("c", plan());                   // evicts "b"
+  EXPECT_FALSE(cache.Get("b").has_value());
+  EXPECT_TRUE(cache.Get("a").has_value());
+  EXPECT_TRUE(cache.Get("c").has_value());
   const service::PlanCache::Stats stats = cache.stats();
   EXPECT_EQ(stats.hits, 3u);
+  EXPECT_EQ(stats.negative_hits, 0u);
   EXPECT_EQ(stats.misses, 2u);
   EXPECT_EQ(stats.evictions, 1u);
   EXPECT_EQ(stats.size, 2u);
   EXPECT_EQ(stats.capacity, 2u);
 }
 
+TEST(PlanCacheTest, NegativeEntriesShareTheLruAndCountHits) {
+  service::PlanCache cache(2);
+  cache.Put("bad", service::CachedPlan{
+                       nullptr, Status::InvalidArgument("parse error")});
+  std::optional<service::CachedPlan> hit = cache.Get("bad");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_TRUE(hit->negative());
+  EXPECT_TRUE(hit->error.IsInvalidArgument());
+  const service::PlanCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.negative_hits, 1u);
+}
+
 class QueryServiceTest : public ::testing::Test {
  protected:
-  QueryServiceTest() : corpus_(testing::RandomCorpus(9001, 20, 28)) {
-    Result<NodeRelation> rel = NodeRelation::Build(corpus_);
-    EXPECT_TRUE(rel.ok());
-    rel_ = std::make_unique<NodeRelation>(std::move(rel).value());
-    serial_ = std::make_unique<LPathEngine>(*rel_);
+  QueryServiceTest() {
+    Result<SnapshotPtr> snap =
+        CorpusSnapshot::Build(testing::RandomCorpus(9001, 20, 28));
+    EXPECT_TRUE(snap.ok());
+    snap_ = std::move(snap).value();
+    serial_ = std::make_unique<LPathEngine>(snap_->relation());
   }
 
   std::unique_ptr<service::QueryService> MakeService(
       service::QueryServiceOptions opts = {}) {
-    return std::make_unique<service::QueryService>(*rel_, opts);
+    return std::make_unique<service::QueryService>(snap_, opts);
   }
 
-  Corpus corpus_;
-  std::unique_ptr<NodeRelation> rel_;
+  SnapshotPtr snap_;
   std::unique_ptr<LPathEngine> serial_;
 };
 
 TEST_F(QueryServiceTest, AgreesWithSerialEngineOnFuzzQueries) {
   service::QueryServiceOptions opts;
   opts.threads = 4;
+  opts.adaptive_serial_rows = 0;  // the point here is the sharded path
   auto service = MakeService(opts);
   Rng rng(77);
   QueryGen gen(&rng);
@@ -184,6 +199,81 @@ TEST_F(QueryServiceTest, ParseErrorsAreReturnedAndCounted) {
   EXPECT_EQ(service->Stats().queries, 1u);
 }
 
+TEST_F(QueryServiceTest, NegativeCacheServesRepeatedBadQueries) {
+  auto service = MakeService();
+  const std::string bad = "///[[";
+  Result<QueryResult> first = service->Query(bad);
+  ASSERT_FALSE(first.ok());
+  // Resubmissions (including respellings) answer from the cache with the
+  // same Status instead of re-parsing.
+  Result<QueryResult> second = service->Query(bad);
+  Result<QueryResult> third = service->Query("  ///[[  ");
+  ASSERT_FALSE(second.ok());
+  ASSERT_FALSE(third.ok());
+  EXPECT_EQ(second.status().ToString(), first.status().ToString());
+  EXPECT_EQ(third.status().ToString(), first.status().ToString());
+  const service::ServiceStats stats = service->Stats();
+  EXPECT_EQ(stats.cache.misses, 1u);  // parsed exactly once
+  EXPECT_EQ(stats.cache.hits, 2u);
+  EXPECT_EQ(stats.cache.negative_hits, 2u);
+  EXPECT_EQ(stats.cache.size, 1u);
+  EXPECT_EQ(stats.errors, 3u);
+}
+
+TEST_F(QueryServiceTest, AdaptiveShardingPicksSerialForTinyQueries) {
+  // The fixture corpus is tiny, so with the default threshold every query
+  // should be executed serially — visible both in the decision counters
+  // and in the executor's shard count.
+  service::QueryServiceOptions adaptive;
+  adaptive.threads = 4;
+  auto service = MakeService(adaptive);
+  ASSERT_TRUE(service->Query("//NP//_").ok());
+  service::ServiceStats stats = service->Stats();
+  EXPECT_EQ(stats.serial_queries, 1u);
+  EXPECT_EQ(stats.sharded_queries, 0u);
+  EXPECT_EQ(stats.exec.shards, 1u);
+
+  // Disabling the heuristic shards the same query across the pool.
+  service::QueryServiceOptions forced;
+  forced.threads = 4;
+  forced.adaptive_serial_rows = 0;
+  auto sharded = MakeService(forced);
+  Result<QueryResult> a = sharded->Query("//NP//_");
+  ASSERT_TRUE(a.ok());
+  stats = sharded->Stats();
+  EXPECT_EQ(stats.sharded_queries, 1u);
+  EXPECT_EQ(stats.serial_queries, 0u);
+  EXPECT_GT(stats.exec.shards, 1u);
+
+  // Both decisions return the same rows.
+  Result<QueryResult> b = service->Query("//NP//_");
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value(), b.value());
+}
+
+TEST_F(QueryServiceTest, UpdateSnapshotServesTheNewCorpus) {
+  auto service = MakeService();
+  const std::string q = "//NP//_";
+  Result<QueryResult> before = service->Query(q);
+  ASSERT_TRUE(before.ok());
+  EXPECT_EQ(service->snapshot()->id(), snap_->id());
+
+  Result<SnapshotPtr> other =
+      CorpusSnapshot::Build(testing::RandomCorpus(31337, 35, 30));
+  ASSERT_TRUE(other.ok());
+  service->UpdateSnapshot(other.value());
+  EXPECT_EQ(service->snapshot()->id(), (*other)->id());
+
+  Result<QueryResult> after = service->Query(q);
+  ASSERT_TRUE(after.ok());
+  LPathEngine other_engine((*other)->relation());
+  Result<QueryResult> expected = other_engine.Run(q);
+  ASSERT_TRUE(expected.ok());
+  EXPECT_EQ(after.value(), expected.value());
+  // A fresh cache: the old snapshot's plans (symbols!) were dropped.
+  EXPECT_EQ(service->Stats().cache.misses, 1u);
+}
+
 TEST_F(QueryServiceTest, ViaSqlTextPreparesIdenticalResults) {
   service::QueryServiceOptions direct;
   service::QueryServiceOptions roundtrip;
@@ -205,7 +295,8 @@ TEST_F(QueryServiceTest, ViaSqlTextPreparesIdenticalResults) {
 TEST_F(QueryServiceTest, ConcurrentClientsSeeConsistentResults) {
   service::QueryServiceOptions opts;
   opts.threads = 4;
-  opts.plan_cache_capacity = 8;  // force eviction churn under load
+  opts.plan_cache_capacity = 8;   // force eviction churn under load
+  opts.adaptive_serial_rows = 0;  // keep intra-query sharding in the mix
   auto service = MakeService(opts);
 
   // A mixed workload per client: shared hot queries (cache hits) plus

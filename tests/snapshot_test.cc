@@ -1,0 +1,95 @@
+// CorpusSnapshot ownership tests: the snapshot must be self-contained (no
+// "corpus must outlive" contract), Rebuild must produce a distinguishable
+// snapshot over the same corpus, and the relation must share corpus
+// ownership so hot-swapped-out snapshots stay valid for in-flight readers.
+
+#include "storage/snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <utility>
+
+#include "lpath/engines.h"
+#include "test_util.h"
+
+namespace lpath {
+namespace {
+
+TEST(SnapshotTest, BuildConsumesAndOwnsTheCorpus) {
+  Corpus corpus = testing::RandomCorpus(7, 12, 24);
+  const size_t nodes = corpus.TotalNodes();
+  const size_t trees = corpus.size();
+  Result<SnapshotPtr> snap = CorpusSnapshot::Build(std::move(corpus));
+  ASSERT_TRUE(snap.ok());
+  // Self-contained: the moved-from local is gone, the snapshot serves.
+  EXPECT_EQ((*snap)->corpus().size(), trees);
+  EXPECT_EQ((*snap)->corpus().TotalNodes(), nodes);
+  EXPECT_GT((*snap)->id(), 0u);
+  // The relation reads exactly the snapshot's corpus object.
+  EXPECT_EQ(&(*snap)->relation().corpus(), &(*snap)->corpus());
+  EXPECT_EQ((*snap)->relation().corpus_ptr().get(), &(*snap)->corpus());
+}
+
+TEST(SnapshotTest, RelationKeepsCorpusAliveWithoutTheSnapshot) {
+  NodeRelation relation = [] {
+    Result<SnapshotPtr> snap =
+        CorpusSnapshot::Build(testing::BuildFigure1Corpus());
+    EXPECT_TRUE(snap.ok());
+    // Copy the relation's shared corpus into a fresh standalone relation;
+    // the snapshot itself dies at the end of this scope.
+    Result<NodeRelation> rebuilt =
+        NodeRelation::Build((*snap)->relation().corpus_ptr());
+    EXPECT_TRUE(rebuilt.ok());
+    return std::move(rebuilt).value();
+  }();
+  // The corpus (and its interner) must still be alive through the
+  // relation's shared ownership.
+  EXPECT_EQ(relation.corpus().size(), 1u);
+  LPathEngine engine(relation);
+  Result<QueryResult> r = engine.Run("//NP");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->count(), 4u);  // Figure 1 has NP nodes 1, 4, 5, 11
+}
+
+TEST(SnapshotTest, RebuildSharesTheCorpusAndBumpsTheId) {
+  Result<SnapshotPtr> snap =
+      CorpusSnapshot::Build(testing::RandomCorpus(11, 15, 30));
+  ASSERT_TRUE(snap.ok());
+  Result<SnapshotPtr> rebuilt = (*snap)->Rebuild();
+  ASSERT_TRUE(rebuilt.ok());
+  EXPECT_NE((*rebuilt)->id(), (*snap)->id());
+  EXPECT_EQ(&(*rebuilt)->corpus(), &(*snap)->corpus());  // same object
+  EXPECT_EQ((*rebuilt)->relation().row_count(), (*snap)->relation().row_count());
+  // Queries agree between the original and the rebuilt relation.
+  LPathEngine a((*snap)->relation());
+  LPathEngine b((*rebuilt)->relation());
+  for (const char* q : {"//NP//_", "//VP[//N]", "//_[@lex='saw']"}) {
+    Result<QueryResult> ra = a.Run(q);
+    Result<QueryResult> rb = b.Run(q);
+    ASSERT_TRUE(ra.ok());
+    ASSERT_TRUE(rb.ok());
+    EXPECT_EQ(ra.value(), rb.value()) << q;
+  }
+}
+
+TEST(SnapshotTest, BorrowingBuildRemainsNonOwning) {
+  Corpus corpus = testing::BuildFigure1Corpus();
+  Result<NodeRelation> rel = NodeRelation::Build(corpus);
+  ASSERT_TRUE(rel.ok());
+  // The borrowing overload aliases without a control block: no ownership.
+  EXPECT_EQ(rel->corpus_ptr().use_count(), 0);
+  EXPECT_EQ(rel->corpus_ptr().get(), &corpus);
+}
+
+TEST(SnapshotTest, NullCorpusIsRejected) {
+  Result<SnapshotPtr> snap =
+      CorpusSnapshot::Build(std::shared_ptr<const Corpus>());
+  EXPECT_FALSE(snap.ok());
+  Result<NodeRelation> rel =
+      NodeRelation::Build(std::shared_ptr<const Corpus>());
+  EXPECT_FALSE(rel.ok());
+}
+
+}  // namespace
+}  // namespace lpath
