@@ -81,5 +81,36 @@ std::string ReportTable::Render(
   return os.str();
 }
 
+std::string ReportTable::RenderJson(
+    const std::map<std::string, std::string>& extra) const {
+  // Keys and row/column names here are benchmark identifiers (ASCII, no
+  // quotes/control characters), so plain escaping-free emission is fine.
+  std::ostringstream os;
+  os << "{\n  \"title\": \"" << title_ << "\"";
+  for (const auto& [key, value] : extra) {
+    os << ",\n  \"" << key << "\": " << value;
+  }
+  os << ",\n  \"rows\": [";
+  bool first_row = true;
+  for (const std::string& row : row_order_) {
+    os << (first_row ? "\n" : ",\n") << "    {\"row\": \"" << row
+       << "\", \"cells\": {";
+    first_row = false;
+    bool first_cell = true;
+    for (const auto& [column, m] : cells_.at(row)) {
+      os << (first_cell ? "" : ", ") << "\"" << column << "\": ";
+      first_cell = false;
+      char cell[128];
+      std::snprintf(cell, sizeof(cell),
+                    "{\"seconds\": %.9g, \"results\": %zu, \"supported\": %s}",
+                    m.seconds, m.result_count, m.supported ? "true" : "false");
+      os << cell;
+    }
+    os << "}}";
+  }
+  os << "\n  ]\n}\n";
+  return os.str();
+}
+
 }  // namespace bench
 }  // namespace lpath

@@ -40,6 +40,14 @@ class ReportTable {
                      const std::map<std::string, std::string>& annotations =
                          {}) const;
 
+  /// Renders the table as machine-readable JSON — the BENCH_*.json
+  /// trajectory format: {"title": ..., "rows": [{"row": ..., "cells":
+  /// {"<col>": {"seconds": s, "results": n, "supported": b}, ...}}, ...]}.
+  /// `extra` key/value pairs (already JSON-encoded values) are spliced
+  /// into the top-level object, e.g. scale parameters.
+  std::string RenderJson(
+      const std::map<std::string, std::string>& extra = {}) const;
+
   const std::string& title() const { return title_; }
   bool has_row(const std::string& row) const;
 

@@ -40,5 +40,14 @@ Result<Corpus> GenerateSwb(int sentences, uint64_t seed) {
   return GenerateCorpus(profile, options);
 }
 
+Result<Corpus> GenerateSkewed(int sentences, uint64_t seed) {
+  static const TreebankProfile& profile =
+      *new TreebankProfile(SkewedProfile());
+  GeneratorOptions options;
+  options.seed = seed;
+  options.sentences = sentences;
+  return GenerateCorpus(profile, options);
+}
+
 }  // namespace gen
 }  // namespace lpath

@@ -26,6 +26,9 @@ Result<Corpus> GenerateCorpus(const TreebankProfile& profile,
 Result<Corpus> GenerateWsj(int sentences, uint64_t seed = 2006);
 Result<Corpus> GenerateSwb(int sentences, uint64_t seed = 2006);
 
+/// Convenience: the skew-stress corpus (a few huge trees, many tiny).
+Result<Corpus> GenerateSkewed(int sentences, uint64_t seed = 2006);
+
 }  // namespace gen
 }  // namespace lpath
 

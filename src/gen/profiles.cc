@@ -294,5 +294,58 @@ TreebankProfile SwbProfile() {
   return profile;
 }
 
+TreebankProfile SkewedProfile() {
+  TreebankProfile profile;
+  profile.name = "SKEW";
+  Pcfg& g = profile.grammar;
+
+  // ~96% of derivations stop at a tiny clause; ~4% enter CHAIN, whose
+  // continuation odds of 15:1 grow a right spine until the depth budget
+  // runs out — a geometric (Zipf-ish, budget-truncated) size tail one to
+  // two orders of magnitude above the tiny trees.
+  g.AddRule("S", {"NP", "VP"}, 42);
+  g.AddRule("S", {"NP", "V", "NP"}, 22);
+  g.AddRule("S", {"NP", "VP", "PP"}, 18);
+  g.AddRule("S", {"V", "NP"}, 10);
+  g.AddRule("S", {"NP", "VP", "PP", "PP"}, 5);
+  g.AddRule("S", {"CHAIN"}, 3);
+
+  g.AddRule("CHAIN", {"CL", "CHAIN"}, 24);
+  g.AddRule("CHAIN", {"CL"}, 1);
+  g.AddRule("CL", {"NP", "VP", "PP"}, 40);
+  g.AddRule("CL", {"NP", "V", "NP", "PP"}, 35);
+  g.AddRule("CL", {"NP", "VP", "PP", "PP"}, 25);
+
+  g.AddRule("NP", {"Det", "N"}, 50);
+  g.AddRule("NP", {"Det", "Adj", "N"}, 18);
+  g.AddRule("NP", {"N"}, 22);
+  g.AddRule("NP", {"NP", "PP"}, 8);
+  g.AddRule("NP", {"Y"}, 2);
+  g.AddRule("VP", {"V", "NP"}, 58);
+  g.AddRule("VP", {"V"}, 16);
+  g.AddRule("VP", {"V", "NP", "PP"}, 26);
+  g.AddRule("PP", {"X", "NP"}, 1);
+
+  // Vocabulary drawn from the fuzz QueryGen word list so that random
+  // @lex comparisons in tests get non-trivial selectivity.
+  g.SetVocabulary("N", Vocabulary(std::vector<VocabEntry>{
+      {"dog", 30}, {"man", 25}, {"building", 20}, {"b", 15}, {"c", 10}}));
+  g.SetVocabulary("V", Vocabulary(std::vector<VocabEntry>{
+      {"saw", 50}, {"b", 25}, {"c", 25}}));
+  g.SetVocabulary("Det", Vocabulary(std::vector<VocabEntry>{
+      {"a", 70}, {"b", 20}, {"what", 10}}));
+  g.SetVocabulary("Adj", Vocabulary(std::vector<VocabEntry>{
+      {"c", 50}, {"b", 30}, {"a", 20}}));
+  g.SetVocabulary("X", Vocabulary(std::vector<VocabEntry>{
+      {"of", 80}, {"what", 20}}));
+  g.SetVocabulary("Y", Vocabulary(std::vector<VocabEntry>{
+      {"b", 50}, {"c", 50}}));
+
+  const Status s = g.Finalize();
+  assert(s.ok() && "skewed grammar must finalize");
+  (void)s;
+  return profile;
+}
+
 }  // namespace gen
 }  // namespace lpath

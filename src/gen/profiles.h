@@ -10,6 +10,16 @@
 //     neither "rapprochement" nor "1929" nor ADVP-LOC-CLR, so queries
 //     Q12–Q14 return 0 as in Figure 6(c).
 //
+//   SkewedProfile — a Zipf-ish tree-size distribution: most sentences are
+//     a handful of nodes, but a few per cent derive through a clause chain
+//     with high continuation probability, producing run-on trees one to
+//     two orders of magnitude heavier. Real treebanks are skewed this way,
+//     and this is the adversarial input for tree-count-based work
+//     splitting — the morsel scheduler's tests and benchmarks use it.
+//     Tags and @lex words deliberately overlap the fuzz QueryGen alphabet
+//     (S/NP/VP/PP/N/V/Det/Adj/X/Y; saw/dog/man/of/...), so random test
+//     queries hit.
+//
 // These are substitutes for the licensed Penn Treebank-3 corpora; see
 // DESIGN.md §2 for why matching the tag/word frequency profile preserves
 // the benchmark behaviour.
@@ -36,6 +46,10 @@ TreebankProfile WsjProfile();
 
 /// Switchboard profile (Figure 6's SWB column).
 TreebankProfile SwbProfile();
+
+/// Skew-stress profile: a few huge clause-chain trees among many tiny
+/// ones (see the header comment). Not a paper dataset.
+TreebankProfile SkewedProfile();
 
 }  // namespace gen
 }  // namespace lpath

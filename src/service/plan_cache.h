@@ -22,6 +22,7 @@
 #include <utility>
 
 #include "common/status.h"
+#include "sql/exists_memo.h"
 #include "sql/optimizer.h"
 
 namespace lpath {
@@ -33,9 +34,15 @@ namespace service {
 std::string NormalizeQueryText(std::string_view text);
 
 /// One preparation outcome: a plan, or (negative entry) the error Status
-/// that preparing the text produced.
+/// that preparing the text produced. Positive entries also carry the
+/// plan's shared EXISTS memo: subquery answers derived by any morsel of
+/// any execution of this plan are reused by all later ones. The memo is
+/// valid exactly as long as the (plan, session relation) pair, so it
+/// lives and dies with the cache entry — LRU eviction and snapshot swaps
+/// (which rebuild the whole cache) drop both together.
 struct CachedPlan {
   std::shared_ptr<const sql::PreparedPlan> plan;  ///< null iff negative
+  std::shared_ptr<sql::ExistsMemo> memo;          ///< null iff negative
   Status error = Status::OK();                    ///< !ok() iff negative
 
   bool negative() const { return plan == nullptr; }

@@ -98,49 +98,74 @@ Result<std::shared_ptr<const sql::PreparedPlan>> QueryService::PrepareUncached(
   return std::shared_ptr<const sql::PreparedPlan>(std::move(prepared));
 }
 
-Result<std::shared_ptr<const sql::PreparedPlan>> QueryService::GetPlanIn(
-    const Session& session, const std::string& query) {
+Result<CachedPlan> QueryService::GetPlanIn(const Session& session,
+                                           const std::string& query) {
   const std::string key = NormalizeQueryText(query);
   if (std::optional<CachedPlan> cached = session.cache.Get(key)) {
     if (cached->negative()) return cached->error;
-    return std::move(cached->plan);
+    return std::move(*cached);
   }
   // Prepared outside the cache lock; a racing miss duplicates the work and
-  // the later Put wins, which is correct (plans are interchangeable).
+  // the later Put wins, which is correct (plans are interchangeable, and
+  // each racer executes against the plan+memo pair it created, never a
+  // plan paired with another instance's memo).
   Result<std::shared_ptr<const sql::PreparedPlan>> prepared =
       PrepareUncached(session, key);
-  if (prepared.ok()) {
-    session.cache.Put(key, CachedPlan{prepared.value(), Status::OK()});
-  } else {
+  if (!prepared.ok()) {
     // Negative entry: the same bad text will be answered from the cache.
-    session.cache.Put(key, CachedPlan{nullptr, prepared.status()});
+    session.cache.Put(key, CachedPlan{nullptr, nullptr, prepared.status()});
+    return prepared.status();
   }
-  return prepared;
+  CachedPlan entry{prepared.value(),
+                   std::make_shared<sql::ExistsMemo>(options_.exists_memo_entries),
+                   Status::OK()};
+  session.cache.Put(key, entry);
+  return entry;
 }
 
 Result<std::shared_ptr<const sql::PreparedPlan>> QueryService::GetPlan(
     const std::string& query) {
   SessionPtr session = CurrentSession();
-  return GetPlanIn(*session, query);
+  LPATH_ASSIGN_OR_RETURN(CachedPlan planned, GetPlanIn(*session, query));
+  return std::move(planned.plan);
 }
 
-Result<QueryResult> QueryService::RunSharded(
-    const Session& session, std::shared_ptr<const sql::PreparedPlan> plan,
-    const RowSink* sink) {
-  const int32_t trees = session.snapshot->relation().tree_count();
-  int shards = options_.shards_per_query > 0 ? options_.shards_per_query
-                                             : pool_->size();
-  shards = std::max(1, std::min(shards, trees));
+Result<QueryResult> QueryService::RunSharded(const Session& session,
+                                             CachedPlan planned,
+                                             const RowSink* sink) {
+  const sql::PreparedPlan& plan = *planned.plan;
+  const NodeRelation& relation = session.snapshot->relation();
+  int workers = options_.shards_per_query > 0
+                    ? std::min(options_.shards_per_query, pool_->size())
+                    : pool_->size();
+  workers = std::max(1, workers);
   // Adaptive fan-out: when the optimizer expects the root variable to
-  // enumerate only a handful of rows, the per-shard setup (task posts,
+  // enumerate only a handful of rows, the per-morsel setup (task posts,
   // binary-searched run cuts, result merge) costs more than it parallelizes.
-  if (shards > 1 && options_.adaptive_serial_rows > 0 &&
-      plan->root_cardinality < options_.adaptive_serial_rows) {
-    shards = 1;
+  bool serial = plan.always_empty || workers <= 1;
+  if (!serial && options_.adaptive_serial_rows > 0 &&
+      plan.root_cardinality < options_.adaptive_serial_rows) {
+    serial = true;
   }
-  if (plan->always_empty || shards <= 1) {
+  // Morsel planning: ~morsels_per_thread row-balanced tid slices per
+  // worker, pulled from a shared claim cursor below. Over-decomposition is
+  // the skew defence — a giant tree occupies one worker for one morsel
+  // while the others drain the rest — and the minimum morsel size keeps
+  // the per-morsel overhead amortized.
+  std::vector<TidRange> morsels;
+  if (!serial) {
+    const uint64_t min_rows = std::max<uint64_t>(
+        1, options_.adaptive_serial_rows /
+               static_cast<uint64_t>(std::max(1, options_.morsels_per_thread)));
+    morsels = relation.CarveTidRanges(
+        workers * std::max(1, options_.morsels_per_thread), min_rows);
+    if (morsels.size() <= 1) serial = true;
+  }
+  if (serial) {
     sql::ExecStats stats;
-    Result<QueryResult> r = session.executor.ExecutePrepared(*plan, &stats);
+    Result<QueryResult> r =
+        session.executor.ExecutePrepared(plan, &stats, planned.memo.get());
+    stats.morsels += 1;
     RecordExec(stats, /*sharded=*/false);
     if (sink != nullptr && r.ok() && !r->hits.empty()) {
       (*sink)(std::span<const Hit>(r->hits));
@@ -148,7 +173,7 @@ Result<QueryResult> QueryService::RunSharded(
     return r;
   }
 
-  // Merge stage for streaming: per-shard results are deduplicated against
+  // Merge stage for streaming: per-morsel results are deduplicated against
   // everything already delivered, so sink batches are disjoint and their
   // union equals the DISTINCT result. The mutex also serializes sink calls.
   struct StreamMerge {
@@ -157,16 +182,24 @@ Result<QueryResult> QueryService::RunSharded(
   };
   auto merge = sink != nullptr ? std::make_shared<StreamMerge>() : nullptr;
 
-  std::vector<Result<QueryResult>> results(shards,
+  const int count = static_cast<int>(morsels.size());
+  std::vector<Result<QueryResult>> results(count,
                                            Result<QueryResult>(QueryResult{}));
-  std::vector<sql::ExecStats> stats(shards);
-  // The item lambda owns the plan (copied into RunOnPool's shared state),
-  // keeping it alive for helpers scheduled after the query completes.
-  RunOnPool(shards, [&session, plan, trees, shards, &results, &stats, sink,
-                     merge](int i) {
-    const int32_t lo = static_cast<int32_t>(int64_t{trees} * i / shards);
-    const int32_t hi = static_cast<int32_t>(int64_t{trees} * (i + 1) / shards);
-    results[i] = session.executor.ExecuteShard(*plan, lo, hi, &stats[i]);
+  std::vector<sql::ExecStats> stats(count);
+  std::atomic<uint64_t> steals{0};
+  // The item lambda owns the cache entry (plan + memo, copied into
+  // RunOnPool's shared state), keeping both alive for helpers scheduled
+  // after the query completes. The locals (`morsels`, `results`, ...) are
+  // captured by reference: a late helper never claims an item, so it never
+  // dereferences them after this frame returns.
+  RunOnPool(count, workers,
+            [&session, planned, &morsels, &results, &stats, &steals, sink,
+             merge](int i, int worker) {
+    const TidRange& slice = morsels[i];
+    results[i] = session.executor.ExecuteShard(
+        *planned.plan, slice.tid_lo, slice.tid_hi, &stats[i],
+        planned.memo.get());
+    if (worker > 0) steals.fetch_add(1, std::memory_order_relaxed);
     if (sink != nullptr && results[i].ok()) {
       std::vector<Hit> fresh;
       std::lock_guard<std::mutex> lock(merge->mu);
@@ -181,26 +214,29 @@ Result<QueryResult> QueryService::RunSharded(
   });
 
   sql::ExecStats total;
-  for (int i = 0; i < shards; ++i) total.Add(stats[i]);
+  for (int i = 0; i < count; ++i) total.Add(stats[i]);
+  total.morsels += static_cast<uint64_t>(count);
+  total.steal_count += steals.load(std::memory_order_relaxed);
   RecordExec(total, /*sharded=*/true);
   QueryResult merged;
-  for (int i = 0; i < shards; ++i) {
+  for (int i = 0; i < count; ++i) {
     if (!results[i].ok()) return results[i].status();
     merged.hits.insert(merged.hits.end(), results[i]->hits.begin(),
                        results[i]->hits.end());
   }
-  // Distinct bindings in different shards can project to the same output
+  // Distinct bindings in different morsels can project to the same output
   // node; Normalize dedups the concatenation.
   merged.Normalize();
   return merged;
 }
 
-void QueryService::RunOnPool(int items, std::function<void(int)> fn) {
+void QueryService::RunOnPool(int items, int max_workers,
+                             std::function<void(int, int)> fn) {
   // Shared by the submitting thread and the pool helpers. Helpers hold the
   // state (and through it `fn` and whatever it owns) alive even if they
   // only get scheduled after the call has returned and claim no item.
   struct State {
-    std::function<void(int)> fn;
+    std::function<void(int, int)> fn;
     int items;
     std::atomic<int> next{0};
     std::mutex mu;
@@ -211,18 +247,26 @@ void QueryService::RunOnPool(int items, std::function<void(int)> fn) {
   state->fn = std::move(fn);
   state->items = items;
 
-  auto drain = [state] {
+  // `worker` identifies the participant (0 = the submitting thread), so
+  // the caller can tell stolen claims from its own.
+  auto drain = [state](int worker) {
     for (;;) {
       const int i = state->next.fetch_add(1, std::memory_order_relaxed);
       if (i >= state->items) return;
-      state->fn(i);
+      state->fn(i, worker);
       std::lock_guard<std::mutex> lock(state->mu);
       if (++state->done == state->items) state->done_cv.notify_all();
     }
   };
-  const int helpers = std::min(pool_->size(), items) - 1;
-  for (int i = 0; i < helpers; ++i) pool_->Post(drain);
-  drain();  // the caller works too, so a busy pool cannot stall the call
+  const int helpers =
+      std::min({pool_->size(), items, std::max(1, max_workers)}) - 1;
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(static_cast<size_t>(std::max(0, helpers)));
+  for (int w = 1; w <= helpers; ++w) {
+    tasks.push_back([drain, w] { drain(w); });
+  }
+  pool_->Post(std::move(tasks));  // one lock round-trip for the whole fan-out
+  drain(0);  // the caller works too, so a busy pool cannot stall the call
   std::unique_lock<std::mutex> lock(state->mu);
   state->done_cv.wait(lock, [&state] { return state->done == state->items; });
 }
@@ -234,11 +278,12 @@ Result<QueryResult> QueryService::QueryOnce(const std::string& query,
   // same snapshot even if a swap lands mid-query.
   SessionPtr session = CurrentSession();
   Result<QueryResult> r = [&]() -> Result<QueryResult> {
-    LPATH_ASSIGN_OR_RETURN(std::shared_ptr<const sql::PreparedPlan> plan,
-                           GetPlanIn(*session, query));
-    if (sharded) return RunSharded(*session, std::move(plan), sink);
+    LPATH_ASSIGN_OR_RETURN(CachedPlan planned, GetPlanIn(*session, query));
+    if (sharded) return RunSharded(*session, std::move(planned), sink);
     sql::ExecStats stats;
-    Result<QueryResult> serial = session->executor.ExecutePrepared(*plan, &stats);
+    Result<QueryResult> serial = session->executor.ExecutePrepared(
+        *planned.plan, &stats, planned.memo.get());
+    stats.morsels += 1;
     RecordExec(stats, /*sharded=*/false);
     if (sink != nullptr && serial.ok() && !serial->hits.empty()) {
       (*sink)(std::span<const Hit>(serial->hits));
@@ -294,8 +339,9 @@ std::vector<Result<QueryResult>> QueryService::QueryBatch(
   if (queries.empty()) return results;
 
   // Workers claim whole queries; each runs serially so that concurrent
-  // batch items do not contend over intra-query shards.
-  RunOnPool(static_cast<int>(queries.size()), [this, &queries, &results](int i) {
+  // batch items do not contend over intra-query morsels.
+  RunOnPool(static_cast<int>(queries.size()), pool_->size(),
+            [this, &queries, &results](int i, int /*worker*/) {
     results[i] = QueryOnce(queries[i], /*sharded=*/false, /*sink=*/nullptr);
   });
   return results;

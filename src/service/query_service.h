@@ -14,12 +14,21 @@
 //     distinct query is parsed, compiled and optimized once and executed
 //     many times — including *negative* entries that cache the error of a
 //     malformed query instead of re-deriving it per submission;
-//   - a fixed thread pool running shard-parallel execution: one prepared
-//     plan fans out over a partition of the tree-id space (see
-//     sql::PlanExecutor::ExecuteShard) and the per-shard DISTINCT (tid,id)
-//     sets are merged. Fan-out is adaptive: a query whose root-variable
-//     cardinality estimate is tiny runs serially instead (the decision is
-//     visible as ExecStats::shards);
+//   - a fixed thread pool running morsel-driven parallel execution: the
+//     scheduler carves the tree-id space into ~morsels_per_thread×workers
+//     row-balanced morsels (storage::NodeRelation::CarveTidRanges over the
+//     per-tree row prefix sums, so a giant tree cannot serialize the whole
+//     query the way an even-by-tid split does on skewed corpora), workers
+//     pull morsels from a shared atomic claim cursor (work stealing for
+//     free — a worker stuck on a long morsel simply stops claiming while
+//     the others drain the rest), and sql::PlanExecutor::ExecuteShard is
+//     the per-morsel kernel whose DISTINCT (tid,id) sets are merged. All
+//     morsels consult one shared EXISTS memo (see CachedPlan::memo), so
+//     subquery answers are derived once per cached plan, not once per
+//     morsel per execution. Fan-out is adaptive: a query whose
+//     root-variable cardinality estimate is tiny runs serially instead.
+//     The decisions are visible as ExecStats::shards / ::morsels /
+//     ::steal_count / ::shared_memo_hits;
 //   - aggregated executor work counters and a latency reservoir with
 //     percentile summaries.
 //
@@ -54,10 +63,23 @@ namespace lpath {
 namespace service {
 
 struct QueryServiceOptions {
-  /// Worker threads; also the default shard fan-out of one query.
+  /// Worker threads; also the default parallelism of one query.
   int threads = 4;
-  /// Shards a single Query() splits into; 0 means one per thread.
+  /// Workers a single Query() fans out over; 0 means one per thread.
   int shards_per_query = 0;
+  /// Morsels carved per worker. Over-decomposition is what makes the
+  /// shared claim cursor balance skew: with ~4 morsels per worker, a
+  /// worker that lands on a giant tree holds one morsel while the others
+  /// pull the remaining 4w-1. 1 degenerates to static even-row shards.
+  int morsels_per_thread = 4;
+  /// Capacity of each cached plan's shared EXISTS memo, in entries. The
+  /// worst-case memo footprint of a session is plan_cache_capacity ×
+  /// exists_memo_entries × ~48 bytes (≈200 MB at the defaults), reached
+  /// only with a full LRU of saturated EXISTS-heavy plans — entries are
+  /// bounded by the correlation bindings actually probed, so small
+  /// corpora stay far below the cap. A full memo stops inserting, never
+  /// misanswers.
+  size_t exists_memo_entries = 1 << 14;
   /// Prepared plans kept by each session's LRU cache.
   size_t plan_cache_capacity = 256;
   sql::ExecOptions exec;
@@ -69,8 +91,10 @@ struct QueryServiceOptions {
   bool via_sql_text = false;
   /// Adaptive sharding: a query whose root-variable cardinality estimate
   /// falls below this many rows runs serially — fanning a tiny query out
-  /// costs more than it saves. 0 disables the heuristic (always shard when
-  /// the pool allows).
+  /// costs more than it saves. Also sizes the smallest morsel the planner
+  /// will carve (adaptive_serial_rows / morsels_per_thread rows). 0
+  /// disables both heuristics (always fan out when the pool allows, carve
+  /// down to single-tree morsels).
   size_t adaptive_serial_rows = 4096;
 };
 
@@ -191,20 +215,25 @@ class QueryService {
   };
   using SessionPtr = std::shared_ptr<const Session>;
 
-  Result<std::shared_ptr<const sql::PreparedPlan>> GetPlanIn(
-      const Session& session, const std::string& query);
+  /// Plan lookup returning the whole cache entry (plan + shared EXISTS
+  /// memo); the entry is always positive — errors surface as the Status.
+  Result<CachedPlan> GetPlanIn(const Session& session,
+                               const std::string& query);
   Result<std::shared_ptr<const sql::PreparedPlan>> PrepareUncached(
       const Session& session, const std::string& normalized);
-  Result<QueryResult> RunSharded(const Session& session,
-                                 std::shared_ptr<const sql::PreparedPlan> plan,
+  Result<QueryResult> RunSharded(const Session& session, CachedPlan planned,
                                  const RowSink* sink);
   Result<QueryResult> QueryOnce(const std::string& query, bool sharded,
                                 const RowSink* sink);
-  /// Runs fn(0..items-1) across the pool: helpers are posted for the other
-  /// workers while the calling thread drains the same claim counter, and
-  /// the call returns once every item has finished. A saturated pool
-  /// therefore degrades to serial execution instead of deadlocking.
-  void RunOnPool(int items, std::function<void(int)> fn);
+  /// Runs fn(0..items-1, worker) across the pool: helper tasks are bulk-
+  /// posted for up to max_workers-1 other workers while the calling thread
+  /// (worker 0) drains the same claim counter, and the call returns once
+  /// every item has finished. The shared counter is the morsel cursor:
+  /// whichever worker is free claims the next item, so skew balances
+  /// itself and a saturated pool degrades to serial execution instead of
+  /// deadlocking.
+  void RunOnPool(int items, int max_workers,
+                 std::function<void(int, int)> fn);
   void RecordExec(const sql::ExecStats& exec, bool sharded);
 
   SessionPtr CurrentSession() const;

@@ -30,6 +30,20 @@ void ThreadPool::Post(std::function<void()> task) {
   cv_.notify_one();
 }
 
+void ThreadPool::Post(std::vector<std::function<void()>> tasks) {
+  if (tasks.empty()) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (std::function<void()>& task : tasks) {
+      queue_.push_back(std::move(task));
+    }
+  }
+  // Counted notifies: more wake-ups than tasks (or sleepers) are wasted,
+  // and notify_all would stampede a large pool for a two-task batch.
+  const size_t wakes = std::min(tasks.size(), workers_.size());
+  for (size_t i = 0; i < wakes; ++i) cv_.notify_one();
+}
+
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;

@@ -32,6 +32,11 @@ class ThreadPool {
   /// Enqueues a task; never blocks.
   void Post(std::function<void()> task);
 
+  /// Enqueues a batch of tasks under one queue-lock acquisition — a
+  /// k-morsel fan-out is one lock round-trip, not k. Wakes up to
+  /// min(tasks, workers) sleepers; an empty batch is a no-op.
+  void Post(std::vector<std::function<void()>> tasks);
+
   int size() const { return static_cast<int>(workers_.size()); }
 
  private:

@@ -38,8 +38,9 @@ struct Bounds {
 
 class Runner {
  public:
-  Runner(const NodeRelation& rel, const ExecOptions& options, ExecStats* stats)
-      : rel_(rel), options_(options), stats_(stats) {}
+  Runner(const NodeRelation& rel, const ExecOptions& options, ExecStats* stats,
+         ExistsMemo* shared_memo)
+      : rel_(rel), options_(options), stats_(stats), shared_memo_(shared_memo) {}
 
   Status Run(const PreparedPlan& pp, QueryResult* out) {
     return RunShard(pp, 0, kMaxInt, out);
@@ -145,7 +146,11 @@ class Runner {
     // the unsatisfiable sentinel, so an impossible EXISTS enumerates
     // nothing and evaluates to false here.
 
-    // Memoize on the single correlation variable when there is one.
+    // Memoize on the single correlation variable when there is one. The
+    // run-private map is consulted first (no lock), then the shared table
+    // that spans all morsels of the query and all executions of a cached
+    // plan; a shared hit is copied into the private map so the stripe lock
+    // is paid once per (run, binding).
     const int outer_var = f.pp->sub_outer_var.at(&e);
     uint64_t memo_key = 0;
     std::unordered_map<uint64_t, bool>* memo = nullptr;
@@ -157,6 +162,13 @@ class Runner {
         if (stats_ != nullptr) stats_->memo_hits += 1;
         return it->second;
       }
+      if (shared_memo_ != nullptr) {
+        if (std::optional<bool> hit = shared_memo_->Lookup(&e, memo_key)) {
+          if (stats_ != nullptr) stats_->shared_memo_hits += 1;
+          memo->emplace(memo_key, *hit);
+          return *hit;
+        }
+      }
     }
     if (stats_ != nullptr) stats_->subqueries += 1;
 
@@ -165,7 +177,10 @@ class Runner {
     sub_frame.bound.assign(sub.plan.num_vars, kNoRow);
     sub_frame.parent = &f;
     const bool found = Extend(sub_frame, 0, /*out=*/nullptr);
-    if (memo != nullptr) memo->emplace(memo_key, found);
+    if (memo != nullptr) {
+      memo->emplace(memo_key, found);
+      if (shared_memo_ != nullptr) shared_memo_->Insert(&e, memo_key, found);
+    }
     return found;
   }
 
@@ -460,6 +475,7 @@ class Runner {
   const NodeRelation& rel_;
   const ExecOptions& options_;
   ExecStats* stats_;
+  ExistsMemo* shared_memo_;
   const PreparedPlan* root_pp_ = nullptr;
   int32_t shard_lo_ = 0;
   int32_t shard_hi_ = kMaxInt;
@@ -478,9 +494,10 @@ Result<QueryResult> PlanExecutor::Execute(const ExecPlan& plan,
 }
 
 Result<QueryResult> PlanExecutor::ExecutePrepared(const PreparedPlan& pp,
-                                                  ExecStats* stats) const {
+                                                  ExecStats* stats,
+                                                  ExistsMemo* shared_memo) const {
   if (stats != nullptr) stats->shards += 1;
-  Runner runner(rel_, options_, stats);
+  Runner runner(rel_, options_, stats, shared_memo);
   QueryResult out;
   LPATH_RETURN_IF_ERROR(runner.Run(pp, &out));
   return out;
@@ -488,9 +505,10 @@ Result<QueryResult> PlanExecutor::ExecutePrepared(const PreparedPlan& pp,
 
 Result<QueryResult> PlanExecutor::ExecuteShard(const PreparedPlan& pp,
                                                int32_t tid_lo, int32_t tid_hi,
-                                               ExecStats* stats) const {
+                                               ExecStats* stats,
+                                               ExistsMemo* shared_memo) const {
   if (stats != nullptr) stats->shards += 1;
-  Runner runner(rel_, options_, stats);
+  Runner runner(rel_, options_, stats, shared_memo);
   QueryResult out;
   LPATH_RETURN_IF_ERROR(runner.RunShard(pp, tid_lo, tid_hi, &out));
   return out;

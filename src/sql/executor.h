@@ -16,6 +16,7 @@
 
 #include "common/result.h"
 #include "lpath/engine.h"
+#include "sql/exists_memo.h"
 #include "sql/optimizer.h"
 #include "storage/snapshot.h"
 
@@ -27,11 +28,22 @@ struct ExecStats {
   uint64_t candidates = 0;   ///< rows enumerated from access paths
   uint64_t bindings = 0;     ///< rows surviving conjuncts + filters
   uint64_t subqueries = 0;   ///< EXISTS evaluations (after memo hits)
-  uint64_t memo_hits = 0;
+  uint64_t memo_hits = 0;    ///< run-private EXISTS memo hits
+  /// Hits in the *shared* EXISTS memo (see sql::ExistsMemo): subquery
+  /// answers reused across the morsels of a query or across executions of
+  /// one cached plan, rather than re-derived by this run.
+  uint64_t shared_memo_hits = 0;
   /// Plan executions: each ExecutePrepared/ExecuteShard call contributes 1,
   /// so rolled up per query this is the fan-out the service chose — 1 means
   /// the adaptive heuristic ran the query serially.
   uint64_t shards = 0;
+  /// Morsels the service's scheduler carved the query into (1 = serial).
+  /// Set by the scheduler, not by the executor: a raw ExecuteShard call is
+  /// a kernel invocation, not a scheduling decision.
+  uint64_t morsels = 0;
+  /// Morsels claimed by pool helper threads rather than the submitting
+  /// thread — the work-stealing share of the fan-out (also scheduler-set).
+  uint64_t steal_count = 0;
 
   /// Accumulates another run's counters (per-shard stats roll up).
   void Add(const ExecStats& o) {
@@ -39,7 +51,10 @@ struct ExecStats {
     bindings += o.bindings;
     subqueries += o.subqueries;
     memo_hits += o.memo_hits;
+    shared_memo_hits += o.shared_memo_hits;
     shards += o.shards;
+    morsels += o.morsels;
+    steal_count += o.steal_count;
   }
 };
 
@@ -64,9 +79,13 @@ class PlanExecutor {
   Result<QueryResult> Execute(const ExecPlan& plan,
                               ExecStats* stats = nullptr) const;
 
-  /// Runs an already prepared plan.
+  /// Runs an already prepared plan. `shared_memo`, when non-null, is a
+  /// cross-run EXISTS memo consulted before (and filled alongside) the
+  /// run-private one; it must have been filled only against this (plan,
+  /// relation) pair — see sql::ExistsMemo for the contract.
   Result<QueryResult> ExecutePrepared(const PreparedPlan& pp,
-                                      ExecStats* stats = nullptr) const;
+                                      ExecStats* stats = nullptr,
+                                      ExistsMemo* shared_memo = nullptr) const;
 
   /// Runs one shard of a prepared plan: the root frame's candidate
   /// enumeration is constrained to trees with tid in [tid_lo, tid_hi).
@@ -74,10 +93,12 @@ class PlanExecutor {
   /// the shard results over a partition of the tid space — deduplicated,
   /// since distinct bindings in different shards may project to the same
   /// output node — equals ExecutePrepared's result. Safe to call
-  /// concurrently from many threads with one shared PreparedPlan.
+  /// concurrently from many threads with one shared PreparedPlan (and one
+  /// shared ExistsMemo — the morsel scheduler passes the same memo to
+  /// every concurrent kernel invocation of a query).
   Result<QueryResult> ExecuteShard(const PreparedPlan& pp, int32_t tid_lo,
-                                   int32_t tid_hi,
-                                   ExecStats* stats = nullptr) const;
+                                   int32_t tid_hi, ExecStats* stats = nullptr,
+                                   ExistsMemo* shared_memo = nullptr) const;
 
   const ExecOptions& options() const { return options_; }
   const NodeRelation& relation() const { return rel_; }

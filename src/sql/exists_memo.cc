@@ -1,0 +1,42 @@
+#include "sql/exists_memo.h"
+
+#include <algorithm>
+
+namespace lpath {
+namespace sql {
+
+ExistsMemo::ExistsMemo(size_t max_entries)
+    : per_stripe_capacity_(std::max<size_t>(1, max_entries / kStripes)) {}
+
+std::optional<bool> ExistsMemo::Lookup(const void* sub,
+                                       uint64_t binding) const {
+  const Key key{sub, binding};
+  Stripe& stripe = StripeFor(key);
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  const auto it = stripe.map.find(key);
+  if (it == stripe.map.end()) return std::nullopt;
+  return it->second;
+}
+
+void ExistsMemo::Insert(const void* sub, uint64_t binding, bool value) {
+  const Key key{sub, binding};
+  Stripe& stripe = StripeFor(key);
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  if (stripe.map.size() >= per_stripe_capacity_ &&
+      stripe.map.find(key) == stripe.map.end()) {
+    return;  // full: drop the insert, keep serving lookups
+  }
+  stripe.map.insert_or_assign(key, value);
+}
+
+size_t ExistsMemo::size() const {
+  size_t total = 0;
+  for (const Stripe& s : stripes_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    total += s.map.size();
+  }
+  return total;
+}
+
+}  // namespace sql
+}  // namespace lpath

@@ -1,0 +1,95 @@
+// A shared, striped memo table for EXISTS subquery results.
+//
+// The executor memoizes correlated EXISTS subplans on their correlation
+// binding. Historically that map was private to one Runner, so every
+// shard of a parallel query — and every re-execution of a cached plan —
+// re-derived the same subquery answers. An ExistsMemo hoists the map out:
+// it is keyed by (subplan expression, correlation binding row) and safe
+// for concurrent readers and writers, so all morsels of a query, and all
+// executions sharing one prepared plan, consult a single table.
+//
+// Correctness contract: an entry is a pure function of (subplan, binding
+// row) over one immutable NodeRelation, so a memo must never outlive the
+// (prepared plan, relation) pair it was filled against. The service pairs
+// each cached plan with its own memo and drops both together — on LRU
+// eviction and on snapshot hot swap (sessions are rebuilt), so stale
+// entries are unreachable by construction.
+//
+// Locking is striped: the key hash picks one of kStripes independently
+// locked hash maps, so concurrent morsels rarely contend. Insertion stops
+// when a stripe reaches its capacity share (lookups keep working); a
+// bounded memo degrades to recomputation, never to wrong answers.
+
+#ifndef LPATHDB_SQL_EXISTS_MEMO_H_
+#define LPATHDB_SQL_EXISTS_MEMO_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+
+namespace lpath {
+namespace sql {
+
+class ExistsMemo {
+ public:
+  /// A memo holding at most ~`max_entries` results (split over the
+  /// stripes; at least one per stripe).
+  explicit ExistsMemo(size_t max_entries = kDefaultMaxEntries);
+
+  ExistsMemo(const ExistsMemo&) = delete;
+  ExistsMemo& operator=(const ExistsMemo&) = delete;
+
+  /// The memoized result for `sub` evaluated under `binding`, if present.
+  std::optional<bool> Lookup(const void* sub, uint64_t binding) const;
+
+  /// Records a result. Duplicate inserts are benign (both racers computed
+  /// the same pure function); inserts into a full stripe are dropped.
+  void Insert(const void* sub, uint64_t binding, bool value);
+
+  /// Entries currently held (approximate under concurrent inserts).
+  size_t size() const;
+
+  static constexpr size_t kDefaultMaxEntries = 1 << 20;
+
+ private:
+  static constexpr size_t kStripes = 16;
+
+  struct Key {
+    const void* sub;
+    uint64_t binding;
+    bool operator==(const Key& o) const {
+      return sub == o.sub && binding == o.binding;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      // splitmix64-style mix of the two words.
+      uint64_t h = reinterpret_cast<uintptr_t>(k.sub) ^
+                   (k.binding + 0x9e3779b97f4a7c15ULL);
+      h ^= h >> 30;
+      h *= 0xbf58476d1ce4e5b9ULL;
+      h ^= h >> 27;
+      h *= 0x94d049bb133111ebULL;
+      h ^= h >> 31;
+      return static_cast<size_t>(h);
+    }
+  };
+  struct Stripe {
+    mutable std::mutex mu;
+    std::unordered_map<Key, bool, KeyHash> map;
+  };
+
+  Stripe& StripeFor(const Key& k) const {
+    return stripes_[KeyHash{}(k) & (kStripes - 1)];
+  }
+
+  const size_t per_stripe_capacity_;
+  mutable Stripe stripes_[kStripes];
+};
+
+}  // namespace sql
+}  // namespace lpath
+
+#endif  // LPATHDB_SQL_EXISTS_MEMO_H_

@@ -183,7 +183,43 @@ Result<NodeRelation> NodeRelation::Build(std::shared_ptr<const Corpus> owned,
       return Status::Corruption("element id space has holes");
     }
   }
+
+  // 8. Per-tree row mass prefix sums (morsel planner statistics). Counted
+  // from the columns rather than the corpus so attribute rows are included.
+  rel.tree_row_prefix_.assign(rel.tree_count_ + 1, 0);
+  for (Row r = 0; r < n; ++r) rel.tree_row_prefix_[rel.tid_[r] + 1] += 1;
+  for (size_t t = 1; t < rel.tree_row_prefix_.size(); ++t) {
+    rel.tree_row_prefix_[t] += rel.tree_row_prefix_[t - 1];
+  }
   return rel;
+}
+
+std::vector<TidRange> NodeRelation::CarveTidRanges(int target_ranges,
+                                                   uint64_t min_rows) const {
+  std::vector<TidRange> out;
+  if (tree_count_ <= 0 || row_count() == 0) return out;
+  const uint64_t total = tree_row_prefix_.back();
+  const uint64_t per_range =
+      (total + static_cast<uint64_t>(std::max(1, target_ranges)) - 1) /
+      static_cast<uint64_t>(std::max(1, target_ranges));
+  const uint64_t target = std::max<uint64_t>(std::max<uint64_t>(1, min_rows),
+                                             per_range);
+  int32_t lo = 0;
+  while (lo < tree_count_) {
+    // First boundary whose prefix reaches the target mass: the range ends
+    // after the tree that crosses it, so a giant tree never splits (the
+    // shard kernel is tid-range based) but never drags neighbours along
+    // either once the target is met.
+    const uint64_t want = tree_row_prefix_[lo] + target;
+    auto it = std::lower_bound(tree_row_prefix_.begin() + lo + 1,
+                               tree_row_prefix_.end(), want);
+    int32_t hi =
+        static_cast<int32_t>(it - tree_row_prefix_.begin());
+    hi = std::min(hi, tree_count_);
+    out.push_back(TidRange{lo, hi, tree_row_prefix_[hi] - tree_row_prefix_[lo]});
+    lo = hi;
+  }
+  return out;
 }
 
 RowRange NodeRelation::run(Symbol name) const {
@@ -333,6 +369,7 @@ size_t NodeRelation::MemoryBytes() const {
            sizeof(Row);
   bytes += (value_offsets_.size() + tree_base_.size() + attr_offsets_.size()) *
            sizeof(uint32_t);
+  bytes += tree_row_prefix_.size() * sizeof(uint64_t);
   return bytes;
 }
 

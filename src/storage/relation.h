@@ -40,6 +40,15 @@ struct RowRange {
   size_t size() const { return end - begin; }
 };
 
+/// A half-open slice [tid_lo, tid_hi) of the tree-id space together with
+/// the total relation rows (elements + attributes) its trees hold. The
+/// unit of work of the morsel-driven parallel executor.
+struct TidRange {
+  int32_t tid_lo = 0;
+  int32_t tid_hi = 0;
+  uint64_t rows = 0;
+};
+
 /// Element or attribute row.
 enum class RowKind : uint8_t { kElement = 0, kAttribute = 1 };
 
@@ -156,6 +165,28 @@ class NodeRelation {
   size_t ValueCardinality(Symbol v) const { return ValueRange(v).size(); }
   size_t element_count() const { return element_count_; }
 
+  // --- Per-tree row statistics (for the morsel planner) ---------------------
+  /// Rows (elements + attributes) of tree t. O(1) via the prefix sums.
+  uint64_t TreeRowCount(int32_t t) const {
+    return tree_row_prefix_[t + 1] - tree_row_prefix_[t];
+  }
+  /// Total rows of all trees with tid < t (prefix sum over the tid space);
+  /// TreeRowsBefore(tree_count()) == row_count().
+  uint64_t TreeRowsBefore(int32_t t) const { return tree_row_prefix_[t]; }
+
+  /// Carves the tid space into at most ~`target_ranges` contiguous slices
+  /// of roughly equal *row mass* (not tree count): boundaries are binary
+  /// searches over the per-tree row prefix sums, so a run of tiny trees is
+  /// coalesced into one slice and a giant tree gets a slice of its own.
+  /// Every slice except possibly the last holds at least
+  /// max(min_rows, ceil(row_count / target_ranges)) rows, and no slice
+  /// exceeds that target by more than its final tree — the balance
+  /// guarantee skewed corpora need, where the even-by-tid split puts an
+  /// unbounded share of the rows into whichever slice holds the longest
+  /// sentences. Returns an empty vector for an empty relation.
+  std::vector<TidRange> CarveTidRanges(int target_ranges,
+                                       uint64_t min_rows = 1) const;
+
   /// Memory used by columns + indexes, for reports.
   size_t MemoryBytes() const;
 
@@ -186,6 +217,10 @@ class NodeRelation {
   // dense offset table per value symbol.
   std::vector<Row> value_index_;
   std::vector<uint32_t> value_offsets_;  // size = interner.end_id() + 1
+
+  // Per-tree row mass: tree_row_prefix_[t] = rows with tid < t (size
+  // tree_count_ + 1). Feeds the morsel planner's balanced carving.
+  std::vector<uint64_t> tree_row_prefix_;
 
   // (tid, id) -> element row: per-tree base into elem_row_.
   std::vector<uint32_t> tree_base_;  // size = tree_count_ + 1

@@ -41,6 +41,29 @@ TEST(ThreadPoolTest, RunsEveryTask) {
   EXPECT_EQ(counter.load(), 1100);
 }
 
+TEST(ThreadPoolTest, BulkPostRunsEveryTaskOfEveryBatch) {
+  std::atomic<int> counter{0};
+  {
+    service::ThreadPool pool(3);
+    // Mixed batch sizes, including empty (a no-op) and larger than the
+    // pool, interleaved with single posts — both enqueue paths share the
+    // FIFO and the drain-on-destruction contract.
+    for (int round = 0; round < 50; ++round) {
+      std::vector<std::function<void()>> batch;
+      for (int i = 0; i < round % 7; ++i) {
+        batch.push_back([&counter] { counter.fetch_add(1); });
+      }
+      pool.Post(std::move(batch));
+      pool.Post([&counter] { counter.fetch_add(1); });
+    }
+    pool.Post(std::vector<std::function<void()>>{});
+  }
+  // 50 rounds of (round % 7) batch tasks + 50 singles.
+  int expected = 50;
+  for (int round = 0; round < 50; ++round) expected += round % 7;
+  EXPECT_EQ(counter.load(), expected);
+}
+
 TEST(PlanCacheTest, NormalizeCollapsesWhitespace) {
   EXPECT_EQ(service::NormalizeQueryText("  //NP  [ @lex = 'saw' ]  "),
             "//NP [ @lex = 'saw' ]");
@@ -62,6 +85,7 @@ TEST(PlanCacheTest, LruEvictsOldestAndCountsStats) {
   service::PlanCache cache(2);
   auto plan = [] {
     return service::CachedPlan{std::make_shared<sql::PreparedPlan>(),
+                               std::make_shared<sql::ExistsMemo>(),
                                Status::OK()};
   };
   EXPECT_FALSE(cache.Get("a").has_value());
@@ -84,7 +108,7 @@ TEST(PlanCacheTest, LruEvictsOldestAndCountsStats) {
 TEST(PlanCacheTest, NegativeEntriesShareTheLruAndCountHits) {
   service::PlanCache cache(2);
   cache.Put("bad", service::CachedPlan{
-                       nullptr, Status::InvalidArgument("parse error")});
+                       nullptr, nullptr, Status::InvalidArgument("parse error")});
   std::optional<service::CachedPlan> hit = cache.Get("bad");
   ASSERT_TRUE(hit.has_value());
   EXPECT_TRUE(hit->negative());
