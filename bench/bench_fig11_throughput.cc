@@ -220,7 +220,9 @@ void PrintTables() {
 void MaybeWriteJson() {
   const char* path = std::getenv("LPATHDB_BENCH_JSON");
   if (path == nullptr || path[0] == '\0') return;
-  std::map<std::string, std::string> extra;
+  // Stamped with git SHA / compiler / nproc so uploaded trajectories are
+  // diffable across runs and runners (bench/bench_diff.py reads these).
+  std::map<std::string, std::string> extra = RunMetadataJson();
   extra["benchmark"] = "\"fig11\"";
   extra["unit"] = "\"seconds per 23-query suite pass\"";
   extra["sentences"] = std::to_string(BenchmarkSentences());

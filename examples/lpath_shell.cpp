@@ -15,9 +15,14 @@
 //   .engines <query>   run on all engines that can express it and compare
 //   .stats             corpus statistics (Figure 6a/6b style)
 //   :open NAME FILE    load a bracketed treebank as corpus NAME and use it
+//   :save FILE         write the current corpus's relation as a persistent
+//                      image (mmap-able; see storage/image.h)
+//   :load NAME FILE    mmap a persistent image as corpus NAME and use it —
+//                      O(file size), no labeling or sorting
 //   :use NAME          switch queries to corpus NAME
 //   :corpora           list attached corpora (snapshot ids, sizes)
 //   :reload            rebuild the current corpus's index and hot-swap it
+//                      (an image-backed corpus re-opens its image)
 //   :threads N         rebuild every query service with N threads
 //                      (plan caches and stats start fresh)
 //   :cache             plan-cache and latency statistics
@@ -52,6 +57,8 @@ void PrintHelp() {
       "  .engines <query>  compare the relational and navigational engines\n"
       "  .stats            corpus statistics\n"
       "  :open NAME FILE   load a bracketed treebank as corpus NAME, use it\n"
+      "  :save FILE        write the current relation as a persistent image\n"
+      "  :load NAME FILE   mmap a persistent image as corpus NAME, use it\n"
       "  :use NAME         switch queries to corpus NAME\n"
       "  :corpora          list attached corpora\n"
       "  :reload           rebuild the current index and hot-swap it\n"
@@ -153,8 +160,8 @@ int main(int argc, char** argv) {
   std::printf(
       "lpath_shell — corpus '%s': %zu trees, %zu nodes, %d query threads. "
       "Type .help for help.\n",
-      current.c_str(), view.snap->corpus().size(),
-      view.snap->corpus().TotalNodes(), db.service(current)->threads());
+      current.c_str(), static_cast<size_t>(view.snap->relation().tree_count()),
+      view.snap->relation().element_count(), db.service(current)->threads());
 
   std::string line;
   while (std::printf("lpath:%s> ", current.c_str()), std::fflush(stdout),
@@ -171,6 +178,17 @@ int main(int argc, char** argv) {
       continue;
     }
     if (input == ".stats") {
+      if (view.snap->image_backed()) {
+        std::printf("'%s' is image-backed (%s): %d trees, %zu relation "
+                    "rows, %s mapped bytes; bracketed text not stored\n",
+                    current.c_str(), view.snap->image_path().c_str(),
+                    view.snap->relation().tree_count(),
+                    view.snap->relation().row_count(),
+                    FormatWithCommas(static_cast<int64_t>(
+                        view.snap->relation().MemoryBytes()))
+                        .c_str());
+        continue;
+      }
       CorpusStats stats = ComputeStats(view.snap->corpus());
       std::printf("trees %zu, nodes %zu, words %zu, unique tags %zu, "
                   "max depth %d, bracketed size %s bytes\n",
@@ -201,6 +219,47 @@ int main(int argc, char** argv) {
       std::printf("opened '%s': %zu trees, %zu nodes (now current)\n",
                   name.c_str(), view.snap->corpus().size(),
                   view.snap->corpus().TotalNodes());
+      continue;
+    }
+    if (StartsWith(input, ":save ")) {
+      const std::string file(StripWhitespace(input.substr(6)));
+      if (file.empty()) {
+        std::printf("usage: :save FILE\n");
+        continue;
+      }
+      Timer timer;
+      Status s = view.snap->Save(file);
+      if (!s.ok()) {
+        std::printf("error: %s\n", s.ToString().c_str());
+        continue;
+      }
+      std::printf("saved '%s' as image %s (%.1f ms); :load it in O(file "
+                  "size)\n",
+                  current.c_str(), file.c_str(),
+                  timer.ElapsedSeconds() * 1e3);
+      continue;
+    }
+    if (StartsWith(input, ":load ")) {
+      std::istringstream args(input.substr(6));
+      std::string name, file;
+      args >> name >> file;
+      if (name.empty() || file.empty()) {
+        std::printf("usage: :load NAME FILE\n");
+        continue;
+      }
+      Timer timer;
+      Status s = db.OpenImage(name, file);
+      if (!s.ok()) {
+        std::printf("error: %s\n", s.ToString().c_str());
+        continue;
+      }
+      current = name;
+      view.Refresh(db.snapshot(current));
+      std::printf("mapped '%s': %d trees, %zu relation rows in %.1f ms — "
+                  "no labeling, no sorting (now current)\n",
+                  name.c_str(), view.snap->relation().tree_count(),
+                  view.snap->relation().row_count(),
+                  timer.ElapsedSeconds() * 1e3);
       continue;
     }
     if (StartsWith(input, ":use ")) {
@@ -270,6 +329,13 @@ int main(int argc, char** argv) {
       continue;
     }
     if (StartsWith(input, ".engines ")) {
+      if (view.snap->image_backed()) {
+        std::printf("engine comparison needs corpus trees; '%s' is "
+                    "image-backed (the relational engine is what :load "
+                    "serves)\n",
+                    current.c_str());
+        continue;
+      }
       const std::string q = input.substr(9);
       for (const QueryEngine* e : std::initializer_list<const QueryEngine*>{
                view.lpath.get(), view.nav.get()}) {
@@ -300,6 +366,7 @@ int main(int argc, char** argv) {
     }
     std::printf("%zu matches (%.3f ms)\n", r->count(),
                 timer.ElapsedSeconds() * 1e3);
+    if (snap->image_backed()) continue;  // no bracketed text to print
     int shown = 0;
     int32_t last_tid = -1;
     for (const Hit& hit : r->hits) {

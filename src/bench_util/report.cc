@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <sstream>
+#include <thread>
 
 #include "common/str_util.h"
 
@@ -110,6 +112,31 @@ std::string ReportTable::RenderJson(
   }
   os << "\n  ]\n}\n";
   return os.str();
+}
+
+std::map<std::string, std::string> RunMetadataJson() {
+  auto quote = [](const std::string& s) {
+    std::string out = "\"";
+    for (char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    out += '"';
+    return out;
+  };
+  std::map<std::string, std::string> meta;
+  const char* sha = std::getenv("GITHUB_SHA");
+  if (sha == nullptr || sha[0] == '\0') sha = std::getenv("LPATHDB_GIT_SHA");
+  meta["git_sha"] = quote(sha != nullptr && sha[0] != '\0' ? sha : "unknown");
+#if defined(__clang__)
+  meta["compiler"] = quote(std::string("clang ") + __clang_version__);
+#elif defined(__GNUC__)
+  meta["compiler"] = quote(std::string("gcc ") + __VERSION__);
+#else
+  meta["compiler"] = quote("unknown");
+#endif
+  meta["nproc"] = std::to_string(std::thread::hardware_concurrency());
+  return meta;
 }
 
 }  // namespace bench

@@ -60,6 +60,16 @@ class ReportTable {
 /// Formats seconds with an adaptive unit (µs / ms / s).
 std::string FormatSeconds(double seconds);
 
+/// Run-identifying metadata for the BENCH_*.json trajectories, as
+/// RenderJson `extra` entries (values already JSON-encoded):
+///   git_sha   — GITHUB_SHA or LPATHDB_GIT_SHA env, else "unknown"
+///   compiler  — compiling toolchain and version
+///   nproc     — std::thread::hardware_concurrency()
+/// Stamping these makes trajectories diffable across CI runs and runners
+/// (bench_diff.py warns when nproc or scale differ instead of comparing
+/// apples to oranges).
+std::map<std::string, std::string> RunMetadataJson();
+
 }  // namespace bench
 }  // namespace lpath
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "storage/image.h"
 #include "tree/bracket_io.h"
 
 namespace lpath {
@@ -77,12 +78,34 @@ Status Database::OpenCorpus(const std::string& name, Corpus corpus) {
 }
 
 Status Database::Open(const std::string& name, const std::string& path) {
+  if (LooksLikeImageFile(path)) return OpenImage(name, path);
   Corpus corpus;
   LPATH_RETURN_IF_ERROR(LoadBracketFile(path, &corpus));
   if (corpus.empty()) {
     return Status::InvalidArgument("no trees in " + path);
   }
   return OpenCorpus(name, std::move(corpus));
+}
+
+Status Database::OpenImage(const std::string& name, const std::string& path) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Fast-fail before mapping + checksumming; Attach re-checks
+    // authoritatively for the racing case.
+    if (catalog_.count(name) > 0) {
+      return Status::AlreadyExists("corpus already attached: " + name);
+    }
+  }
+  LPATH_ASSIGN_OR_RETURN(SnapshotPtr snapshot, CorpusSnapshot::Open(path));
+  return Attach(name, std::move(snapshot));
+}
+
+Status Database::Save(const std::string& name, const std::string& path) const {
+  SnapshotPtr snap = snapshot(name);
+  if (snap == nullptr) {
+    return Status::NotFound("corpus not attached: " + name);
+  }
+  return snap->Save(path);
 }
 
 Status Database::Swap(const std::string& name, SnapshotPtr snapshot) {
@@ -230,7 +253,9 @@ std::vector<CorpusInfo> Database::List() const {
   {
     std::lock_guard<std::mutex> lock(mu_);
     rows.reserve(catalog_.size());
-    for (const auto& [name, service] : catalog_) rows.emplace_back(name, service);
+    for (const auto& [name, service] : catalog_) {
+      rows.emplace_back(name, service);
+    }
   }
   std::sort(rows.begin(), rows.end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });
@@ -241,8 +266,10 @@ std::vector<CorpusInfo> Database::List() const {
     CorpusInfo info;
     info.name = name;
     info.snapshot_id = snap->id();
-    info.trees = snap->corpus().size();
-    info.nodes = snap->corpus().TotalNodes();
+    // Counted from the relation, not the corpus: an image-backed snapshot
+    // serves mapped columns over a tree-less corpus.
+    info.trees = static_cast<size_t>(snap->relation().tree_count());
+    info.nodes = snap->relation().element_count();
     info.relation_bytes = snap->relation().MemoryBytes();
     info.threads = service->threads();
     out.push_back(std::move(info));

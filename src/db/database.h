@@ -77,8 +77,20 @@ class Database {
   /// Builds a snapshot from `corpus` (consumed) and attaches it.
   Status OpenCorpus(const std::string& name, Corpus corpus);
 
-  /// Loads a Penn-bracketed treebank file and attaches it as `name`.
+  /// Attaches the file at `path` as corpus `name`. Sniffs the format: a
+  /// persistent relation image (see storage/image.h) is mmap-opened in
+  /// O(file size) with no labeling or sorting; anything else is loaded as
+  /// a Penn-bracketed treebank and its relation is built in memory.
   Status Open(const std::string& name, const std::string& path);
+
+  /// Attaches a persistent relation image explicitly (errors if `path` is
+  /// not an image).
+  Status OpenImage(const std::string& name, const std::string& path);
+
+  /// Writes corpus `name`'s current snapshot as a persistent relation
+  /// image at `path`; a later Open/OpenImage of that file serves the same
+  /// relation without rebuilding it. NotFound if `name` is not attached.
+  Status Save(const std::string& name, const std::string& path) const;
 
   /// Atomically publishes `snapshot` as the current version of `name`.
   /// In-flight queries finish on the snapshot they started with; queries

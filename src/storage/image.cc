@@ -1,0 +1,620 @@
+#include "storage/image.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "tree/corpus.h"
+
+namespace lpath {
+
+namespace {
+
+// Columns are written as raw arrays; the layout must be exactly what the
+// accessors read back out of the mapping.
+static_assert(std::is_trivially_copyable_v<RowRange> && sizeof(RowRange) == 8,
+              "RowRange is serialized as two packed uint32 words");
+static_assert(sizeof(Symbol) == 4 && sizeof(Row) == 4,
+              "symbol/row ids are serialized as uint32 words");
+
+/// Detects a foreign-endian (or otherwise bit-incompatible) writer.
+constexpr uint32_t kEndianMarker = 0x01020304u;
+
+/// Section payload alignment: every offset is a multiple of 8, so uint64
+/// sections read directly from the page-aligned mapping.
+constexpr uint64_t kSectionAlign = 8;
+
+/// One section per column/index array, in this fixed order.
+enum SectionKind : uint32_t {
+  kSecTid = 1,
+  kSecLeft,
+  kSecRight,
+  kSecDepth,
+  kSecId,
+  kSecPid,
+  kSecName,
+  kSecValue,
+  kSecKind,
+  kSecRuns,
+  kSecByRight,
+  kSecByPid,
+  kSecValueIndex,
+  kSecValueOffsets,
+  kSecTreeRowPrefix,
+  kSecTreeBase,
+  kSecElemRow,
+  kSecAttrOffsets,
+  kSecAttrRows,
+  kSecInternerOffsets,
+  kSecInternerBlob,
+};
+constexpr uint32_t kSectionCount = 21;
+
+/// The one place the section order and element widths are defined; Save
+/// emits sections in this order and Open validates against it, so the two
+/// cannot drift apart (the per-section *count* invariants are semantic and
+/// live in Open).
+struct SectionSpec {
+  uint32_t kind;
+  uint32_t elem_size;
+};
+
+/// Positions within kSectionSpecs / the on-disk section table. Everything
+/// that addresses a section by position uses these names, so inserting or
+/// reordering sections is a compile-visible change, not a renumbering hunt.
+enum SectionIndex : uint32_t {
+  kIdxTid = 0,
+  kIdxLeft,
+  kIdxRight,
+  kIdxDepth,
+  kIdxId,
+  kIdxPid,
+  kIdxName,
+  kIdxValue,
+  kIdxKind,
+  kIdxRuns,
+  kIdxByRight,
+  kIdxByPid,
+  kIdxValueIndex,
+  kIdxValueOffsets,
+  kIdxTreeRowPrefix,
+  kIdxTreeBase,
+  kIdxElemRow,
+  kIdxAttrOffsets,
+  kIdxAttrRows,
+  kIdxInternerOffsets,
+  kIdxInternerBlob,
+};
+static_assert(kIdxInternerBlob + 1 == kSectionCount);
+constexpr SectionSpec kSectionSpecs[kSectionCount] = {
+    {kSecTid, sizeof(int32_t)},
+    {kSecLeft, sizeof(int32_t)},
+    {kSecRight, sizeof(int32_t)},
+    {kSecDepth, sizeof(int32_t)},
+    {kSecId, sizeof(int32_t)},
+    {kSecPid, sizeof(int32_t)},
+    {kSecName, sizeof(Symbol)},
+    {kSecValue, sizeof(Symbol)},
+    {kSecKind, sizeof(uint8_t)},
+    {kSecRuns, sizeof(RowRange)},
+    {kSecByRight, sizeof(Row)},
+    {kSecByPid, sizeof(Row)},
+    {kSecValueIndex, sizeof(Row)},
+    {kSecValueOffsets, sizeof(uint32_t)},
+    {kSecTreeRowPrefix, sizeof(uint64_t)},
+    {kSecTreeBase, sizeof(uint32_t)},
+    {kSecElemRow, sizeof(Row)},
+    {kSecAttrOffsets, sizeof(uint32_t)},
+    {kSecAttrRows, sizeof(Row)},
+    {kSecInternerOffsets, sizeof(uint64_t)},
+    {kSecInternerBlob, sizeof(char)},
+};
+
+struct ImageHeader {
+  char magic[8];
+  uint32_t version = 0;
+  uint32_t endian = 0;
+  uint32_t scheme = 0;
+  uint32_t section_count = 0;
+  uint32_t tree_count = 0;
+  uint32_t reserved = 0;
+  uint64_t row_count = 0;
+  uint64_t element_count = 0;
+  uint64_t symbol_count = 0;  ///< interner size, excluding reserved id 0
+  uint64_t file_size = 0;
+  uint64_t payload_checksum = 0;  ///< FNV-1a64 over [sizeof(header), file_size)
+  uint64_t header_checksum = 0;   ///< FNV-1a64 over the header, this field = 0
+};
+static_assert(std::is_trivially_copyable_v<ImageHeader>);
+
+struct SectionEntry {
+  uint32_t kind = 0;
+  uint32_t elem_size = 0;
+  uint64_t offset = 0;  ///< absolute byte offset, kSectionAlign-aligned
+  uint64_t count = 0;   ///< number of elements
+};
+static_assert(std::is_trivially_copyable_v<SectionEntry> &&
+              sizeof(SectionEntry) == 24);
+
+/// Incremental FNV-1a (64-bit): simple, dependency-free, and byte-order
+/// independent — adequate for catching truncation and bit corruption.
+class Fnv64 {
+ public:
+  void Update(const void* data, size_t n) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (size_t i = 0; i < n; ++i) {
+      hash_ ^= p[i];
+      hash_ *= 0x100000001b3ull;
+    }
+  }
+  uint64_t digest() const { return hash_; }
+
+ private:
+  uint64_t hash_ = 0xcbf29ce484222325ull;
+};
+
+uint64_t AlignUp(uint64_t n) {
+  return (n + kSectionAlign - 1) & ~(kSectionAlign - 1);
+}
+
+/// RAII read-only mapping; owns the pages a mapped relation serves from.
+/// Held alive through NodeRelation::backing_ (and so by the snapshot and
+/// every in-flight query), which is what makes hot-swapping mapped
+/// snapshots safe: munmap happens only after the last reader drops out.
+class MappedFile {
+ public:
+  static Result<std::shared_ptr<MappedFile>> Map(const std::string& path) {
+    // O_NONBLOCK: opening a FIFO must error out, not block waiting for a
+    // writer; it has no effect on regular files, the only kind accepted.
+    const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC | O_NONBLOCK);
+    if (fd < 0) {
+      return Status::IOError("cannot open " + path + ": " +
+                             std::strerror(errno));
+    }
+    struct stat st;
+    if (::fstat(fd, &st) != 0) {
+      const int err = errno;
+      ::close(fd);
+      return Status::IOError("cannot stat " + path + ": " +
+                             std::strerror(err));
+    }
+    if (!S_ISREG(st.st_mode)) {
+      ::close(fd);
+      return Status::InvalidArgument("not a regular file: " + path);
+    }
+    const size_t size = static_cast<size_t>(st.st_size);
+    if (size == 0) {
+      ::close(fd);
+      return Status::Corruption("empty image file: " + path);
+    }
+    void* base = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    ::close(fd);  // The mapping keeps its own reference to the pages.
+    if (base == MAP_FAILED) {
+      return Status::IOError("cannot mmap " + path + ": " +
+                             std::strerror(errno));
+    }
+    return std::make_shared<MappedFile>(base, size);
+  }
+
+  MappedFile(void* base, size_t size) : base_(base), size_(size) {}
+  ~MappedFile() { ::munmap(base_, size_); }
+
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  const unsigned char* data() const {
+    return static_cast<const unsigned char*>(base_);
+  }
+  size_t size() const { return size_; }
+
+ private:
+  void* base_;
+  size_t size_;
+};
+
+/// Buffered image writer that checksums everything after the header as it
+/// goes (padding included, so the digest is a function of the file bytes).
+class ImageWriter {
+ public:
+  explicit ImageWriter(std::FILE* f) : f_(f) {}
+
+  bool WriteRaw(const void* data, size_t n) {
+    return n == 0 || std::fwrite(data, 1, n, f_) == n;
+  }
+
+  bool WritePayload(const void* data, size_t n) {
+    if (!WriteRaw(data, n)) return false;
+    fnv_.Update(data, n);
+    offset_ += n;
+    return true;
+  }
+
+  bool PadToAlignment() {
+    static const unsigned char kZeros[kSectionAlign] = {};
+    const uint64_t padded = AlignUp(offset_);
+    return WritePayload(kZeros, static_cast<size_t>(padded - offset_));
+  }
+
+  uint64_t offset() const { return offset_; }
+  uint64_t digest() const { return fnv_.digest(); }
+
+ private:
+  std::FILE* f_;
+  Fnv64 fnv_;
+  uint64_t offset_ = sizeof(ImageHeader);  ///< payload starts after header
+};
+
+uint64_t HeaderChecksum(ImageHeader header) {
+  header.header_checksum = 0;
+  Fnv64 fnv;
+  fnv.Update(&header, sizeof(header));
+  return fnv.digest();
+}
+
+}  // namespace
+
+bool LooksLikeImageFile(const std::string& path) {
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0 || !S_ISREG(st.st_mode)) return false;
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  char magic[sizeof(kImageMagic)] = {};
+  const size_t got = std::fread(magic, 1, sizeof(magic), f);
+  std::fclose(f);
+  return got == sizeof(magic) &&
+         std::memcmp(magic, kImageMagic, sizeof(magic)) == 0;
+}
+
+Status ImageIO::Save(const NodeRelation& rel, const std::string& path) {
+  const Interner& interner = rel.interner();
+  const uint64_t symbol_count = interner.size();
+
+  // Interner table: offsets (symbol_count + 1) into a concatenated blob,
+  // symbols in id order so re-interning on open reproduces the ids.
+  std::vector<uint64_t> interner_offsets;
+  interner_offsets.reserve(symbol_count + 1);
+  std::string blob;
+  interner_offsets.push_back(0);
+  for (Symbol s = 1; s <= symbol_count; ++s) {
+    blob.append(interner.name(s));
+    interner_offsets.push_back(blob.size());
+  }
+
+  // Section payloads, positionally matched to kSectionSpecs.
+  struct Section {
+    const void* data;
+    uint64_t count;
+  };
+  const Section sections[kSectionCount] = {
+      {rel.tid_.data(), rel.tid_.size()},
+      {rel.left_.data(), rel.left_.size()},
+      {rel.right_.data(), rel.right_.size()},
+      {rel.depth_.data(), rel.depth_.size()},
+      {rel.id_.data(), rel.id_.size()},
+      {rel.pid_.data(), rel.pid_.size()},
+      {rel.name_.data(), rel.name_.size()},
+      {rel.value_.data(), rel.value_.size()},
+      {rel.kind_.data(), rel.kind_.size()},
+      {rel.runs_.data(), rel.runs_.size()},
+      {rel.by_right_.data(), rel.by_right_.size()},
+      {rel.by_pid_.data(), rel.by_pid_.size()},
+      {rel.value_index_.data(), rel.value_index_.size()},
+      {rel.value_offsets_.data(), rel.value_offsets_.size()},
+      {rel.tree_row_prefix_.data(), rel.tree_row_prefix_.size()},
+      {rel.tree_base_.data(), rel.tree_base_.size()},
+      {rel.elem_row_.data(), rel.elem_row_.size()},
+      {rel.attr_offsets_.data(), rel.attr_offsets_.size()},
+      {rel.attr_rows_.data(), rel.attr_rows_.size()},
+      {interner_offsets.data(), interner_offsets.size()},
+      {blob.data(), blob.size()},
+  };
+
+  // Lay the sections out after the header + table, each 8-byte aligned.
+  SectionEntry table[kSectionCount];
+  uint64_t offset =
+      sizeof(ImageHeader) + kSectionCount * sizeof(SectionEntry);
+  for (uint32_t i = 0; i < kSectionCount; ++i) {
+    offset = AlignUp(offset);
+    table[i] = SectionEntry{kSectionSpecs[i].kind, kSectionSpecs[i].elem_size,
+                            offset, sections[i].count};
+    offset += sections[i].count * kSectionSpecs[i].elem_size;
+  }
+  const uint64_t file_size = offset;
+
+  ImageHeader header;
+  std::memcpy(header.magic, kImageMagic, sizeof(kImageMagic));
+  header.version = kImageFormatVersion;
+  header.endian = kEndianMarker;
+  header.scheme = static_cast<uint32_t>(rel.scheme());
+  header.section_count = kSectionCount;
+  header.tree_count = static_cast<uint32_t>(rel.tree_count());
+  header.row_count = rel.row_count();
+  header.element_count = rel.element_count();
+  header.symbol_count = symbol_count;
+  header.file_size = file_size;
+
+  // Write to a per-call-unique sibling temp file and rename into place, so
+  // readers either see the previous image or the complete new one, and two
+  // concurrent Saves to the same path never interleave in one temp file
+  // (last rename wins with an intact image either way).
+  static std::atomic<uint64_t> save_serial{0};
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid()) + "." +
+                          std::to_string(save_serial.fetch_add(1));
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IOError("cannot create " + tmp + ": " +
+                           std::strerror(errno));
+  }
+  ImageWriter writer(f);
+  bool ok = writer.WriteRaw(&header, sizeof(header));  // placeholder pass
+  ok = ok && writer.WritePayload(table, sizeof(table));
+  for (uint32_t i = 0; ok && i < kSectionCount; ++i) {
+    ok = writer.PadToAlignment() &&
+         writer.WritePayload(sections[i].data,
+                             sections[i].count * kSectionSpecs[i].elem_size);
+  }
+  // Seal: fill in the checksums and rewrite the header in place.
+  if (ok) {
+    header.payload_checksum = writer.digest();
+    header.header_checksum = HeaderChecksum(header);
+    ok = writer.offset() == file_size && std::fseek(f, 0, SEEK_SET) == 0 &&
+         writer.WriteRaw(&header, sizeof(header));
+  }
+  ok = (std::fflush(f) == 0) && ok;
+  // Durability before the rename publishes: without the fsync a crash
+  // after Save returns could replace the previous good image with a
+  // not-yet-written-back inode.
+  ok = ok && ::fsync(fileno(f)) == 0;
+  ok = (std::fclose(f) == 0) && ok;
+  if (!ok) {
+    std::remove(tmp.c_str());
+    return Status::IOError("short write to " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    const int err = errno;
+    std::remove(tmp.c_str());
+    return Status::IOError("cannot rename " + tmp + " to " + path + ": " +
+                           std::strerror(err));
+  }
+  // Best-effort: persist the rename itself (the directory entry).
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash + 1);
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dfd >= 0) {
+    (void)::fsync(dfd);
+    ::close(dfd);
+  }
+  return Status::OK();
+}
+
+namespace {
+
+/// Typed view of a validated section.
+template <typename T>
+std::span<const T> SectionSpan(const MappedFile& file,
+                               const SectionEntry& entry) {
+  return std::span<const T>(
+      reinterpret_cast<const T*>(file.data() + entry.offset), entry.count);
+}
+
+Status CorruptionAt(const std::string& path, const char* what) {
+  return Status::Corruption("invalid relation image " + path + ": " + what);
+}
+
+/// offsets[0] == 0, non-decreasing, offsets.back() == total.
+template <typename T>
+bool IsPrefixArray(std::span<const T> offsets, uint64_t total) {
+  if (offsets.empty() || offsets.front() != 0) return false;
+  for (size_t i = 1; i < offsets.size(); ++i) {
+    if (offsets[i] < offsets[i - 1]) return false;
+  }
+  return offsets.back() == total;
+}
+
+/// Every entry indexes the row space.
+bool RowsInBounds(std::span<const Row> rows, uint64_t row_count) {
+  for (Row r : rows) {
+    if (r >= row_count) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<NodeRelation> ImageIO::Open(const std::string& path) {
+  LPATH_ASSIGN_OR_RETURN(std::shared_ptr<MappedFile> file,
+                         MappedFile::Map(path));
+
+  // --- Header ---------------------------------------------------------------
+  if (file->size() < sizeof(ImageHeader)) {
+    return CorruptionAt(path, "file shorter than the image header");
+  }
+  ImageHeader header;
+  std::memcpy(&header, file->data(), sizeof(header));
+  if (std::memcmp(header.magic, kImageMagic, sizeof(kImageMagic)) != 0) {
+    return CorruptionAt(path, "bad magic (not a relation image)");
+  }
+  if (header.version != kImageFormatVersion) {
+    return Status::NotSupported(
+        "relation image " + path + " has format version " +
+        std::to_string(header.version) + "; this build reads version " +
+        std::to_string(kImageFormatVersion));
+  }
+  if (header.endian != kEndianMarker) {
+    return Status::NotSupported("relation image " + path +
+                                " was written on a foreign-endian machine");
+  }
+  if (header.header_checksum != HeaderChecksum(header)) {
+    return CorruptionAt(path, "header checksum mismatch");
+  }
+  if (header.file_size != file->size()) {
+    return CorruptionAt(path, "file size does not match the header");
+  }
+  if (header.section_count != kSectionCount) {
+    return CorruptionAt(path, "unexpected section count");
+  }
+  if (header.scheme > static_cast<uint32_t>(LabelScheme::kXPath)) {
+    return CorruptionAt(path, "unknown label scheme");
+  }
+  if (header.row_count > UINT32_MAX || header.element_count > UINT32_MAX ||
+      header.symbol_count >= UINT32_MAX || header.tree_count > INT32_MAX) {
+    return CorruptionAt(path, "counts exceed the 32-bit row/id space");
+  }
+
+  // --- Payload checksum (covers the section table and every section) -------
+  {
+    Fnv64 fnv;
+    fnv.Update(file->data() + sizeof(ImageHeader),
+               file->size() - sizeof(ImageHeader));
+    if (fnv.digest() != header.payload_checksum) {
+      return CorruptionAt(path, "payload checksum mismatch");
+    }
+  }
+
+  // --- Section table --------------------------------------------------------
+  if (file->size() <
+      sizeof(ImageHeader) + kSectionCount * sizeof(SectionEntry)) {
+    return CorruptionAt(path, "file shorter than the section table");
+  }
+  SectionEntry table[kSectionCount];
+  std::memcpy(table, file->data() + sizeof(ImageHeader), sizeof(table));
+
+  for (uint32_t i = 0; i < kSectionCount; ++i) {
+    const SectionEntry& e = table[i];
+    if (e.kind != kSectionSpecs[i].kind ||
+        e.elem_size != kSectionSpecs[i].elem_size) {
+      return CorruptionAt(path, "section table does not match the format");
+    }
+    if (e.offset % kSectionAlign != 0) {
+      return CorruptionAt(path, "misaligned section");
+    }
+    const uint64_t bytes = e.count * e.elem_size;
+    if (e.offset > file->size() || bytes > file->size() - e.offset) {
+      return CorruptionAt(path, "section extends past the end of the file");
+    }
+  }
+
+  // --- Cross-section count invariants ---------------------------------------
+  const uint64_t rows = header.row_count;
+  const uint64_t elements = header.element_count;
+  const uint64_t symbols = header.symbol_count;
+  const uint64_t trees = header.tree_count;
+  uint64_t expected_count[kSectionCount];
+  for (uint32_t i = kIdxTid; i <= kIdxKind; ++i) expected_count[i] = rows;
+  expected_count[kIdxRuns] = symbols + 1;
+  expected_count[kIdxByRight] = rows;
+  expected_count[kIdxByPid] = rows;
+  expected_count[kIdxValueIndex] = table[kIdxValueIndex].count;  // capped below
+  expected_count[kIdxValueOffsets] = symbols + 2;
+  expected_count[kIdxTreeRowPrefix] = trees + 1;
+  expected_count[kIdxTreeBase] = trees + 1;
+  expected_count[kIdxElemRow] = elements;
+  expected_count[kIdxAttrOffsets] = elements + 1;
+  expected_count[kIdxAttrRows] = table[kIdxAttrRows].count;  // capped below
+  expected_count[kIdxInternerOffsets] = symbols + 1;
+  expected_count[kIdxInternerBlob] = table[kIdxInternerBlob].count;
+  for (uint32_t i = 0; i < kSectionCount; ++i) {
+    if (table[i].count != expected_count[i]) {
+      return CorruptionAt(path, "section sizes are inconsistent");
+    }
+  }
+  if (table[kIdxValueIndex].count > rows || table[kIdxAttrRows].count > rows) {
+    return CorruptionAt(path, "index larger than the row space");
+  }
+
+  // --- Index sanity: keep every accessor in bounds over the mapping --------
+  const auto runs = SectionSpan<RowRange>(*file, table[kIdxRuns]);
+  for (const RowRange& r : runs) {
+    if (r.begin > r.end || r.end > rows) {
+      return CorruptionAt(path, "run directory out of bounds");
+    }
+  }
+  if (!RowsInBounds(SectionSpan<Row>(*file, table[kIdxByRight]), rows) ||
+      !RowsInBounds(SectionSpan<Row>(*file, table[kIdxByPid]), rows) ||
+      !RowsInBounds(SectionSpan<Row>(*file, table[kIdxValueIndex]), rows) ||
+      !RowsInBounds(SectionSpan<Row>(*file, table[kIdxElemRow]), rows) ||
+      !RowsInBounds(SectionSpan<Row>(*file, table[kIdxAttrRows]), rows)) {
+    return CorruptionAt(path, "row index out of bounds");
+  }
+  // The tid column feeds the per-tree accessors; those all guard the
+  // range themselves, but a value outside [0, trees) can only come from a
+  // forged file, so reject it here as corruption rather than serving
+  // silently-empty per-tree lookups.
+  for (int32_t t : SectionSpan<int32_t>(*file, table[kIdxTid])) {
+    if (t < 0 || static_cast<uint64_t>(t) >= trees) {
+      return CorruptionAt(path, "tid column out of range");
+    }
+  }
+  if (!IsPrefixArray(SectionSpan<uint32_t>(*file, table[kIdxValueOffsets]),
+                     table[kIdxValueIndex].count) ||
+      !IsPrefixArray(SectionSpan<uint64_t>(*file, table[kIdxTreeRowPrefix]),
+                     rows) ||
+      !IsPrefixArray(SectionSpan<uint32_t>(*file, table[kIdxTreeBase]),
+                     elements) ||
+      !IsPrefixArray(SectionSpan<uint32_t>(*file, table[kIdxAttrOffsets]),
+                     table[kIdxAttrRows].count)) {
+    return CorruptionAt(path, "offset table is not a prefix sum");
+  }
+
+  // --- Interner -------------------------------------------------------------
+  const auto interner_offsets =
+      SectionSpan<uint64_t>(*file, table[kIdxInternerOffsets]);
+  const auto blob = SectionSpan<char>(*file, table[kIdxInternerBlob]);
+  if (!IsPrefixArray(interner_offsets, blob.size())) {
+    return CorruptionAt(path, "interner offsets are not a prefix sum");
+  }
+  auto corpus = std::make_shared<Corpus>();
+  Interner* interner = corpus->mutable_interner();
+  for (uint64_t s = 0; s < symbols; ++s) {
+    const std::string_view name(blob.data() + interner_offsets[s],
+                                interner_offsets[s + 1] - interner_offsets[s]);
+    if (interner->Intern(name) != static_cast<Symbol>(s + 1)) {
+      return CorruptionAt(path, "interner table has duplicate strings");
+    }
+  }
+
+  // --- Bind the relation straight onto the mapping --------------------------
+  NodeRelation rel;
+  rel.scheme_ = static_cast<LabelScheme>(header.scheme);
+  rel.corpus_ = std::move(corpus);
+  rel.tree_count_ = static_cast<int32_t>(trees);
+  rel.element_count_ = static_cast<size_t>(elements);
+  rel.mapped_ = true;
+  rel.tid_ = SectionSpan<int32_t>(*file, table[kIdxTid]);
+  rel.left_ = SectionSpan<int32_t>(*file, table[kIdxLeft]);
+  rel.right_ = SectionSpan<int32_t>(*file, table[kIdxRight]);
+  rel.depth_ = SectionSpan<int32_t>(*file, table[kIdxDepth]);
+  rel.id_ = SectionSpan<int32_t>(*file, table[kIdxId]);
+  rel.pid_ = SectionSpan<int32_t>(*file, table[kIdxPid]);
+  rel.name_ = SectionSpan<Symbol>(*file, table[kIdxName]);
+  rel.value_ = SectionSpan<Symbol>(*file, table[kIdxValue]);
+  rel.kind_ = SectionSpan<uint8_t>(*file, table[kIdxKind]);
+  rel.runs_ = runs;
+  rel.by_right_ = SectionSpan<Row>(*file, table[kIdxByRight]);
+  rel.by_pid_ = SectionSpan<Row>(*file, table[kIdxByPid]);
+  rel.value_index_ = SectionSpan<Row>(*file, table[kIdxValueIndex]);
+  rel.value_offsets_ =
+      SectionSpan<uint32_t>(*file, table[kIdxValueOffsets]);
+  rel.tree_row_prefix_ =
+      SectionSpan<uint64_t>(*file, table[kIdxTreeRowPrefix]);
+  rel.tree_base_ = SectionSpan<uint32_t>(*file, table[kIdxTreeBase]);
+  rel.elem_row_ = SectionSpan<Row>(*file, table[kIdxElemRow]);
+  rel.attr_offsets_ = SectionSpan<uint32_t>(*file, table[kIdxAttrOffsets]);
+  rel.attr_rows_ = SectionSpan<Row>(*file, table[kIdxAttrRows]);
+  rel.backing_ = std::move(file);
+  return rel;
+}
+
+}  // namespace lpath

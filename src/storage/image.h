@@ -1,0 +1,83 @@
+// Persistent relation images: a versioned, checksummed single-file format
+// holding a NodeRelation's sorted column arrays, every secondary index,
+// the per-tree row prefix sums, and the corpus's string interner table.
+//
+// The point (and the paper's pitch) is that interval-labeled trees live in
+// the database rather than being re-derived per tool run: Save() is run
+// once, offline (lpath_pack, or :save in the shell), and Open() then maps
+// the file read-only and serves the columns straight out of the mapping —
+// no labeling, no sorting, O(file size) instead of O(label + sort). The
+// mapping is owned by the opened relation (and through it by its
+// CorpusSnapshot), so the existing hot-swap/Reload semantics and in-flight
+// readers work unchanged: the pages stay mapped until the last reader's
+// snapshot reference drops.
+//
+// Layout (all integers native-endian; a header marker rejects foreign
+// endianness — images are a deployment format, not an interchange format):
+//
+//   ImageHeader            magic, version, endian marker, label scheme,
+//                          row/tree/element/symbol counts, file size,
+//                          header + payload FNV-1a64 checksums
+//   SectionEntry[21]       {kind, elem_size, offset, count} per section
+//   sections...            raw column arrays, each 8-byte aligned:
+//                          tid/left/right/depth/id/pid/name/value/kind,
+//                          run directory, by-right/by-pid permutations,
+//                          value index + offsets, per-tree row prefix sums,
+//                          tree base / element row / attribute CSR,
+//                          interner offsets + concatenated string blob
+//
+// Corruption model: the payload checksum covers every byte after the
+// header (section table included); the header carries its own checksum.
+// Open() additionally bounds-checks every section against the file size
+// and validates the cross-section count invariants and index monotonicity,
+// so a truncated, bit-flipped or wrong-version file yields a clean Status
+// error — never a crash — and a checksum-valid file cannot index the
+// mapping out of bounds.
+
+#ifndef LPATHDB_STORAGE_IMAGE_H_
+#define LPATHDB_STORAGE_IMAGE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "storage/relation.h"
+
+namespace lpath {
+
+/// Leading bytes of every relation image file.
+inline constexpr char kImageMagic[8] = {'L', 'P', 'D', 'B',
+                                        'I', 'M', 'G', '\0'};
+
+/// Format generation; bumped on any incompatible layout change.
+inline constexpr uint32_t kImageFormatVersion = 1;
+
+/// Reads `path`'s first bytes and reports whether they carry the relation
+/// image magic — how Database::Open routes image vs. bracketed files.
+/// False (not an error) for unreadable or short files.
+bool LooksLikeImageFile(const std::string& path);
+
+/// Serialization of NodeRelation to and from persistent images. Stateless;
+/// a friend of NodeRelation so images bind the private column spans.
+class ImageIO {
+ public:
+  /// Writes `relation` (columns, indexes, prefix sums, interner) to `path`
+  /// as one image. Writes to `path + ".tmp"` and renames, so a concurrent
+  /// reader never sees a half-written image.
+  static Status Save(const NodeRelation& relation, const std::string& path);
+
+  /// Opens an image read-only via mmap. Validates the header, checksums
+  /// and section bounds, rebuilds the interner into a fresh (tree-less)
+  /// corpus, and binds the relation's columns straight into the mapping.
+  /// Performs no labeling and no sorting: cost is O(file size).
+  ///
+  /// The returned relation's corpus carries the dictionary but no trees —
+  /// everything the SQL executor needs, but not the bracketed text
+  /// (engines that walk trees, e.g. the navigational baseline, need a
+  /// corpus-built snapshot instead).
+  static Result<NodeRelation> Open(const std::string& path);
+};
+
+}  // namespace lpath
+
+#endif  // LPATHDB_STORAGE_IMAGE_H_

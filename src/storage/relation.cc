@@ -1,6 +1,7 @@
 #include "storage/relation.h"
 
 #include <algorithm>
+#include <atomic>
 #include <memory>
 #include <numeric>
 #include <utility>
@@ -18,7 +19,31 @@ struct Staged {
   uint8_t kind;
 };
 
+/// Owning storage of a relation built in memory. The relation's spans point
+/// into these vectors; the arena is held alive through the type-erased
+/// backing_ shared_ptr, so moving the relation never invalidates a span.
+struct ColumnArena {
+  std::vector<int32_t> tid, left, right, depth, id, pid;
+  std::vector<Symbol> name, value;
+  std::vector<uint8_t> kind;
+  std::vector<RowRange> runs;
+  std::vector<Row> by_right, by_pid, value_index;
+  std::vector<uint32_t> value_offsets;
+  std::vector<uint64_t> tree_row_prefix;
+  std::vector<uint32_t> tree_base;
+  std::vector<Row> elem_row;
+  std::vector<uint32_t> attr_offsets;
+  std::vector<Row> attr_rows;
+};
+
+/// Counts every label+sort build (see NodeRelation::BuildCount).
+std::atomic<uint64_t> g_build_count{0};
+
 }  // namespace
+
+uint64_t NodeRelation::BuildCount() {
+  return g_build_count.load(std::memory_order_relaxed);
+}
 
 Result<NodeRelation> NodeRelation::Build(const Corpus& corpus,
                                          RelationOptions options) {
@@ -33,11 +58,14 @@ Result<NodeRelation> NodeRelation::Build(std::shared_ptr<const Corpus> owned,
   if (owned == nullptr) {
     return Status::InvalidArgument("NodeRelation::Build: null corpus");
   }
+  g_build_count.fetch_add(1, std::memory_order_relaxed);
   const Corpus& corpus = *owned;
   NodeRelation rel;
   rel.scheme_ = options.scheme;
   rel.corpus_ = std::move(owned);
   rel.tree_count_ = static_cast<int32_t>(corpus.size());
+  auto arena = std::make_shared<ColumnArena>();
+  ColumnArena& cols = *arena;
 
   // 1. Label every tree and stage rows.
   std::vector<Staged> staged;
@@ -74,111 +102,111 @@ Result<NodeRelation> NodeRelation::Build(std::shared_ptr<const Corpus> owned,
 
   // 3. Materialize columns.
   const size_t n = staged.size();
-  rel.tid_.resize(n);
-  rel.left_.resize(n);
-  rel.right_.resize(n);
-  rel.depth_.resize(n);
-  rel.id_.resize(n);
-  rel.pid_.resize(n);
-  rel.name_.resize(n);
-  rel.value_.resize(n);
-  rel.kind_.resize(n);
+  cols.tid.resize(n);
+  cols.left.resize(n);
+  cols.right.resize(n);
+  cols.depth.resize(n);
+  cols.id.resize(n);
+  cols.pid.resize(n);
+  cols.name.resize(n);
+  cols.value.resize(n);
+  cols.kind.resize(n);
   for (size_t r = 0; r < n; ++r) {
     const Staged& s = staged[r];
-    rel.tid_[r] = s.tid;
-    rel.left_[r] = s.label.left;
-    rel.right_[r] = s.label.right;
-    rel.depth_[r] = s.label.depth;
-    rel.id_[r] = s.label.id;
-    rel.pid_[r] = s.label.pid;
-    rel.name_[r] = s.name;
-    rel.value_[r] = s.value;
-    rel.kind_[r] = s.kind;
+    cols.tid[r] = s.tid;
+    cols.left[r] = s.label.left;
+    cols.right[r] = s.label.right;
+    cols.depth[r] = s.label.depth;
+    cols.id[r] = s.label.id;
+    cols.pid[r] = s.label.pid;
+    cols.name[r] = s.name;
+    cols.value[r] = s.value;
+    cols.kind[r] = s.kind;
   }
 
   // 4. Run directory, dense by name symbol.
   const Symbol name_end = corpus.interner().end_id();
-  rel.runs_.assign(name_end, RowRange{});
+  cols.runs.assign(name_end, RowRange{});
   for (Row r = 0; r < n;) {
     Row e = r;
-    const Symbol nm = rel.name_[r];
-    while (e < n && rel.name_[e] == nm) ++e;
-    rel.runs_[nm] = RowRange{r, e};
+    const Symbol nm = cols.name[r];
+    while (e < n && cols.name[e] == nm) ++e;
+    cols.runs[nm] = RowRange{r, e};
     r = e;
   }
 
   // 5. Per-run permutations.
-  rel.by_right_.resize(n);
-  rel.by_pid_.resize(n);
-  std::iota(rel.by_right_.begin(), rel.by_right_.end(), 0u);
-  std::iota(rel.by_pid_.begin(), rel.by_pid_.end(), 0u);
-  for (const RowRange& run : rel.runs_) {
+  cols.by_right.resize(n);
+  cols.by_pid.resize(n);
+  std::iota(cols.by_right.begin(), cols.by_right.end(), 0u);
+  std::iota(cols.by_pid.begin(), cols.by_pid.end(), 0u);
+  for (const RowRange& run : cols.runs) {
     if (run.empty()) continue;
-    auto rb = rel.by_right_.begin() + run.begin;
-    auto re = rel.by_right_.begin() + run.end;
-    std::sort(rb, re, [&rel](Row a, Row b) {
-      if (rel.tid_[a] != rel.tid_[b]) return rel.tid_[a] < rel.tid_[b];
-      if (rel.right_[a] != rel.right_[b]) return rel.right_[a] < rel.right_[b];
-      return rel.left_[a] < rel.left_[b];
+    auto rb = cols.by_right.begin() + run.begin;
+    auto re = cols.by_right.begin() + run.end;
+    std::sort(rb, re, [&cols](Row a, Row b) {
+      if (cols.tid[a] != cols.tid[b]) return cols.tid[a] < cols.tid[b];
+      if (cols.right[a] != cols.right[b]) return cols.right[a] < cols.right[b];
+      return cols.left[a] < cols.left[b];
     });
-    auto pb = rel.by_pid_.begin() + run.begin;
-    auto pe = rel.by_pid_.begin() + run.end;
-    std::sort(pb, pe, [&rel](Row a, Row b) {
-      if (rel.tid_[a] != rel.tid_[b]) return rel.tid_[a] < rel.tid_[b];
-      if (rel.pid_[a] != rel.pid_[b]) return rel.pid_[a] < rel.pid_[b];
-      return rel.left_[a] < rel.left_[b];
+    auto pb = cols.by_pid.begin() + run.begin;
+    auto pe = cols.by_pid.begin() + run.end;
+    std::sort(pb, pe, [&cols](Row a, Row b) {
+      if (cols.tid[a] != cols.tid[b]) return cols.tid[a] < cols.tid[b];
+      if (cols.pid[a] != cols.pid[b]) return cols.pid[a] < cols.pid[b];
+      return cols.left[a] < cols.left[b];
     });
   }
 
   // 6. Value index over attribute rows: (value, tid, id).
   for (Row r = 0; r < n; ++r) {
-    if (rel.value_[r] != kNoSymbol) rel.value_index_.push_back(r);
+    if (cols.value[r] != kNoSymbol) cols.value_index.push_back(r);
   }
-  std::sort(rel.value_index_.begin(), rel.value_index_.end(),
-            [&rel](Row a, Row b) {
-              if (rel.value_[a] != rel.value_[b])
-                return rel.value_[a] < rel.value_[b];
-              if (rel.tid_[a] != rel.tid_[b]) return rel.tid_[a] < rel.tid_[b];
-              return rel.id_[a] < rel.id_[b];
+  std::sort(cols.value_index.begin(), cols.value_index.end(),
+            [&cols](Row a, Row b) {
+              if (cols.value[a] != cols.value[b])
+                return cols.value[a] < cols.value[b];
+              if (cols.tid[a] != cols.tid[b]) return cols.tid[a] < cols.tid[b];
+              return cols.id[a] < cols.id[b];
             });
-  rel.value_offsets_.assign(name_end + 1, 0);
-  for (Row idx : rel.value_index_) rel.value_offsets_[rel.value_[idx] + 1] += 1;
-  for (size_t v = 1; v < rel.value_offsets_.size(); ++v) {
-    rel.value_offsets_[v] += rel.value_offsets_[v - 1];
+  cols.value_offsets.assign(name_end + 1, 0);
+  for (Row idx : cols.value_index) cols.value_offsets[cols.value[idx] + 1] += 1;
+  for (size_t v = 1; v < cols.value_offsets.size(); ++v) {
+    cols.value_offsets[v] += cols.value_offsets[v - 1];
   }
 
   // 7. (tid, id) -> element row, and the attribute CSR.
-  rel.tree_base_.assign(rel.tree_count_ + 1, 0);
+  cols.tree_base.assign(rel.tree_count_ + 1, 0);
   for (TreeId t = 0; t < rel.tree_count_; ++t) {
-    rel.tree_base_[t + 1] =
-        rel.tree_base_[t] + static_cast<uint32_t>(corpus.tree(t).size());
+    cols.tree_base[t + 1] =
+        cols.tree_base[t] + static_cast<uint32_t>(corpus.tree(t).size());
   }
-  rel.elem_row_.assign(rel.element_count_, kNoRow);
-  rel.attr_offsets_.assign(rel.element_count_ + 1, 0);
+  cols.elem_row.assign(rel.element_count_, kNoRow);
+  cols.attr_offsets.assign(rel.element_count_ + 1, 0);
   for (Row r = 0; r < n; ++r) {
-    const uint32_t slot = rel.tree_base_[rel.tid_[r]] + (rel.id_[r] - 1);
-    if (rel.kind_[r] == 0) {
-      rel.elem_row_[slot] = r;
+    const uint32_t slot = cols.tree_base[cols.tid[r]] + (cols.id[r] - 1);
+    if (cols.kind[r] == 0) {
+      cols.elem_row[slot] = r;
     } else {
-      rel.attr_offsets_[slot + 1] += 1;
+      cols.attr_offsets[slot + 1] += 1;
     }
   }
-  for (size_t i = 1; i < rel.attr_offsets_.size(); ++i) {
-    rel.attr_offsets_[i] += rel.attr_offsets_[i - 1];
+  for (size_t i = 1; i < cols.attr_offsets.size(); ++i) {
+    cols.attr_offsets[i] += cols.attr_offsets[i - 1];
   }
-  rel.attr_rows_.resize(rel.attr_offsets_.back());
+  cols.attr_rows.resize(cols.attr_offsets.back());
   {
-    std::vector<uint32_t> cursor(rel.attr_offsets_.begin(),
-                                 rel.attr_offsets_.end() - 1);
+    std::vector<uint32_t> cursor(cols.attr_offsets.begin(),
+                                 cols.attr_offsets.end() - 1);
     for (Row r = 0; r < n; ++r) {
-      if (rel.kind_[r] == 0) continue;
-      const uint32_t slot = rel.tree_base_[rel.tid_[r]] + (rel.id_[r] - 1);
-      rel.attr_rows_[cursor[slot]++] = r;
+      if (cols.kind[r] == 0) continue;
+      const uint32_t slot = cols.tree_base[cols.tid[r]] + (cols.id[r] - 1);
+      cols.attr_rows[cursor[slot]++] = r;
     }
   }
 
   // Every element slot must have been filled.
-  for (Row r : rel.elem_row_) {
+  for (Row r : cols.elem_row) {
     if (r == kNoRow) {
       return Status::Corruption("element id space has holes");
     }
@@ -186,11 +214,33 @@ Result<NodeRelation> NodeRelation::Build(std::shared_ptr<const Corpus> owned,
 
   // 8. Per-tree row mass prefix sums (morsel planner statistics). Counted
   // from the columns rather than the corpus so attribute rows are included.
-  rel.tree_row_prefix_.assign(rel.tree_count_ + 1, 0);
-  for (Row r = 0; r < n; ++r) rel.tree_row_prefix_[rel.tid_[r] + 1] += 1;
-  for (size_t t = 1; t < rel.tree_row_prefix_.size(); ++t) {
-    rel.tree_row_prefix_[t] += rel.tree_row_prefix_[t - 1];
+  cols.tree_row_prefix.assign(rel.tree_count_ + 1, 0);
+  for (Row r = 0; r < n; ++r) cols.tree_row_prefix[cols.tid[r] + 1] += 1;
+  for (size_t t = 1; t < cols.tree_row_prefix.size(); ++t) {
+    cols.tree_row_prefix[t] += cols.tree_row_prefix[t - 1];
   }
+
+  // 9. Bind the accessor spans to the arena and hand it over.
+  rel.tid_ = cols.tid;
+  rel.left_ = cols.left;
+  rel.right_ = cols.right;
+  rel.depth_ = cols.depth;
+  rel.id_ = cols.id;
+  rel.pid_ = cols.pid;
+  rel.name_ = cols.name;
+  rel.value_ = cols.value;
+  rel.kind_ = cols.kind;
+  rel.runs_ = cols.runs;
+  rel.by_right_ = cols.by_right;
+  rel.by_pid_ = cols.by_pid;
+  rel.value_index_ = cols.value_index;
+  rel.value_offsets_ = cols.value_offsets;
+  rel.tree_row_prefix_ = cols.tree_row_prefix;
+  rel.tree_base_ = cols.tree_base;
+  rel.elem_row_ = cols.elem_row;
+  rel.attr_offsets_ = cols.attr_offsets;
+  rel.attr_rows_ = cols.attr_rows;
+  rel.backing_ = std::move(arena);
   return rel;
 }
 
@@ -216,7 +266,8 @@ std::vector<TidRange> NodeRelation::CarveTidRanges(int target_ranges,
     int32_t hi =
         static_cast<int32_t>(it - tree_row_prefix_.begin());
     hi = std::min(hi, tree_count_);
-    out.push_back(TidRange{lo, hi, tree_row_prefix_[hi] - tree_row_prefix_[lo]});
+    out.push_back(
+        TidRange{lo, hi, tree_row_prefix_[hi] - tree_row_prefix_[lo]});
     lo = hi;
   }
   return out;
@@ -249,7 +300,9 @@ RowRange NodeRelation::RunTidRange(Symbol name, int32_t tid_lo,
 RowRange NodeRelation::RunLeftRange(Symbol name, int32_t t, int32_t left_lo,
                                     int32_t left_hi) const {
   const RowRange in_tree = RunForTree(name, t);
-  if (in_tree.empty() || left_lo >= left_hi) return RowRange{in_tree.begin, in_tree.begin};
+  if (in_tree.empty() || left_lo >= left_hi) {
+    return RowRange{in_tree.begin, in_tree.begin};
+  }
   const auto lb = left_.begin();
   auto lo = std::lower_bound(lb + in_tree.begin, lb + in_tree.end, left_lo);
   auto hi = std::lower_bound(lo, lb + in_tree.end, left_hi);
@@ -267,7 +320,8 @@ std::span<const Row> NodeRelation::RunRightRange(Symbol name, int32_t t,
     if (tid_[r] != key.first) return tid_[r] < key.first;
     return right_[r] < key.second;
   };
-  auto lo = std::lower_bound(first, last, std::make_pair(t, right_lo), key_less);
+  auto lo =
+      std::lower_bound(first, last, std::make_pair(t, right_lo), key_less);
   auto hi = std::lower_bound(lo, last, std::make_pair(t, right_hi), key_less);
   if (lo == hi) return {};
   return std::span<const Row>(&*lo, static_cast<size_t>(hi - lo));

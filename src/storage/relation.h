@@ -57,7 +57,16 @@ struct RelationOptions {
   LabelScheme scheme = LabelScheme::kLPath;
 };
 
+class ImageIO;
+
 /// Immutable, columnar, dictionary-encoded node relation.
+///
+/// Columns are exposed as borrowed spans over a type-erased backing: a
+/// relation built in memory owns its arrays (the backing is the arena the
+/// build filled), while a relation opened from a persistent image serves
+/// the very same spans straight out of a read-only file mapping (see
+/// storage/image.h). Every consumer — executor, morsel planner, benches —
+/// reads through one accessor surface and cannot tell the difference.
 class NodeRelation {
  public:
   /// Labels every tree of `*corpus` under `options.scheme`, flattens nodes
@@ -109,7 +118,9 @@ class NodeRelation {
 
   /// All element rows (kind = element) — NOT contiguous; use this range plus
   /// the is_attr filter for wildcard scans.
-  RowRange all_rows() const { return RowRange{0, static_cast<Row>(row_count())}; }
+  RowRange all_rows() const {
+    return RowRange{0, static_cast<Row>(row_count())};
+  }
 
   /// Subrange of run(name) with tid == t; binary search.
   RowRange RunForTree(Symbol name, int32_t t) const;
@@ -187,10 +198,22 @@ class NodeRelation {
   std::vector<TidRange> CarveTidRanges(int target_ranges,
                                        uint64_t min_rows = 1) const;
 
-  /// Memory used by columns + indexes, for reports.
+  /// Memory used by columns + indexes, for reports. For a mapped relation
+  /// this is the mapped footprint served from the page cache.
   size_t MemoryBytes() const;
 
+  /// True when the columns are served out of a read-only file mapping
+  /// (opened via ImageIO) rather than build-owned arrays.
+  bool mapped() const { return mapped_; }
+
+  /// Process-wide count of in-memory builds (label + sort) ever run — the
+  /// load-path counter tests use to assert that opening a persistent image
+  /// performs no labeling or sorting.
+  static uint64_t BuildCount();
+
  private:
+  friend class ImageIO;
+
   NodeRelation() = default;
 
   LabelScheme scheme_ = LabelScheme::kLPath;
@@ -199,36 +222,42 @@ class NodeRelation {
   std::shared_ptr<const Corpus> corpus_;
   int32_t tree_count_ = 0;
   size_t element_count_ = 0;
+  bool mapped_ = false;
+
+  // Owner of every span below: the build's column arena, or the read-only
+  // file mapping of a persistent image. Shared (not unique) so a moved
+  // relation's spans stay valid — vector buffers and mappings never move.
+  std::shared_ptr<const void> backing_;
 
   // Columns, clustered by (name, tid, left, right, depth, id, pid).
-  std::vector<int32_t> tid_, left_, right_, depth_, id_, pid_;
-  std::vector<Symbol> name_, value_;
-  std::vector<uint8_t> kind_;
+  std::span<const int32_t> tid_, left_, right_, depth_, id_, pid_;
+  std::span<const Symbol> name_, value_;
+  std::span<const uint8_t> kind_;
 
   // name symbol -> clustered run. Dense by symbol id.
-  std::vector<RowRange> runs_;
+  std::span<const RowRange> runs_;
 
   // Per-run permutations, concatenated in run order (same offsets as rows):
   // by (tid, right, left) and by (tid, pid, left).
-  std::vector<Row> by_right_;
-  std::vector<Row> by_pid_;
+  std::span<const Row> by_right_;
+  std::span<const Row> by_pid_;
 
   // Global value index: attribute rows ordered by (value, tid, id), with a
   // dense offset table per value symbol.
-  std::vector<Row> value_index_;
-  std::vector<uint32_t> value_offsets_;  // size = interner.end_id() + 1
+  std::span<const Row> value_index_;
+  std::span<const uint32_t> value_offsets_;  // size = interner.end_id() + 1
 
   // Per-tree row mass: tree_row_prefix_[t] = rows with tid < t (size
   // tree_count_ + 1). Feeds the morsel planner's balanced carving.
-  std::vector<uint64_t> tree_row_prefix_;
+  std::span<const uint64_t> tree_row_prefix_;
 
   // (tid, id) -> element row: per-tree base into elem_row_.
-  std::vector<uint32_t> tree_base_;  // size = tree_count_ + 1
-  std::vector<Row> elem_row_;        // size = total element count
+  std::span<const uint32_t> tree_base_;  // size = tree_count_ + 1
+  std::span<const Row> elem_row_;        // size = total element count
 
   // (tid, id) -> attribute rows: CSR over elements.
-  std::vector<uint32_t> attr_offsets_;  // size = element_count_ + 1
-  std::vector<Row> attr_rows_;
+  std::span<const uint32_t> attr_offsets_;  // size = element_count_ + 1
+  std::span<const Row> attr_rows_;
 };
 
 }  // namespace lpath

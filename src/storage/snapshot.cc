@@ -3,6 +3,8 @@
 #include <atomic>
 #include <utility>
 
+#include "storage/image.h"
+
 namespace lpath {
 
 namespace {
@@ -37,9 +39,31 @@ Result<SnapshotPtr> CorpusSnapshot::Build(std::shared_ptr<const Corpus> corpus,
       new CorpusSnapshot(std::move(corpus), std::move(relation), options));
 }
 
-Result<SnapshotPtr> CorpusSnapshot::Rebuild() const { return Rebuild(options_); }
+Result<SnapshotPtr> CorpusSnapshot::Open(const std::string& path) {
+  LPATH_ASSIGN_OR_RETURN(NodeRelation relation, ImageIO::Open(path));
+  RelationOptions options;
+  options.scheme = relation.scheme();
+  // Copied out first: evaluation order must not move the relation away
+  // before its corpus pointer is read.
+  std::shared_ptr<const Corpus> corpus = relation.corpus_ptr();
+  auto* snapshot =
+      new CorpusSnapshot(std::move(corpus), std::move(relation), options);
+  snapshot->image_path_ = path;
+  return SnapshotPtr(snapshot);
+}
+
+Status CorpusSnapshot::Save(const std::string& path) const {
+  return ImageIO::Save(relation_, path);
+}
+
+Result<SnapshotPtr> CorpusSnapshot::Rebuild() const {
+  return Rebuild(options_);
+}
 
 Result<SnapshotPtr> CorpusSnapshot::Rebuild(RelationOptions options) const {
+  // An image-backed snapshot has no trees to relabel: re-open the image
+  // (its labeling is baked in; `options` cannot change it).
+  if (image_backed()) return Open(image_path_);
   return Build(corpus_, options);
 }
 

@@ -16,8 +16,10 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 
 #include "common/result.h"
+#include "common/status.h"
 #include "storage/relation.h"
 #include "tree/corpus.h"
 
@@ -42,8 +44,21 @@ class CorpusSnapshot {
   static Result<SnapshotPtr> Build(std::shared_ptr<const Corpus> corpus,
                                    RelationOptions options = {});
 
+  /// Opens a persistent relation image (see storage/image.h): the columns
+  /// are served straight out of a read-only mmap owned by the snapshot, so
+  /// load cost is O(file size) — no labeling, no sorting. The snapshot's
+  /// corpus carries the dictionary but no trees; everything the SQL
+  /// executor and services need works unchanged, including hot swap
+  /// (in-flight readers keep the mapping alive through their reference).
+  static Result<SnapshotPtr> Open(const std::string& path);
+
+  /// Writes this snapshot's relation (and interner) as a persistent image.
+  Status Save(const std::string& path) const;
+
   /// A new snapshot over the same corpus with a freshly built relation —
-  /// the "rebuilt index" input to a hot swap.
+  /// the "rebuilt index" input to a hot swap. For an image-backed snapshot
+  /// there are no trees to relabel; Rebuild re-opens the image instead
+  /// (a fresh mapping picks up a republished file).
   Result<SnapshotPtr> Rebuild() const;
   Result<SnapshotPtr> Rebuild(RelationOptions options) const;
 
@@ -57,6 +72,11 @@ class CorpusSnapshot {
   /// over the same corpus are distinguishable (swap tests, shell display).
   uint64_t id() const { return id_; }
 
+  /// True when this snapshot serves a mapped image rather than trees it
+  /// can relabel; image_path() is then the file it was opened from.
+  bool image_backed() const { return !image_path_.empty(); }
+  const std::string& image_path() const { return image_path_; }
+
  private:
   CorpusSnapshot(std::shared_ptr<const Corpus> corpus, NodeRelation relation,
                  RelationOptions options);
@@ -65,6 +85,7 @@ class CorpusSnapshot {
   NodeRelation relation_;
   RelationOptions options_;
   uint64_t id_;
+  std::string image_path_;  ///< empty unless opened via Open()
 };
 
 }  // namespace lpath

@@ -105,6 +105,26 @@ TEST(ReportTest, FormatSeconds) {
   EXPECT_NE(FormatSeconds(1.2).find("s"), std::string::npos);
 }
 
+TEST(ReportTest, RunMetadataStampsTrajectories) {
+  const std::map<std::string, std::string> meta = RunMetadataJson();
+  // Values are already JSON-encoded; strings must be quoted, numbers bare.
+  ASSERT_TRUE(meta.count("git_sha"));
+  EXPECT_EQ(meta.at("git_sha").front(), '"');
+  ASSERT_TRUE(meta.count("compiler"));
+  EXPECT_EQ(meta.at("compiler").front(), '"');
+  ASSERT_TRUE(meta.count("nproc"));
+  EXPECT_NE(meta.at("nproc"), "0");
+
+  // Splicing the metadata through RenderJson keeps the document parseable
+  // enough for bench_diff.py's key scan.
+  ReportTable table("Meta");
+  table.Record("Q1", "T1", Measurement{0.5, 1, true});
+  const std::string json = table.RenderJson(meta);
+  EXPECT_NE(json.find("\"git_sha\": \""), std::string::npos);
+  EXPECT_NE(json.find("\"compiler\": \""), std::string::npos);
+  EXPECT_NE(json.find("\"nproc\": "), std::string::npos);
+}
+
 TEST(FixtureTest, DatasetNames) {
   EXPECT_STREQ(DatasetName(Dataset::kWsj), "WSJ");
   EXPECT_STREQ(DatasetName(Dataset::kSwb), "SWB");
