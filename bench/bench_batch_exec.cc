@@ -1,0 +1,200 @@
+// Batch-vs-row executor comparison over the 23-query WSJ suite.
+//
+// Three engine columns, identical plans, different kernels/backings:
+//   Row        — the scalar kernel (ExecOptions::vectorized = false) over
+//                the built in-memory relation; the differential-testing
+//                reference.
+//   Batch      — the vectorized kernel (selection vectors over ~1024-row
+//                column chunks) over the same built relation.
+//   Compressed — the vectorized kernel over a relation opened from a saved
+//                v2 image whose row columns are codec-encoded (bit-packed
+//                FOR / RLE), with scans decoding fused from the compressed
+//                payload (ExecOptions::scan_encoded = true).
+// Expected shape: Batch >= Row on scan-heavy queries (tighter filter
+// loops), Compressed within noise of Batch (the fused decode trades
+// memory bandwidth for a few shifts per block). The printed footer also
+// reports the v1 (all-raw) vs v2 (encoded) image sizes for the corpus —
+// the compression side of the trade.
+//
+// Machine-readable output: set LPATHDB_BENCH_JSON=<path> to dump the table
+// as a BENCH_batch.json trajectory (bench_diff.py diffs it, including the
+// Batch/Row ratio via --ratio); --benchmark_out gives the raw dump. CI
+// runs both through the bench_batch_report ctest entry.
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "bench_common.h"
+#include "common/str_util.h"
+#include "storage/image.h"
+#include "storage/snapshot.h"
+
+namespace lpath {
+namespace bench {
+namespace {
+
+/// The three engines plus the image bookkeeping, built once per process.
+/// Leaked-pointer cache (same reason as fig11's service registry: no
+/// static destructor ordering games under LeakSanitizer); main() frees it.
+struct BatchFixture {
+  SnapshotPtr mapped_snapshot;  ///< opened from the saved v2 image
+  std::unique_ptr<LPathEngine> row;
+  std::unique_ptr<LPathEngine> batch;
+  std::unique_ptr<LPathEngine> compressed;
+  std::string image_path;       ///< the v2 image (deleted by main)
+  uint64_t image_bytes_v1 = 0;  ///< all-raw format, for the size footer
+  uint64_t image_bytes_v2 = 0;  ///< encoded-columns format
+};
+
+BatchFixture*& FixtureSlot() {
+  static BatchFixture* fixture = nullptr;
+  return fixture;
+}
+
+BatchFixture& GetBatchFixture() {
+  BatchFixture*& slot = FixtureSlot();
+  if (slot != nullptr) return *slot;
+  auto* fx = new BatchFixture();
+  const EngineSet& base = GetFixture(Dataset::kWsj);
+
+  fx->image_path =
+      (std::filesystem::temp_directory_path() /
+       ("lpathdb_bench_batch_" + std::to_string(BenchmarkSentences()) +
+        ".img"))
+          .string();
+  const std::string v1_path = fx->image_path + ".v1";
+
+  ImageSaveStats v2_stats;
+  Status saved = base.lpath_snapshot->Save(fx->image_path, {}, &v2_stats);
+  if (!saved.ok()) {
+    std::fprintf(stderr, "cannot save v2 image: %s\n",
+                 saved.ToString().c_str());
+    std::exit(1);
+  }
+  fx->image_bytes_v2 = v2_stats.file_bytes;
+  ImageSaveOptions v1_options;
+  v1_options.format_version = 1;
+  saved = base.lpath_snapshot->Save(v1_path, v1_options);
+  if (!saved.ok()) {
+    std::fprintf(stderr, "cannot save v1 image: %s\n",
+                 saved.ToString().c_str());
+    std::exit(1);
+  }
+  fx->image_bytes_v1 = std::filesystem::file_size(v1_path);
+  std::filesystem::remove(v1_path);
+
+  Result<SnapshotPtr> mapped = CorpusSnapshot::Open(fx->image_path);
+  if (!mapped.ok()) {
+    std::fprintf(stderr, "cannot open %s: %s\n", fx->image_path.c_str(),
+                 mapped.status().ToString().c_str());
+    std::exit(1);
+  }
+  fx->mapped_snapshot = std::move(mapped).value();
+
+  LPathEngine::Options row_options;
+  row_options.exec.vectorized = false;
+  fx->row = std::make_unique<LPathEngine>(base.lpath_relation(), row_options);
+
+  LPathEngine::Options batch_options;
+  batch_options.exec.vectorized = true;
+  fx->batch =
+      std::make_unique<LPathEngine>(base.lpath_relation(), batch_options);
+
+  LPathEngine::Options compressed_options;
+  compressed_options.exec.vectorized = true;
+  compressed_options.exec.scan_encoded = true;
+  fx->compressed = std::make_unique<LPathEngine>(
+      fx->mapped_snapshot->relation(), compressed_options);
+
+  slot = fx;
+  return *fx;
+}
+
+ReportTable& BatchTable() {
+  static ReportTable* table = new ReportTable(
+      "Batch executor — row vs. batch vs. batch-over-compressed (WSJ, "
+      "23-query suite)");
+  return *table;
+}
+
+void RegisterAll() {
+  BatchFixture& fx = GetBatchFixture();
+  for (const BenchmarkQuery& q : The23Queries()) {
+    const std::string row = QueryRowName(q.id);
+    RegisterQueryBench(&BatchTable(), row, "Row", fx.row.get(), q.lpath);
+    RegisterQueryBench(&BatchTable(), row, "Batch", fx.batch.get(), q.lpath);
+    RegisterQueryBench(&BatchTable(), row, "Compressed", fx.compressed.get(),
+                       q.lpath);
+  }
+}
+
+void PrintTables() {
+  const BatchFixture& fx = GetBatchFixture();
+  printf("%s",
+         BatchTable().Render({"Row", "Batch", "Compressed"}).c_str());
+  printf("\nimage size: v2 (encoded) %s bytes vs v1 (all-raw) %s bytes "
+         "(%.1f%%)\n",
+         FormatWithCommas(static_cast<int64_t>(fx.image_bytes_v2)).c_str(),
+         FormatWithCommas(static_cast<int64_t>(fx.image_bytes_v1)).c_str(),
+         fx.image_bytes_v1 == 0
+             ? 100.0
+             : 100.0 * static_cast<double>(fx.image_bytes_v2) /
+                   static_cast<double>(fx.image_bytes_v1));
+  printf("(scale: %d sentences, LPATHDB_SENTENCES overrides; Row = scalar "
+         "kernel, Batch = selection-vector kernel, Compressed = batch over "
+         "the mapped v2 image with fused decode)\n",
+         BenchmarkSentences());
+}
+
+/// Writes the table as the BENCH_batch.json trajectory point when
+/// LPATHDB_BENCH_JSON names a path.
+void MaybeWriteJson() {
+  const char* path = std::getenv("LPATHDB_BENCH_JSON");
+  if (path == nullptr || path[0] == '\0') return;
+  const BatchFixture& fx = GetBatchFixture();
+  std::map<std::string, std::string> extra = RunMetadataJson();
+  extra["benchmark"] = "\"batch\"";
+  extra["unit"] = "\"seconds per query evaluation\"";
+  extra["sentences"] = std::to_string(BenchmarkSentences());
+  extra["image_bytes_v1"] = std::to_string(fx.image_bytes_v1);
+  extra["image_bytes_v2"] = std::to_string(fx.image_bytes_v2);
+  const std::string json = BatchTable().RenderJson(extra);
+  FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  fputs(json.c_str(), f);
+  std::fclose(f);
+  printf("wrote %s\n", path);
+}
+
+void FreeFixture() {
+  BatchFixture*& slot = FixtureSlot();
+  if (slot == nullptr) return;
+  std::error_code ec;
+  std::filesystem::remove(slot->image_path, ec);
+  delete slot;
+  slot = nullptr;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace lpath
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  lpath::bench::RegisterAll();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  lpath::bench::PrintTables();
+  lpath::bench::MaybeWriteJson();
+  lpath::bench::FreeFixture();
+  return 0;
+}

@@ -94,6 +94,28 @@ void BM_OpenImage(benchmark::State& st) {
   st.counters["image_bytes"] = static_cast<double>(fx.image_bytes);
 }
 
+/// Same open with only the header checksum verified (ImageVerify::
+/// kHeaderOnly): skips the O(file-size) payload scan, leaving the
+/// column decode as the remaining open-time cost. The gap to
+/// BM_OpenImage is what the full-verify default buys its safety with.
+void BM_OpenImageHeaderOnly(benchmark::State& st) {
+  const ScaleFixture& fx = GetScale(static_cast<int>(st.range(0)));
+  ImageOpenOptions options;
+  options.verify = ImageVerify::kHeaderOnly;
+  uint64_t iters = 0;
+  for (auto _ : st) {
+    Result<SnapshotPtr> snap = CorpusSnapshot::Open(fx.image_path, options);
+    if (!snap.ok()) {
+      st.SkipWithError(snap.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize((*snap)->relation().row_count());
+    ++iters;
+  }
+  st.SetBytesProcessed(static_cast<int64_t>(iters * fx.image_bytes));
+  st.counters["image_bytes"] = static_cast<double>(fx.image_bytes);
+}
+
 /// Open plus one query, to show the mapped columns are immediately hot.
 void BM_OpenImageAndQuery(benchmark::State& st) {
   const ScaleFixture& fx = GetScale(static_cast<int>(st.range(0)));
@@ -123,6 +145,11 @@ BENCHMARK(lpath::bench::BM_BuildSnapshot)
     ->Arg(4000)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(lpath::bench::BM_OpenImage)
+    ->Arg(250)
+    ->Arg(1000)
+    ->Arg(4000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(lpath::bench::BM_OpenImageHeaderOnly)
     ->Arg(250)
     ->Arg(1000)
     ->Arg(4000)

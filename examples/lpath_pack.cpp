@@ -5,12 +5,17 @@
 // sorting at serve time.
 //
 //   ./examples/lpath_pack [--wsj N | --swb N | --skewed N | --corpus FILE.mrg]
-//                         [--scheme lpath|xpath] [--seed S] OUT.img
+//                         [--scheme lpath|xpath] [--seed S]
+//                         [--encoding raw|auto] OUT.img
 //
 // Examples:
 //   lpath_pack --wsj 4000 wsj.img          # generated WSJ profile corpus
 //   lpath_pack --corpus wsj.mrg wsj.img    # bracketed treebank file
 //   lpath_pack --corpus wsj.mrg --scheme xpath wsj-xpath.img
+//   lpath_pack --wsj 4000 --encoding raw wsj-raw.img  # no column codecs
+//
+// `--encoding auto` (the default) stores each row column under its
+// cheapest codec and prints the per-column compression table.
 
 #include <cstdio>
 #include <cstdlib>
@@ -31,7 +36,8 @@ int Usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s [--wsj N | --swb N | --skewed N | --corpus FILE.mrg]\n"
-      "          [--scheme lpath|xpath] [--seed S] OUT.img\n",
+      "          [--scheme lpath|xpath] [--seed S] [--encoding raw|auto] "
+      "OUT.img\n",
       argv0);
   return 2;
 }
@@ -45,6 +51,7 @@ int main(int argc, char** argv) {
   int sentences = 1000;
   uint64_t seed = 2006;
   RelationOptions options;
+  ImageSaveOptions save_options;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if ((arg == "--wsj" || arg == "--swb" || arg == "--skewed") &&
@@ -55,6 +62,15 @@ int main(int argc, char** argv) {
       corpus_path = argv[++i];
     } else if (arg == "--seed" && i + 1 < argc) {
       seed = static_cast<uint64_t>(std::atoll(argv[++i]));
+    } else if (arg == "--encoding" && i + 1 < argc) {
+      const std::string encoding = argv[++i];
+      if (encoding == "raw") {
+        save_options.encoding = ImageEncoding::kRaw;
+      } else if (encoding == "auto") {
+        save_options.encoding = ImageEncoding::kAuto;
+      } else {
+        return Usage(argv[0]);
+      }
     } else if (arg == "--scheme" && i + 1 < argc) {
       const std::string scheme = argv[++i];
       if (scheme == "lpath") {
@@ -115,7 +131,8 @@ int main(int argc, char** argv) {
 
   // 3. Serialize.
   Timer save_timer;
-  Status s = (*snapshot)->Save(out_path);
+  ImageSaveStats save_stats;
+  Status s = (*snapshot)->Save(out_path, save_options, &save_stats);
   if (!s.ok()) {
     std::fprintf(stderr, "%s\n", s.ToString().c_str());
     return 1;
@@ -124,14 +141,35 @@ int main(int argc, char** argv) {
 
   std::printf(
       "packed %zu trees (%s nodes, %s relation rows) into %s\n"
-      "  load %.1f ms, label+sort+index %.1f ms, write %.1f ms\n"
-      "  open it with lpath_shell ':load NAME %s' — no rebuild at serve "
-      "time\n",
+      "  load %.1f ms, label+sort+index %.1f ms, write %.1f ms\n",
       trees, FormatWithCommas(static_cast<int64_t>(nodes)).c_str(),
       FormatWithCommas(
           static_cast<int64_t>((*snapshot)->relation().row_count()))
           .c_str(),
-      out_path.c_str(), load_s * 1e3, build_s * 1e3, save_s * 1e3,
+      out_path.c_str(), load_s * 1e3, build_s * 1e3, save_s * 1e3);
+  std::printf("  column     encoding   raw bytes      stored bytes\n");
+  for (const ImageSaveStats::Column& col : save_stats.columns) {
+    std::printf("  %-9s  %-8s  %12s  %12s  (%.1f%%)\n", col.name.c_str(),
+                ColumnEncodingName(col.encoding),
+                FormatWithCommas(static_cast<int64_t>(col.raw_bytes)).c_str(),
+                FormatWithCommas(static_cast<int64_t>(col.stored_bytes))
+                    .c_str(),
+                col.raw_bytes == 0
+                    ? 100.0
+                    : 100.0 * static_cast<double>(col.stored_bytes) /
+                          static_cast<double>(col.raw_bytes));
+  }
+  std::printf(
+      "  image %s bytes (%s raw): %.1f%% of the all-raw size\n"
+      "  open it with lpath_shell ':load NAME %s' — no rebuild at serve "
+      "time\n",
+      FormatWithCommas(static_cast<int64_t>(save_stats.file_bytes)).c_str(),
+      FormatWithCommas(static_cast<int64_t>(save_stats.raw_file_bytes))
+          .c_str(),
+      save_stats.raw_file_bytes == 0
+          ? 100.0
+          : 100.0 * static_cast<double>(save_stats.file_bytes) /
+                static_cast<double>(save_stats.raw_file_bytes),
       out_path.c_str());
   return 0;
 }

@@ -1,0 +1,102 @@
+// Lightweight column compression for the relation's persistent images and
+// the vectorized executor, in the style of Abadi-style column codecs:
+// cheap to decode (a handful of shifts and adds per value), block-oriented
+// so decode fuses into a batch scan, and picked per column by measured
+// encoded size rather than by type.
+//
+//   kRaw     — the column's verbatim 32-bit words (v1 images, incompressible
+//              columns). Not represented as encoded bytes; a raw section is
+//              served straight out of the file mapping.
+//   kBitPack — frame-of-reference + bit packing per 1024-value block: each
+//              block stores its minimum and the bit width of (value - min),
+//              then the packed residuals. Dense ascending columns (left,
+//              right, id, pid, depth — the interval labels) pack to a few
+//              bits per value. Decode is branch-free.
+//   kRle     — run-length over the 32-bit words as (exclusive end, value)
+//              pairs. The name column is a handful of runs by construction
+//              (the relation is clustered by name); the value column is
+//              kNoSymbol across every element row. Runs are binary
+//              searchable, so range decode is O(log runs + n).
+//
+// All codecs are value-preserving over the raw 32-bit patterns (signed
+// columns round-trip bit-exactly through unsigned arithmetic), and
+// Validate() bounds-checks an untrusted encoded payload before any decode
+// touches it — the corruption battery relies on that.
+
+#ifndef LPATHDB_STORAGE_CODEC_H_
+#define LPATHDB_STORAGE_CODEC_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+
+namespace lpath {
+
+/// Per-column (per image section) encoding tag; serialized in v2 images.
+enum class ColumnEncoding : uint32_t {
+  kRaw = 0,
+  kBitPack = 1,
+  kRle = 2,
+};
+
+const char* ColumnEncodingName(ColumnEncoding encoding);
+
+/// Values per bit-packed block; also the batch size of the vectorized
+/// executor, so one decoded block feeds exactly one selection-vector chunk.
+inline constexpr uint64_t kCodecBlockValues = 1024;
+
+/// A view of one encoded column — typically straight into a read-only
+/// image mapping. `bytes` is empty (and the view inert) for kRaw columns,
+/// which are served as verbatim arrays instead.
+struct EncodedColumnView {
+  ColumnEncoding encoding = ColumnEncoding::kRaw;
+  uint64_t count = 0;              ///< logical number of 32-bit values
+  std::span<const uint8_t> bytes;  ///< encoded payload (8-byte aligned)
+
+  /// True when there is a compressed payload to decode from.
+  bool encoded() const {
+    return encoding != ColumnEncoding::kRaw && count > 0;
+  }
+};
+
+/// Stateless encoder/decoder for 32-bit columns. All entry points treat
+/// values as raw uint32 bit patterns; int32 columns reinterpret in and out.
+class ColumnCodec {
+ public:
+  /// Encodes `values` under `encoding` (must not be kRaw). The returned
+  /// buffer's layout is what EncodedColumnView::bytes expects and is a
+  /// multiple of 8 bytes.
+  static std::vector<uint8_t> Encode(std::span<const uint32_t> values,
+                                     ColumnEncoding encoding);
+
+  /// Encoded size in bytes of `values` under `encoding` without
+  /// materializing the buffer (kRaw reports the verbatim array size).
+  static uint64_t EncodedBytes(std::span<const uint32_t> values,
+                               ColumnEncoding encoding);
+
+  /// The cheapest encoding for `values` by encoded size; kRaw unless a
+  /// codec is strictly smaller than the verbatim array.
+  static ColumnEncoding PickEncoding(std::span<const uint32_t> values);
+
+  /// Structural validation of an untrusted payload: block descriptors in
+  /// bounds, widths <= 32, run ends strictly increasing and summing to
+  /// `count`, total size exact. After an OK here, every Decode*() below is
+  /// memory-safe over the view.
+  static Status Validate(const EncodedColumnView& column);
+
+  /// Decodes the whole column; `out` must hold `column.count` values.
+  static void Decode(const EncodedColumnView& column, uint32_t* out);
+
+  /// Decodes values [begin, begin + n) — the batch-scan entry point. The
+  /// caller keeps n <= kCodecBlockValues for one chunk, but any range
+  /// within the column is legal. Returns the number of codec blocks (or
+  /// runs) touched, for the executor's decode counters.
+  static uint64_t DecodeRange(const EncodedColumnView& column, uint64_t begin,
+                              uint64_t n, uint32_t* out);
+};
+
+}  // namespace lpath
+
+#endif  // LPATHDB_STORAGE_CODEC_H_

@@ -146,6 +146,29 @@ struct SectionEntry {
 static_assert(std::is_trivially_copyable_v<SectionEntry> &&
               sizeof(SectionEntry) == 24);
 
+/// v2 table entry: v1's fields plus the column encoding tag and the byte
+/// count of the payload as stored (== count * elem_size for raw sections).
+struct SectionEntryV2 {
+  uint32_t kind = 0;
+  uint32_t elem_size = 0;
+  uint64_t offset = 0;
+  uint64_t count = 0;        ///< logical element count (decoded)
+  uint32_t encoding = 0;     ///< ColumnEncoding
+  uint32_t reserved = 0;
+  uint64_t stored_bytes = 0; ///< payload bytes at `offset`
+};
+static_assert(std::is_trivially_copyable_v<SectionEntryV2> &&
+              sizeof(SectionEntryV2) == 40);
+
+// The first kRelColEncodable sections are exactly the RelCol row columns —
+// the only sections v2 may store encoded.
+static_assert(kIdxValue + 1 == kRelColEncodable);
+static_assert(static_cast<uint32_t>(RelCol::kTid) == kIdxTid &&
+              static_cast<uint32_t>(RelCol::kValue) == kIdxValue);
+
+constexpr const char* kColumnNames[kRelColEncodable] = {
+    "tid", "left", "right", "depth", "id", "pid", "name", "value"};
+
 /// Incremental FNV-1a (64-bit): simple, dependency-free, and byte-order
 /// independent — adequate for catching truncation and bit corruption.
 class Fnv64 {
@@ -222,6 +245,14 @@ class MappedFile {
   size_t size_;
 };
 
+/// Backing of a relation opened from an image: the mapping plus the
+/// decode arena for columns a v2 image stores encoded (all-empty for raw
+/// columns and v1 images).
+struct MappedBacking {
+  std::shared_ptr<MappedFile> file;
+  std::array<std::vector<uint32_t>, kRelColEncodable> decoded;
+};
+
 /// Buffered image writer that checksums everything after the header as it
 /// goes (padding included, so the digest is a function of the file bytes).
 class ImageWriter {
@@ -275,7 +306,14 @@ bool LooksLikeImageFile(const std::string& path) {
          std::memcmp(magic, kImageMagic, sizeof(magic)) == 0;
 }
 
-Status ImageIO::Save(const NodeRelation& rel, const std::string& path) {
+Status ImageIO::Save(const NodeRelation& rel, const std::string& path,
+                     ImageSaveOptions options, ImageSaveStats* stats) {
+  if (options.format_version < kImageMinFormatVersion ||
+      options.format_version > kImageFormatVersion) {
+    return Status::InvalidArgument("cannot write image format version " +
+                                   std::to_string(options.format_version));
+  }
+  const bool v2 = options.format_version >= 2;
   const Interner& interner = rel.interner();
   const uint64_t symbol_count = interner.size();
 
@@ -290,50 +328,103 @@ Status ImageIO::Save(const NodeRelation& rel, const std::string& path) {
     interner_offsets.push_back(blob.size());
   }
 
-  // Section payloads, positionally matched to kSectionSpecs.
+  // Section payloads, positionally matched to kSectionSpecs. Raw by
+  // default; the pass below may swap a row column for its encoded bytes.
   struct Section {
     const void* data;
-    uint64_t count;
+    uint64_t count;         ///< logical element count
+    uint64_t stored_bytes;  ///< bytes to write
+    uint32_t encoding;      ///< ColumnEncoding
   };
-  const Section sections[kSectionCount] = {
-      {rel.tid_.data(), rel.tid_.size()},
-      {rel.left_.data(), rel.left_.size()},
-      {rel.right_.data(), rel.right_.size()},
-      {rel.depth_.data(), rel.depth_.size()},
-      {rel.id_.data(), rel.id_.size()},
-      {rel.pid_.data(), rel.pid_.size()},
-      {rel.name_.data(), rel.name_.size()},
-      {rel.value_.data(), rel.value_.size()},
-      {rel.kind_.data(), rel.kind_.size()},
-      {rel.runs_.data(), rel.runs_.size()},
-      {rel.by_right_.data(), rel.by_right_.size()},
-      {rel.by_pid_.data(), rel.by_pid_.size()},
-      {rel.value_index_.data(), rel.value_index_.size()},
-      {rel.value_offsets_.data(), rel.value_offsets_.size()},
-      {rel.tree_row_prefix_.data(), rel.tree_row_prefix_.size()},
-      {rel.tree_base_.data(), rel.tree_base_.size()},
-      {rel.elem_row_.data(), rel.elem_row_.size()},
-      {rel.attr_offsets_.data(), rel.attr_offsets_.size()},
-      {rel.attr_rows_.data(), rel.attr_rows_.size()},
-      {interner_offsets.data(), interner_offsets.size()},
-      {blob.data(), blob.size()},
-  };
+  Section sections[kSectionCount];
+  {
+    const struct {
+      const void* data;
+      uint64_t count;
+    } raw[kSectionCount] = {
+        {rel.tid_.data(), rel.tid_.size()},
+        {rel.left_.data(), rel.left_.size()},
+        {rel.right_.data(), rel.right_.size()},
+        {rel.depth_.data(), rel.depth_.size()},
+        {rel.id_.data(), rel.id_.size()},
+        {rel.pid_.data(), rel.pid_.size()},
+        {rel.name_.data(), rel.name_.size()},
+        {rel.value_.data(), rel.value_.size()},
+        {rel.kind_.data(), rel.kind_.size()},
+        {rel.runs_.data(), rel.runs_.size()},
+        {rel.by_right_.data(), rel.by_right_.size()},
+        {rel.by_pid_.data(), rel.by_pid_.size()},
+        {rel.value_index_.data(), rel.value_index_.size()},
+        {rel.value_offsets_.data(), rel.value_offsets_.size()},
+        {rel.tree_row_prefix_.data(), rel.tree_row_prefix_.size()},
+        {rel.tree_base_.data(), rel.tree_base_.size()},
+        {rel.elem_row_.data(), rel.elem_row_.size()},
+        {rel.attr_offsets_.data(), rel.attr_offsets_.size()},
+        {rel.attr_rows_.data(), rel.attr_rows_.size()},
+        {interner_offsets.data(), interner_offsets.size()},
+        {blob.data(), blob.size()},
+    };
+    for (uint32_t i = 0; i < kSectionCount; ++i) {
+      sections[i] = Section{raw[i].data, raw[i].count,
+                            raw[i].count * kSectionSpecs[i].elem_size, 0};
+    }
+  }
+
+  // Pick the cheapest encoding per row column; buffers stay alive until
+  // the write below. A codec must beat the verbatim array strictly, so
+  // incompressible columns remain raw (and are served straight from the
+  // mapping on open).
+  std::vector<std::vector<uint8_t>> encoded_payloads;
+  if (v2 && options.encoding == ImageEncoding::kAuto) {
+    for (uint32_t i = 0; i < kRelColEncodable; ++i) {
+      const std::span<const uint32_t> values(
+          static_cast<const uint32_t*>(sections[i].data), sections[i].count);
+      const ColumnEncoding pick = ColumnCodec::PickEncoding(values);
+      if (pick == ColumnEncoding::kRaw) continue;
+      encoded_payloads.push_back(ColumnCodec::Encode(values, pick));
+      const std::vector<uint8_t>& buf = encoded_payloads.back();
+      sections[i].data = buf.data();
+      sections[i].stored_bytes = buf.size();
+      sections[i].encoding = static_cast<uint32_t>(pick);
+    }
+  }
 
   // Lay the sections out after the header + table, each 8-byte aligned.
-  SectionEntry table[kSectionCount];
-  uint64_t offset =
-      sizeof(ImageHeader) + kSectionCount * sizeof(SectionEntry);
+  // (raw_file_bytes re-runs the same layout with verbatim sizes, so the
+  // stats' baseline accounts for alignment and the table exactly.)
+  const uint64_t entry_size =
+      v2 ? sizeof(SectionEntryV2) : sizeof(SectionEntry);
+  SectionEntryV2 table[kSectionCount];
+  uint64_t offset = sizeof(ImageHeader) + kSectionCount * entry_size;
+  uint64_t raw_file_bytes = offset;
   for (uint32_t i = 0; i < kSectionCount; ++i) {
     offset = AlignUp(offset);
-    table[i] = SectionEntry{kSectionSpecs[i].kind, kSectionSpecs[i].elem_size,
-                            offset, sections[i].count};
-    offset += sections[i].count * kSectionSpecs[i].elem_size;
+    table[i] =
+        SectionEntryV2{kSectionSpecs[i].kind,   kSectionSpecs[i].elem_size,
+                       offset,                  sections[i].count,
+                       sections[i].encoding,    0,
+                       sections[i].stored_bytes};
+    offset += sections[i].stored_bytes;
+    raw_file_bytes = AlignUp(raw_file_bytes) +
+                     sections[i].count * kSectionSpecs[i].elem_size;
   }
   const uint64_t file_size = offset;
 
+  if (stats != nullptr) {
+    stats->columns.clear();
+    for (uint32_t i = 0; i < kRelColEncodable; ++i) {
+      stats->columns.push_back(ImageSaveStats::Column{
+          kColumnNames[i], static_cast<ColumnEncoding>(sections[i].encoding),
+          sections[i].count * kSectionSpecs[i].elem_size,
+          sections[i].stored_bytes});
+    }
+    stats->file_bytes = file_size;
+    stats->raw_file_bytes = raw_file_bytes;
+  }
+
   ImageHeader header;
   std::memcpy(header.magic, kImageMagic, sizeof(kImageMagic));
-  header.version = kImageFormatVersion;
+  header.version = options.format_version;
   header.endian = kEndianMarker;
   header.scheme = static_cast<uint32_t>(rel.scheme());
   header.section_count = kSectionCount;
@@ -357,11 +448,19 @@ Status ImageIO::Save(const NodeRelation& rel, const std::string& path) {
   }
   ImageWriter writer(f);
   bool ok = writer.WriteRaw(&header, sizeof(header));  // placeholder pass
-  ok = ok && writer.WritePayload(table, sizeof(table));
+  if (v2) {
+    ok = ok && writer.WritePayload(table, sizeof(table));
+  } else {
+    SectionEntry v1_table[kSectionCount];
+    for (uint32_t i = 0; i < kSectionCount; ++i) {
+      v1_table[i] = SectionEntry{table[i].kind, table[i].elem_size,
+                                 table[i].offset, table[i].count};
+    }
+    ok = ok && writer.WritePayload(v1_table, sizeof(v1_table));
+  }
   for (uint32_t i = 0; ok && i < kSectionCount; ++i) {
     ok = writer.PadToAlignment() &&
-         writer.WritePayload(sections[i].data,
-                             sections[i].count * kSectionSpecs[i].elem_size);
+         writer.WritePayload(sections[i].data, sections[i].stored_bytes);
   }
   // Seal: fill in the checksums and rewrite the header in place.
   if (ok) {
@@ -401,10 +500,10 @@ Status ImageIO::Save(const NodeRelation& rel, const std::string& path) {
 
 namespace {
 
-/// Typed view of a validated section.
+/// Typed view of a validated raw section.
 template <typename T>
 std::span<const T> SectionSpan(const MappedFile& file,
-                               const SectionEntry& entry) {
+                               const SectionEntryV2& entry) {
   return std::span<const T>(
       reinterpret_cast<const T*>(file.data() + entry.offset), entry.count);
 }
@@ -433,7 +532,8 @@ bool RowsInBounds(std::span<const Row> rows, uint64_t row_count) {
 
 }  // namespace
 
-Result<NodeRelation> ImageIO::Open(const std::string& path) {
+Result<NodeRelation> ImageIO::Open(const std::string& path,
+                                   ImageOpenOptions options) {
   LPATH_ASSIGN_OR_RETURN(std::shared_ptr<MappedFile> file,
                          MappedFile::Map(path));
 
@@ -446,12 +546,15 @@ Result<NodeRelation> ImageIO::Open(const std::string& path) {
   if (std::memcmp(header.magic, kImageMagic, sizeof(kImageMagic)) != 0) {
     return CorruptionAt(path, "bad magic (not a relation image)");
   }
-  if (header.version != kImageFormatVersion) {
+  if (header.version < kImageMinFormatVersion ||
+      header.version > kImageFormatVersion) {
     return Status::NotSupported(
         "relation image " + path + " has format version " +
-        std::to_string(header.version) + "; this build reads version " +
+        std::to_string(header.version) + "; this build reads versions " +
+        std::to_string(kImageMinFormatVersion) + ".." +
         std::to_string(kImageFormatVersion));
   }
+  const bool v2 = header.version >= 2;
   if (header.endian != kEndianMarker) {
     return Status::NotSupported("relation image " + path +
                                 " was written on a foreign-endian machine");
@@ -474,7 +577,9 @@ Result<NodeRelation> ImageIO::Open(const std::string& path) {
   }
 
   // --- Payload checksum (covers the section table and every section) -------
-  {
+  // kHeaderOnly skips exactly this scan — the one check whose cost is
+  // O(file size); everything below stays on.
+  if (options.verify == ImageVerify::kFull) {
     Fnv64 fnv;
     fnv.Update(file->data() + sizeof(ImageHeader),
                file->size() - sizeof(ImageHeader));
@@ -484,15 +589,29 @@ Result<NodeRelation> ImageIO::Open(const std::string& path) {
   }
 
   // --- Section table --------------------------------------------------------
-  if (file->size() <
-      sizeof(ImageHeader) + kSectionCount * sizeof(SectionEntry)) {
+  const uint64_t entry_size =
+      v2 ? sizeof(SectionEntryV2) : sizeof(SectionEntry);
+  if (file->size() < sizeof(ImageHeader) + kSectionCount * entry_size) {
     return CorruptionAt(path, "file shorter than the section table");
   }
-  SectionEntry table[kSectionCount];
-  std::memcpy(table, file->data() + sizeof(ImageHeader), sizeof(table));
+  SectionEntryV2 table[kSectionCount];
+  if (v2) {
+    std::memcpy(table, file->data() + sizeof(ImageHeader), sizeof(table));
+  } else {
+    SectionEntry v1_table[kSectionCount];
+    std::memcpy(v1_table, file->data() + sizeof(ImageHeader),
+                sizeof(v1_table));
+    for (uint32_t i = 0; i < kSectionCount; ++i) {
+      table[i] = SectionEntryV2{
+          v1_table[i].kind,  v1_table[i].elem_size,
+          v1_table[i].offset, v1_table[i].count,
+          0,                 0,
+          v1_table[i].count * v1_table[i].elem_size};
+    }
+  }
 
   for (uint32_t i = 0; i < kSectionCount; ++i) {
-    const SectionEntry& e = table[i];
+    const SectionEntryV2& e = table[i];
     if (e.kind != kSectionSpecs[i].kind ||
         e.elem_size != kSectionSpecs[i].elem_size) {
       return CorruptionAt(path, "section table does not match the format");
@@ -500,8 +619,19 @@ Result<NodeRelation> ImageIO::Open(const std::string& path) {
     if (e.offset % kSectionAlign != 0) {
       return CorruptionAt(path, "misaligned section");
     }
-    const uint64_t bytes = e.count * e.elem_size;
-    if (e.offset > file->size() || bytes > file->size() - e.offset) {
+    if (e.encoding != static_cast<uint32_t>(ColumnEncoding::kRaw)) {
+      if (i >= kRelColEncodable) {
+        return CorruptionAt(path, "encoded tag on a non-column section");
+      }
+      if (e.encoding != static_cast<uint32_t>(ColumnEncoding::kBitPack) &&
+          e.encoding != static_cast<uint32_t>(ColumnEncoding::kRle)) {
+        return CorruptionAt(path, "unknown column encoding tag");
+      }
+    } else if (e.stored_bytes != e.count * e.elem_size) {
+      return CorruptionAt(path, "raw section byte count mismatch");
+    }
+    if (e.offset > file->size() ||
+        e.stored_bytes > file->size() - e.offset) {
       return CorruptionAt(path, "section extends past the end of the file");
     }
   }
@@ -534,6 +664,38 @@ Result<NodeRelation> ImageIO::Open(const std::string& path) {
     return CorruptionAt(path, "index larger than the row space");
   }
 
+  // --- Encoded columns: validate, then decode into the backing's arena -----
+  // Raw columns bind straight into the mapping; encoded ones are decoded
+  // once here so every span accessor (and the binary searches behind the
+  // run/range lookups) work identically over both. The encoded views are
+  // kept alongside so the batch executor can fuse decode into its scans.
+  auto backing = std::make_shared<MappedBacking>();
+  backing->file = file;
+  std::array<EncodedColumnView, kRelColEncodable> encoded_views{};
+  std::array<std::span<const uint32_t>, kRelColEncodable> cols;
+  for (uint32_t i = 0; i < kRelColEncodable; ++i) {
+    const SectionEntryV2& e = table[i];
+    if (e.encoding == static_cast<uint32_t>(ColumnEncoding::kRaw)) {
+      cols[i] = SectionSpan<uint32_t>(*file, e);
+      continue;
+    }
+    const EncodedColumnView view{
+        static_cast<ColumnEncoding>(e.encoding), e.count,
+        std::span<const uint8_t>(file->data() + e.offset, e.stored_bytes)};
+    if (const Status status = ColumnCodec::Validate(view); !status.ok()) {
+      return CorruptionAt(path, status.message().c_str());
+    }
+    std::vector<uint32_t>& arena = backing->decoded[i];
+    arena.resize(e.count);
+    ColumnCodec::Decode(view, arena.data());
+    cols[i] = std::span<const uint32_t>(arena);
+    encoded_views[i] = view;
+  }
+  const auto col_i32 = [&cols](uint32_t i) {
+    return std::span<const int32_t>(
+        reinterpret_cast<const int32_t*>(cols[i].data()), cols[i].size());
+  };
+
   // --- Index sanity: keep every accessor in bounds over the mapping --------
   const auto runs = SectionSpan<RowRange>(*file, table[kIdxRuns]);
   for (const RowRange& r : runs) {
@@ -552,7 +714,7 @@ Result<NodeRelation> ImageIO::Open(const std::string& path) {
   // range themselves, but a value outside [0, trees) can only come from a
   // forged file, so reject it here as corruption rather than serving
   // silently-empty per-tree lookups.
-  for (int32_t t : SectionSpan<int32_t>(*file, table[kIdxTid])) {
+  for (int32_t t : col_i32(kIdxTid)) {
     if (t < 0 || static_cast<uint64_t>(t) >= trees) {
       return CorruptionAt(path, "tid column out of range");
     }
@@ -592,15 +754,16 @@ Result<NodeRelation> ImageIO::Open(const std::string& path) {
   rel.tree_count_ = static_cast<int32_t>(trees);
   rel.element_count_ = static_cast<size_t>(elements);
   rel.mapped_ = true;
-  rel.tid_ = SectionSpan<int32_t>(*file, table[kIdxTid]);
-  rel.left_ = SectionSpan<int32_t>(*file, table[kIdxLeft]);
-  rel.right_ = SectionSpan<int32_t>(*file, table[kIdxRight]);
-  rel.depth_ = SectionSpan<int32_t>(*file, table[kIdxDepth]);
-  rel.id_ = SectionSpan<int32_t>(*file, table[kIdxId]);
-  rel.pid_ = SectionSpan<int32_t>(*file, table[kIdxPid]);
-  rel.name_ = SectionSpan<Symbol>(*file, table[kIdxName]);
-  rel.value_ = SectionSpan<Symbol>(*file, table[kIdxValue]);
+  rel.tid_ = col_i32(kIdxTid);
+  rel.left_ = col_i32(kIdxLeft);
+  rel.right_ = col_i32(kIdxRight);
+  rel.depth_ = col_i32(kIdxDepth);
+  rel.id_ = col_i32(kIdxId);
+  rel.pid_ = col_i32(kIdxPid);
+  rel.name_ = cols[kIdxName];
+  rel.value_ = cols[kIdxValue];
   rel.kind_ = SectionSpan<uint8_t>(*file, table[kIdxKind]);
+  rel.encoded_ = encoded_views;
   rel.runs_ = runs;
   rel.by_right_ = SectionSpan<Row>(*file, table[kIdxByRight]);
   rel.by_pid_ = SectionSpan<Row>(*file, table[kIdxByPid]);
@@ -613,7 +776,7 @@ Result<NodeRelation> ImageIO::Open(const std::string& path) {
   rel.elem_row_ = SectionSpan<Row>(*file, table[kIdxElemRow]);
   rel.attr_offsets_ = SectionSpan<uint32_t>(*file, table[kIdxAttrOffsets]);
   rel.attr_rows_ = SectionSpan<Row>(*file, table[kIdxAttrRows]);
-  rel.backing_ = std::move(file);
+  rel.backing_ = std::move(backing);
   return rel;
 }
 

@@ -18,29 +18,44 @@
 //   ImageHeader            magic, version, endian marker, label scheme,
 //                          row/tree/element/symbol counts, file size,
 //                          header + payload FNV-1a64 checksums
-//   SectionEntry[21]       {kind, elem_size, offset, count} per section
-//   sections...            raw column arrays, each 8-byte aligned:
+//   section table          per section: v1 writes SectionEntry
+//                          {kind, elem_size, offset, count}; v2 writes
+//                          SectionEntryV2, which appends an encoding tag
+//                          and the encoded byte count
+//   sections...            column arrays, each 8-byte aligned:
 //                          tid/left/right/depth/id/pid/name/value/kind,
 //                          run directory, by-right/by-pid permutations,
 //                          value index + offsets, per-tree row prefix sums,
 //                          tree base / element row / attribute CSR,
 //                          interner offsets + concatenated string blob
 //
+// Format v2 may store any of the eight 32-bit row columns (tid..value)
+// under a lightweight codec (storage/codec.h) instead of verbatim; Save
+// measures each candidate encoding and keeps the cheapest. Every other
+// section — kind byte, indexes, interner — is always raw. v1 images (all
+// sections raw) still open; v2 images can be written by older-format
+// request (ImageSaveOptions::format_version = 1) for downgrades.
+//
 // Corruption model: the payload checksum covers every byte after the
 // header (section table included); the header carries its own checksum.
 // Open() additionally bounds-checks every section against the file size
-// and validates the cross-section count invariants and index monotonicity,
-// so a truncated, bit-flipped or wrong-version file yields a clean Status
+// and validates the cross-section count invariants, index monotonicity,
+// and every encoded column's codec structure (ColumnCodec::Validate), so
+// a truncated, bit-flipped or wrong-version file yields a clean Status
 // error — never a crash — and a checksum-valid file cannot index the
-// mapping out of bounds.
+// mapping out of bounds. Opening with ImageVerify::kHeaderOnly skips only
+// the whole-payload checksum scan (the part that is O(file size) in cache
+// misses); every structural and codec check still runs.
 
 #ifndef LPATHDB_STORAGE_IMAGE_H_
 #define LPATHDB_STORAGE_IMAGE_H_
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/result.h"
+#include "storage/codec.h"
 #include "storage/relation.h"
 
 namespace lpath {
@@ -49,8 +64,55 @@ namespace lpath {
 inline constexpr char kImageMagic[8] = {'L', 'P', 'D', 'B',
                                         'I', 'M', 'G', '\0'};
 
-/// Format generation; bumped on any incompatible layout change.
-inline constexpr uint32_t kImageFormatVersion = 1;
+/// Format generation written by default; bumped on layout changes. Open()
+/// reads every version in [kImageMinFormatVersion, kImageFormatVersion].
+inline constexpr uint32_t kImageFormatVersion = 2;
+inline constexpr uint32_t kImageMinFormatVersion = 1;
+
+/// How much of an image Open() verifies before serving from it.
+enum class ImageVerify {
+  /// Checksum the whole payload (plus all structural checks). The default:
+  /// corruption anywhere in the file is caught at open.
+  kFull,
+  /// Skip only the payload checksum scan; header checksum, section bounds,
+  /// count invariants, index sanity and codec validation still run. Opt-in
+  /// for latency-sensitive cold opens of large trusted images, where the
+  /// O(file size) checksum read would dominate.
+  kHeaderOnly,
+};
+
+struct ImageOpenOptions {
+  ImageVerify verify = ImageVerify::kFull;
+};
+
+/// Column encoding policy for Save().
+enum class ImageEncoding {
+  /// Per column, measure the candidate codecs and store the cheapest
+  /// (raw included). v2 images only; v1 is always raw.
+  kAuto,
+  /// Store every column verbatim.
+  kRaw,
+};
+
+struct ImageSaveOptions {
+  /// Format generation to write: kImageFormatVersion (default) or 1 for a
+  /// downgrade image older builds can open.
+  uint32_t format_version = kImageFormatVersion;
+  ImageEncoding encoding = ImageEncoding::kAuto;
+};
+
+/// What Save() wrote, for tooling (`lpath_pack` prints this table).
+struct ImageSaveStats {
+  struct Column {
+    std::string name;           ///< section name, e.g. "left"
+    ColumnEncoding encoding = ColumnEncoding::kRaw;
+    uint64_t raw_bytes = 0;     ///< verbatim array size
+    uint64_t stored_bytes = 0;  ///< bytes actually written
+  };
+  std::vector<Column> columns;   ///< the eight encodable row columns
+  uint64_t file_bytes = 0;       ///< total image size as written
+  uint64_t raw_file_bytes = 0;   ///< image size had every column been raw
+};
 
 /// Reads `path`'s first bytes and reports whether they carry the relation
 /// image magic — how Database::Open routes image vs. bracketed files.
@@ -62,20 +124,28 @@ bool LooksLikeImageFile(const std::string& path);
 class ImageIO {
  public:
   /// Writes `relation` (columns, indexes, prefix sums, interner) to `path`
-  /// as one image. Writes to `path + ".tmp"` and renames, so a concurrent
-  /// reader never sees a half-written image.
-  static Status Save(const NodeRelation& relation, const std::string& path);
+  /// as one image. Writes to a unique sibling temp file and renames, so a
+  /// concurrent reader never sees a half-written image. With the default
+  /// options this writes a v2 image with per-column cheapest encodings;
+  /// `stats` (optional) receives the per-column size breakdown.
+  static Status Save(const NodeRelation& relation, const std::string& path,
+                     ImageSaveOptions options = {},
+                     ImageSaveStats* stats = nullptr);
 
   /// Opens an image read-only via mmap. Validates the header, checksums
   /// and section bounds, rebuilds the interner into a fresh (tree-less)
-  /// corpus, and binds the relation's columns straight into the mapping.
-  /// Performs no labeling and no sorting: cost is O(file size).
+  /// corpus, and binds the relation's columns straight into the mapping —
+  /// columns a v2 image stores encoded are decoded once into an owned
+  /// arena (and additionally exposed through NodeRelation::encoded() for
+  /// fused decode in the batch scan). Performs no labeling and no
+  /// sorting: cost is O(file size).
   ///
   /// The returned relation's corpus carries the dictionary but no trees —
   /// everything the SQL executor needs, but not the bracketed text
   /// (engines that walk trees, e.g. the navigational baseline, need a
   /// corpus-built snapshot instead).
-  static Result<NodeRelation> Open(const std::string& path);
+  static Result<NodeRelation> Open(const std::string& path,
+                                   ImageOpenOptions options = {});
 };
 
 }  // namespace lpath

@@ -39,21 +39,23 @@ Result<SnapshotPtr> CorpusSnapshot::Build(std::shared_ptr<const Corpus> corpus,
       new CorpusSnapshot(std::move(corpus), std::move(relation), options));
 }
 
-Result<SnapshotPtr> CorpusSnapshot::Open(const std::string& path) {
-  LPATH_ASSIGN_OR_RETURN(NodeRelation relation, ImageIO::Open(path));
-  RelationOptions options;
-  options.scheme = relation.scheme();
+Result<SnapshotPtr> CorpusSnapshot::Open(const std::string& path,
+                                         ImageOpenOptions options) {
+  LPATH_ASSIGN_OR_RETURN(NodeRelation relation, ImageIO::Open(path, options));
+  RelationOptions rel_options;
+  rel_options.scheme = relation.scheme();
   // Copied out first: evaluation order must not move the relation away
   // before its corpus pointer is read.
   std::shared_ptr<const Corpus> corpus = relation.corpus_ptr();
   auto* snapshot =
-      new CorpusSnapshot(std::move(corpus), std::move(relation), options);
+      new CorpusSnapshot(std::move(corpus), std::move(relation), rel_options);
   snapshot->image_path_ = path;
   return SnapshotPtr(snapshot);
 }
 
-Status CorpusSnapshot::Save(const std::string& path) const {
-  return ImageIO::Save(relation_, path);
+Status CorpusSnapshot::Save(const std::string& path, ImageSaveOptions options,
+                            ImageSaveStats* stats) const {
+  return ImageIO::Save(relation_, path, options, stats);
 }
 
 Result<SnapshotPtr> CorpusSnapshot::Rebuild() const {

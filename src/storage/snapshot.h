@@ -20,6 +20,7 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "storage/image.h"
 #include "storage/relation.h"
 #include "tree/corpus.h"
 
@@ -50,10 +51,12 @@ class CorpusSnapshot {
   /// corpus carries the dictionary but no trees; everything the SQL
   /// executor and services need works unchanged, including hot swap
   /// (in-flight readers keep the mapping alive through their reference).
-  static Result<SnapshotPtr> Open(const std::string& path);
+  static Result<SnapshotPtr> Open(const std::string& path,
+                                  ImageOpenOptions options = {});
 
   /// Writes this snapshot's relation (and interner) as a persistent image.
-  Status Save(const std::string& path) const;
+  Status Save(const std::string& path, ImageSaveOptions options = {},
+              ImageSaveStats* stats = nullptr) const;
 
   /// A new snapshot over the same corpus with a freshly built relation —
   /// the "rebuilt index" input to a hot swap. For an image-backed snapshot

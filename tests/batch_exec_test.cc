@@ -1,0 +1,222 @@
+// Batch-kernel differential tests: the vectorized executor must answer
+// exactly like the scalar kernel on every query, over every relation
+// backing — the in-memory build, a mapped v1 (all-raw) image, and a mapped
+// v2 image with codec-encoded columns scanned via fused decode. Runs with
+// batch_min_rows = 0 so every access path takes its batch flavor even on
+// tiny per-tree runs. The `concurrency` label puts the shared-mapping
+// hammer under TSan (per-run batch scratch must not be shared across
+// threads; the v2 decode arena is read concurrently).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "lpath/engines.h"
+#include "storage/image.h"
+#include "storage/snapshot.h"
+#include "test_util.h"
+
+namespace lpath {
+namespace {
+
+namespace fs = std::filesystem;
+
+sql::ExecOptions BatchEverywhere() {
+  sql::ExecOptions exec;
+  exec.vectorized = true;
+  exec.batch_min_rows = 0;  // no scalar fallback: cover every batch path
+  return exec;
+}
+
+LPathEngine::Options WithExec(sql::ExecOptions exec) {
+  LPathEngine::Options options;
+  options.exec = exec;
+  return options;
+}
+
+/// Built + mapped-v1 + mapped-v2 snapshots over one random corpus, plus
+/// the scalar reference engine and a batch engine per backing.
+class BatchExecTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           (std::string("lpathdb_batch_exec_") +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+
+    Result<SnapshotPtr> built =
+        CorpusSnapshot::Build(testing::RandomCorpus(1234, 60, 40));
+    ASSERT_TRUE(built.ok()) << built.status().ToString();
+    built_ = std::move(built).value();
+
+    const std::string v1_path = (dir_ / "corpus.v1.img").string();
+    const std::string v2_path = (dir_ / "corpus.v2.img").string();
+    ImageSaveOptions v1_options;
+    v1_options.format_version = 1;
+    ASSERT_TRUE(built_->Save(v1_path, v1_options).ok());
+    ASSERT_TRUE(built_->Save(v2_path).ok());
+
+    Result<SnapshotPtr> v1 = CorpusSnapshot::Open(v1_path);
+    ASSERT_TRUE(v1.ok()) << v1.status().ToString();
+    mapped_v1_ = std::move(v1).value();
+    Result<SnapshotPtr> v2 = CorpusSnapshot::Open(v2_path);
+    ASSERT_TRUE(v2.ok()) << v2.status().ToString();
+    mapped_v2_ = std::move(v2).value();
+    // The fused-decode path needs actually-encoded columns to differ from
+    // the arena path; the clustered relation always compresses.
+    EXPECT_TRUE(mapped_v2_->relation().any_encoded());
+    EXPECT_FALSE(mapped_v1_->relation().any_encoded());
+  }
+
+  void TearDown() override { fs::remove_all(dir_); }
+
+  fs::path dir_;
+  SnapshotPtr built_;
+  SnapshotPtr mapped_v1_;
+  SnapshotPtr mapped_v2_;
+};
+
+TEST_F(BatchExecTest, FuzzDifferentialAcrossBackingsAndKernels) {
+  sql::ExecOptions scalar;
+  scalar.vectorized = false;
+  LPathEngine reference(built_->relation(), WithExec(scalar));
+
+  struct Variant {
+    const char* label;
+    LPathEngine engine;
+  };
+  Variant variants[] = {
+      {"batch/built", LPathEngine(built_->relation(),
+                                  WithExec(BatchEverywhere()))},
+      {"batch/mapped-v1", LPathEngine(mapped_v1_->relation(),
+                                      WithExec(BatchEverywhere()))},
+      {"batch/mapped-v2", LPathEngine(mapped_v2_->relation(),
+                                      WithExec(BatchEverywhere()))},
+  };
+
+  Rng rng(20060615);
+  testing::QueryGen gen(&rng);
+  sql::ExecStats reference_stats;
+  sql::ExecStats variant_stats[3];
+  int non_empty = 0;
+  for (int i = 0; i < 150; ++i) {
+    const std::string q = gen.Query();
+    sql::ExecStats rs;
+    Result<QueryResult> expected = reference.RunWithStats(q, &rs);
+    reference_stats.Add(rs);
+    for (int vi = 0; vi < 3; ++vi) {
+      sql::ExecStats vs;
+      Result<QueryResult> got = variants[vi].engine.RunWithStats(q, &vs);
+      variant_stats[vi].Add(vs);
+      ASSERT_EQ(expected.ok(), got.ok())
+          << variants[vi].label << ": " << q;
+      if (expected.ok()) {
+        ASSERT_EQ(expected.value(), got.value())
+            << variants[vi].label << ": " << q;
+      }
+    }
+    if (expected.ok() && expected.value().count() > 0) ++non_empty;
+  }
+  EXPECT_GT(non_empty, 20);  // the differential must not be vacuous
+
+  // The kernels must actually have diverged in mechanism, not just agreed.
+  EXPECT_EQ(reference_stats.batches, 0u);
+  for (int vi = 0; vi < 3; ++vi) {
+    EXPECT_GT(variant_stats[vi].batches, 0u) << variants[vi].label;
+    EXPECT_GT(variant_stats[vi].batch_rows, 0u) << variants[vi].label;
+    EXPECT_LE(variant_stats[vi].sel_density(), 1.0) << variants[vi].label;
+  }
+  // Only the v2 backing has compressed payloads to fuse-decode from.
+  EXPECT_EQ(variant_stats[0].decoded_blocks, 0u);
+  EXPECT_EQ(variant_stats[1].decoded_blocks, 0u);
+  EXPECT_GT(variant_stats[2].decoded_blocks, 0u);
+}
+
+TEST_F(BatchExecTest, ScanEncodedOffReadsTheDecodedArenaIdentically) {
+  sql::ExecOptions arena = BatchEverywhere();
+  arena.scan_encoded = false;
+  LPathEngine fused(mapped_v2_->relation(), WithExec(BatchEverywhere()));
+  LPathEngine unfused(mapped_v2_->relation(), WithExec(arena));
+
+  Rng rng(88);
+  testing::QueryGen gen(&rng);
+  sql::ExecStats fused_stats;
+  sql::ExecStats unfused_stats;
+  for (int i = 0; i < 60; ++i) {
+    const std::string q = gen.Query();
+    sql::ExecStats fused_run, unfused_run;
+    Result<QueryResult> a = fused.RunWithStats(q, &fused_run);
+    Result<QueryResult> b = unfused.RunWithStats(q, &unfused_run);
+    fused_stats.Add(fused_run);
+    unfused_stats.Add(unfused_run);
+    ASSERT_EQ(a.ok(), b.ok()) << q;
+    if (a.ok()) {
+      ASSERT_EQ(a.value(), b.value()) << q;
+    }
+  }
+  EXPECT_GT(fused_stats.decoded_blocks, 0u);
+  EXPECT_EQ(unfused_stats.decoded_blocks, 0u);
+}
+
+TEST_F(BatchExecTest, DefaultThresholdStillAgreesWithScalar) {
+  // The production default (batch_min_rows = 64) mixes both kernels within
+  // one query; results must be unaffected by where the cutover lands.
+  sql::ExecOptions scalar;
+  scalar.vectorized = false;
+  LPathEngine reference(built_->relation(), WithExec(scalar));
+  LPathEngine defaults(built_->relation());  // stock options, vectorized
+  Rng rng(5150);
+  testing::QueryGen gen(&rng);
+  for (int i = 0; i < 60; ++i) {
+    const std::string q = gen.Query();
+    Result<QueryResult> a = reference.Run(q);
+    Result<QueryResult> b = defaults.Run(q);
+    ASSERT_EQ(a.ok(), b.ok()) << q;
+    if (a.ok()) {
+      ASSERT_EQ(a.value(), b.value()) << q;
+    }
+  }
+}
+
+// TSan coverage: many threads run batch queries through one shared engine
+// over the mapped v2 snapshot. Batch scratch is per-run (stack-leased from
+// a per-Runner pool), and the open-time decode arena plus the compressed
+// mapping are immutable shared state — the only writes TSan should see are
+// into thread-private buffers.
+TEST_F(BatchExecTest, ConcurrentBatchQueriesOverSharedMappedSnapshot) {
+  LPathEngine engine(mapped_v2_->relation(), WithExec(BatchEverywhere()));
+  const std::vector<std::string> queries = {
+      "//NP//_", "//VP[//N]", "//S", "//_[@lex='dog' or @lex='saw']",
+      "//NP[not(//V)]"};
+  std::vector<QueryResult> expected;
+  for (const std::string& q : queries) {
+    Result<QueryResult> r = engine.Run(q);
+    ASSERT_TRUE(r.ok()) << q << ": " << r.status().ToString();
+    expected.push_back(std::move(r).value());
+  }
+
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 25;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (int round = 0; round < kRounds; ++round) {
+        const size_t qi = static_cast<size_t>(t + round) % queries.size();
+        Result<QueryResult> r = engine.Run(queries[qi]);
+        if (!r.ok() || !(r.value() == expected[qi])) failures.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+}  // namespace
+}  // namespace lpath

@@ -233,6 +233,120 @@ TEST(ImageTest, DatabaseOpenSniffsImagesAndSaveWritesThem) {
   EXPECT_FALSE(LooksLikeImageFile(dir.File("absent.img")));
 }
 
+std::vector<char> ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<char>((std::istreambuf_iterator<char>(in)),
+                           std::istreambuf_iterator<char>());
+}
+
+void WriteAll(const std::string& path, const std::vector<char>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+// --- Format v2 (encoded columns) and v1 compatibility -----------------------
+
+TEST(ImageTest, V1ImagesStillOpenAndAnswerIdentically) {
+  TempDir dir;
+  SnapshotPtr built = MustBuild(testing::RandomCorpus(33, 50, 40));
+  const std::string v1_path = dir.File("compat.v1.img");
+  const std::string v2_path = dir.File("compat.v2.img");
+  ImageSaveOptions v1_options;
+  v1_options.format_version = 1;
+  ASSERT_TRUE(built->Save(v1_path, v1_options).ok());
+  ASSERT_TRUE(built->Save(v2_path).ok());
+
+  SnapshotPtr v1 = MustOpen(v1_path);
+  SnapshotPtr v2 = MustOpen(v2_path);
+  EXPECT_FALSE(v1->relation().any_encoded());
+  ExpectSameRelation(built->relation(), v1->relation());
+  ExpectSameRelation(built->relation(), v2->relation());
+  EXPECT_EQ(MustRun(v1->relation(), "//VP[//NP]"),
+            MustRun(v2->relation(), "//VP[//NP]"));
+}
+
+TEST(ImageTest, V2EncodesColumnsAndShrinksTheFile) {
+  TempDir dir;
+  SnapshotPtr built = MustBuild(testing::RandomCorpus(14, 80, 40));
+  const std::string v1_path = dir.File("size.v1.img");
+  const std::string v2_path = dir.File("size.v2.img");
+  ImageSaveOptions v1_options;
+  v1_options.format_version = 1;
+  ASSERT_TRUE(built->Save(v1_path, v1_options).ok());
+  ImageSaveStats stats;
+  ASSERT_TRUE(built->Save(v2_path, {}, &stats).ok());
+
+  // The clustered relation always compresses: name is a few runs, the
+  // label columns bit-pack. Stats must agree with the files on disk.
+  EXPECT_LT(fs::file_size(v2_path), fs::file_size(v1_path));
+  EXPECT_EQ(stats.file_bytes, fs::file_size(v2_path));
+  // raw_file_bytes is "this v2 file with every section verbatim", which is
+  // the v1 payload plus the (larger) v2 section table.
+  EXPECT_GE(stats.raw_file_bytes, fs::file_size(v1_path));
+  EXPECT_GT(stats.raw_file_bytes, stats.file_bytes);
+  ASSERT_EQ(stats.columns.size(), kRelColEncodable);
+  bool any_encoded = false;
+  for (const ImageSaveStats::Column& col : stats.columns) {
+    EXPECT_LE(col.stored_bytes,
+              col.encoding == ColumnEncoding::kRaw ? col.raw_bytes
+                                                   : col.raw_bytes - 1);
+    any_encoded |= col.encoding != ColumnEncoding::kRaw;
+  }
+  EXPECT_TRUE(any_encoded);
+
+  SnapshotPtr mapped = MustOpen(v2_path);
+  EXPECT_TRUE(mapped->relation().any_encoded());
+}
+
+TEST(ImageTest, ForcedRawV2MatchesAutoAnswers) {
+  TempDir dir;
+  SnapshotPtr built = MustBuild(testing::RandomCorpus(77, 30, 30));
+  const std::string raw_path = dir.File("forced.raw.img");
+  ImageSaveOptions raw_options;
+  raw_options.encoding = ImageEncoding::kRaw;
+  ASSERT_TRUE(built->Save(raw_path, raw_options).ok());
+  SnapshotPtr mapped = MustOpen(raw_path);
+  EXPECT_FALSE(mapped->relation().any_encoded());
+  ExpectSameRelation(built->relation(), mapped->relation());
+}
+
+TEST(ImageTest, HeaderOnlyVerifyOpensValidImages) {
+  TempDir dir;
+  SnapshotPtr built = MustBuild(testing::RandomCorpus(50, 40, 36));
+  const std::string path = dir.File("lazy.img");
+  ASSERT_TRUE(built->Save(path).ok());
+
+  ImageOpenOptions lazy;
+  lazy.verify = ImageVerify::kHeaderOnly;
+  Result<SnapshotPtr> mapped = CorpusSnapshot::Open(path, lazy);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+  ExpectSameRelation(built->relation(), (*mapped)->relation());
+}
+
+TEST(ImageTest, HeaderOnlyVerifyStillRejectsStructuralDamage) {
+  TempDir dir;
+  SnapshotPtr built = MustBuild(testing::RandomCorpus(51, 30, 30));
+  const std::string path = dir.File("lazy_victim.img");
+  ASSERT_TRUE(built->Save(path).ok());
+  std::vector<char> bytes = ReadAll(path);
+
+  ImageOpenOptions lazy;
+  lazy.verify = ImageVerify::kHeaderOnly;
+  // Truncation breaks section bounds (and codec Validate) regardless of
+  // the skipped payload-checksum scan.
+  const std::string cut_path = dir.File("lazy_cut.img");
+  WriteAll(cut_path, std::vector<char>(bytes.begin(),
+                                       bytes.begin() +
+                                           static_cast<long>(bytes.size() / 2)));
+  EXPECT_FALSE(CorpusSnapshot::Open(cut_path, lazy).ok());
+  // A header bit flip still fails: only the payload scan is skipped.
+  std::vector<char> header_flip = bytes;
+  header_flip[17] = static_cast<char>(header_flip[17] ^ 0x5a);
+  const std::string flip_path = dir.File("lazy_flip.img");
+  WriteAll(flip_path, header_flip);
+  EXPECT_FALSE(CorpusSnapshot::Open(flip_path, lazy).ok());
+}
+
 TEST(ImageTest, EmptyCorpusRoundTrips) {
   TempDir dir;
   SnapshotPtr built = MustBuild(Corpus());
@@ -245,17 +359,6 @@ TEST(ImageTest, EmptyCorpusRoundTrips) {
 }
 
 // --- Corruption resistance --------------------------------------------------
-
-std::vector<char> ReadAll(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  return std::vector<char>((std::istreambuf_iterator<char>(in)),
-                           std::istreambuf_iterator<char>());
-}
-
-void WriteAll(const std::string& path, const std::vector<char>& bytes) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-}
 
 class ImageCorruptionTest : public ::testing::Test {
  protected:
