@@ -7,15 +7,24 @@
 //   ./examples/lpath_pack [--wsj N | --swb N | --skewed N | --corpus FILE.mrg]
 //                         [--scheme lpath|xpath] [--seed S]
 //                         [--encoding raw|auto] OUT.img
+//   ./examples/lpath_pack --append IMG.img [--wsj N | --corpus FILE.mrg]
 //
 // Examples:
 //   lpath_pack --wsj 4000 wsj.img          # generated WSJ profile corpus
 //   lpath_pack --corpus wsj.mrg wsj.img    # bracketed treebank file
 //   lpath_pack --corpus wsj.mrg --scheme xpath wsj-xpath.img
 //   lpath_pack --wsj 4000 --encoding raw wsj-raw.img  # no column codecs
+//   lpath_pack --append wsj.img more.mrg   # offline delta merge into image
 //
 // `--encoding auto` (the default) stores each row column under its
 // cheapest codec and prints the per-column compression table.
+//
+// `--append IMG` is the offline twin of the shell's :ingest + :compact: it
+// opens the existing image in O(file size), appends the input trees as a
+// delta (the mapped base is never relabeled or resorted), merges the delta
+// into a new image via the compaction path, and rewrites IMG crash-safely
+// (tmp + rename). Per-column compression is re-chosen for the merged
+// relation and the stats table is printed as for a fresh pack.
 
 #include <cstdio>
 #include <cstdlib>
@@ -37,9 +46,25 @@ int Usage(const char* argv0) {
       stderr,
       "usage: %s [--wsj N | --swb N | --skewed N | --corpus FILE.mrg]\n"
       "          [--scheme lpath|xpath] [--seed S] [--encoding raw|auto] "
-      "OUT.img\n",
-      argv0);
+      "OUT.img\n"
+      "       %s --append IMG.img [--wsj N | --corpus FILE.mrg]\n",
+      argv0, argv0);
   return 2;
+}
+
+void PrintSaveStats(const ImageSaveStats& save_stats) {
+  std::printf("  column     encoding   raw bytes      stored bytes\n");
+  for (const ImageSaveStats::Column& col : save_stats.columns) {
+    std::printf("  %-9s  %-8s  %12s  %12s  (%.1f%%)\n", col.name.c_str(),
+                ColumnEncodingName(col.encoding),
+                FormatWithCommas(static_cast<int64_t>(col.raw_bytes)).c_str(),
+                FormatWithCommas(static_cast<int64_t>(col.stored_bytes))
+                    .c_str(),
+                col.raw_bytes == 0
+                    ? 100.0
+                    : 100.0 * static_cast<double>(col.stored_bytes) /
+                          static_cast<double>(col.raw_bytes));
+  }
 }
 
 }  // namespace
@@ -48,6 +73,7 @@ int main(int argc, char** argv) {
   std::string profile = "wsj";
   std::string corpus_path;
   std::string out_path;
+  std::string append_image;
   int sentences = 1000;
   uint64_t seed = 2006;
   RelationOptions options;
@@ -60,6 +86,8 @@ int main(int argc, char** argv) {
       sentences = std::atoi(argv[++i]);
     } else if (arg == "--corpus" && i + 1 < argc) {
       corpus_path = argv[++i];
+    } else if (arg == "--append" && i + 1 < argc) {
+      append_image = argv[++i];
     } else if (arg == "--seed" && i + 1 < argc) {
       seed = static_cast<uint64_t>(std::atoll(argv[++i]));
     } else if (arg == "--encoding" && i + 1 < argc) {
@@ -88,7 +116,15 @@ int main(int argc, char** argv) {
       return Usage(argv[0]);
     }
   }
-  if (out_path.empty()) return Usage(argv[0]);
+  if (!append_image.empty()) {
+    // In append mode the positional argument is the input treebank (same
+    // as --corpus); a generator profile works too, and the image is the
+    // output.
+    if (corpus_path.empty() && !out_path.empty()) corpus_path = out_path;
+    out_path = append_image;
+  } else if (out_path.empty()) {
+    return Usage(argv[0]);
+  }
 
   // 1. Load or generate the corpus.
   Timer load_timer;
@@ -119,6 +155,58 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  if (!append_image.empty()) {
+    // Offline delta merge: map the image, append the new trees as a delta
+    // (only they are labeled — O(new trees)), fold the chain back into the
+    // image via the compaction path.
+    Timer open_timer;
+    Result<SnapshotPtr> base = CorpusSnapshot::Open(append_image);
+    if (!base.ok()) {
+      std::fprintf(stderr, "cannot open %s: %s\n", append_image.c_str(),
+                   base.status().ToString().c_str());
+      return 1;
+    }
+    const int32_t base_trees = (*base)->tree_count();
+    const double open_s = open_timer.ElapsedSeconds();
+    Timer append_timer;
+    Result<SnapshotPtr> chained = (*base)->Append(corpus);
+    if (!chained.ok()) {
+      std::fprintf(stderr, "%s\n", chained.status().ToString().c_str());
+      return 1;
+    }
+    const double append_s = append_timer.ElapsedSeconds();
+    Timer merge_timer;
+    ImageSaveStats save_stats;
+    Result<SnapshotPtr> compacted = (*chained)->Compact(&save_stats);
+    if (!compacted.ok()) {
+      std::fprintf(stderr, "%s\n", compacted.status().ToString().c_str());
+      return 1;
+    }
+    const double merge_s = merge_timer.ElapsedSeconds();
+    std::printf(
+        "appended %zu trees (%s nodes) onto %s (%d trees) — now %d trees, "
+        "%s relation rows\n"
+        "  load %.1f ms, map %.1f ms, label+append %.1f ms, merge+rewrite "
+        "%.1f ms\n",
+        trees, FormatWithCommas(static_cast<int64_t>(nodes)).c_str(),
+        append_image.c_str(), base_trees, (*compacted)->tree_count(),
+        FormatWithCommas(
+            static_cast<int64_t>((*compacted)->relation().row_count()))
+            .c_str(),
+        load_s * 1e3, open_s * 1e3, append_s * 1e3, merge_s * 1e3);
+    PrintSaveStats(save_stats);
+    std::printf(
+        "  image %s bytes (%s raw): %.1f%% of the all-raw size\n",
+        FormatWithCommas(static_cast<int64_t>(save_stats.file_bytes)).c_str(),
+        FormatWithCommas(static_cast<int64_t>(save_stats.raw_file_bytes))
+            .c_str(),
+        save_stats.raw_file_bytes == 0
+            ? 100.0
+            : 100.0 * static_cast<double>(save_stats.file_bytes) /
+                  static_cast<double>(save_stats.raw_file_bytes));
+    return 0;
+  }
+
   // 2. Label + sort + index (the cost the image amortizes away).
   Timer build_timer;
   Result<SnapshotPtr> snapshot =
@@ -147,18 +235,7 @@ int main(int argc, char** argv) {
           static_cast<int64_t>((*snapshot)->relation().row_count()))
           .c_str(),
       out_path.c_str(), load_s * 1e3, build_s * 1e3, save_s * 1e3);
-  std::printf("  column     encoding   raw bytes      stored bytes\n");
-  for (const ImageSaveStats::Column& col : save_stats.columns) {
-    std::printf("  %-9s  %-8s  %12s  %12s  (%.1f%%)\n", col.name.c_str(),
-                ColumnEncodingName(col.encoding),
-                FormatWithCommas(static_cast<int64_t>(col.raw_bytes)).c_str(),
-                FormatWithCommas(static_cast<int64_t>(col.stored_bytes))
-                    .c_str(),
-                col.raw_bytes == 0
-                    ? 100.0
-                    : 100.0 * static_cast<double>(col.stored_bytes) /
-                          static_cast<double>(col.raw_bytes));
-  }
+  PrintSaveStats(save_stats);
   std::printf(
       "  image %s bytes (%s raw): %.1f%% of the all-raw size\n"
       "  open it with lpath_shell ':load NAME %s' — no rebuild at serve "

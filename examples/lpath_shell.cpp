@@ -20,7 +20,12 @@
 //   :load NAME FILE    mmap a persistent image as corpus NAME and use it —
 //                      O(file size), no labeling or sorting
 //   :use NAME          switch queries to corpus NAME
-//   :corpora           list attached corpora (snapshot ids, sizes)
+//   :corpora           list attached corpora (snapshot ids, sizes, delta)
+//   :ingest FILE       append FILE's trees to the current corpus without
+//                      downtime: the base index is untouched, the new trees
+//                      land in a small delta relation queried alongside it
+//   :compact           merge the current corpus's delta into its base and
+//                      hot-swap the compacted snapshot in
 //   :reload            rebuild the current corpus's index and hot-swap it
 //                      (an image-backed corpus re-opens its image)
 //   :threads N         rebuild every query service with N threads
@@ -63,6 +68,8 @@ void PrintHelp() {
       "  :load NAME FILE   mmap a persistent image as corpus NAME, use it\n"
       "  :use NAME         switch queries to corpus NAME\n"
       "  :corpora          list attached corpora\n"
+      "  :ingest FILE      append FILE's trees live (delta relation)\n"
+      "  :compact          merge the delta into the base index\n"
       "  :reload           rebuild the current index and hot-swap it\n"
       "  :threads N        rebuild the query services with N threads\n"
       "                    (plan caches and stats start fresh)\n"
@@ -82,7 +89,9 @@ void PrintServiceStats(const std::string& name,
       "latency: p50 %.3f ms, p90 %.3f ms, p99 %.3f ms, max %.3f ms "
       "(%zu samples)\n"
       "executor: %llu candidates, %llu bindings, %llu subqueries, "
-      "%llu shard runs\n",
+      "%llu shard runs\n"
+      "live corpus: %llu ingests, %llu compactions, %llu delta rows "
+      "scanned, %llu max sources\n",
       name.c_str(), service.threads(),
       static_cast<unsigned long long>(st.queries),
       static_cast<unsigned long long>(st.errors),
@@ -97,7 +106,11 @@ void PrintServiceStats(const std::string& name,
       static_cast<unsigned long long>(st.exec.candidates),
       static_cast<unsigned long long>(st.exec.bindings),
       static_cast<unsigned long long>(st.exec.subqueries),
-      static_cast<unsigned long long>(st.exec.shards));
+      static_cast<unsigned long long>(st.exec.shards),
+      static_cast<unsigned long long>(st.ingests),
+      static_cast<unsigned long long>(st.compactions),
+      static_cast<unsigned long long>(st.exec.delta_rows),
+      static_cast<unsigned long long>(st.exec.sources));
 }
 
 /// Per-snapshot comparison engines for .sql/.plan/.engines: rebuilt lazily
@@ -278,13 +291,57 @@ int main(int argc, char** argv) {
     }
     if (input == ":corpora") {
       for (const db::CorpusInfo& info : db.List()) {
-        std::printf("  %c %-10s snapshot #%llu  %zu trees, %zu nodes, "
-                    "%s relation bytes, %d threads\n",
+        std::printf("  %c %-10s snapshot #%llu  %zu trees (%zu in delta), "
+                    "%zu nodes, %s relation bytes, %d threads\n",
                     info.name == current ? '*' : ' ', info.name.c_str(),
                     static_cast<unsigned long long>(info.snapshot_id),
-                    info.trees, info.nodes,
+                    info.trees, info.delta_trees, info.nodes,
                     FormatWithCommas(info.relation_bytes).c_str(),
                     info.threads);
+      }
+      continue;
+    }
+    if (StartsWith(input, ":ingest ")) {
+      const std::string file(StripWhitespace(input.substr(8)));
+      if (file.empty()) {
+        std::printf("usage: :ingest FILE\n");
+        continue;
+      }
+      Corpus incoming;
+      Status s = LoadBracketFile(file, &incoming);
+      if (s.ok() && incoming.empty()) {
+        s = Status::InvalidArgument("no trees in " + file);
+      }
+      const size_t added = incoming.size();
+      if (s.ok()) s = db.Ingest(current, std::move(incoming));
+      if (!s.ok()) {
+        std::printf("error: %s\n", s.ToString().c_str());
+        continue;
+      }
+      view.Refresh(db.snapshot(current));
+      std::printf("ingested %zu trees into '%s' — %d in the delta, base "
+                  "index untouched; queries see them now\n",
+                  added, current.c_str(), view.snap->delta_tree_count());
+      continue;
+    }
+    if (input == ":compact") {
+      Timer timer;
+      const int32_t delta = view.snap->delta_tree_count();
+      Status s = db.Compact(current);
+      if (!s.ok()) {
+        std::printf("error: %s\n", s.ToString().c_str());
+        continue;
+      }
+      view.Refresh(db.snapshot(current));
+      if (delta == 0) {
+        std::printf("'%s' has no delta — nothing to compact\n",
+                    current.c_str());
+      } else {
+        std::printf("compacted %d delta trees into '%s' (%.1f ms); now "
+                    "snapshot #%llu, %d trees single-source\n",
+                    delta, current.c_str(), timer.ElapsedSeconds() * 1e3,
+                    static_cast<unsigned long long>(view.snap->id()),
+                    view.snap->tree_count());
       }
       continue;
     }
@@ -382,15 +439,20 @@ int main(int argc, char** argv) {
     }
     std::printf("%zu matches (%.3f ms)\n", r->count(),
                 timer.ElapsedSeconds() * 1e3);
-    if (snap->image_backed()) continue;  // no bracketed text to print
     int shown = 0;
     int32_t last_tid = -1;
     for (const Hit& hit : r->hits) {
       if (hit.tid == last_tid) continue;
       last_tid = hit.tid;
-      if (shown++ >= 3) break;
+      if (shown >= 3) break;
+      // Chain-aware: TreeAt resolves base and delta tids alike, and is
+      // null exactly when the tree has no bracketed text to print (the
+      // mapped base of an image-backed corpus).
+      const Tree* tree = snap->TreeAt(hit.tid);
+      if (tree == nullptr) continue;
+      ++shown;
       std::string text;
-      WriteBracketTree(snap->corpus().tree(hit.tid), snap->interner(), &text);
+      WriteBracketTree(*tree, snap->interner(), &text);
       if (text.size() > 140) text = text.substr(0, 137) + "...";
       std::printf("  [%d] %s\n", hit.tid, text.c_str());
     }

@@ -17,6 +17,15 @@ Symbol Interner::Intern(std::string_view s) {
   return id;
 }
 
+Interner Interner::Clone() const {
+  Interner copy;
+  // Re-interning in id order reproduces the dense 1..size() id assignment;
+  // moving the result keeps the deque's element addresses (and with them
+  // the index's string_view keys) stable.
+  for (Symbol id = 1; id < end_id(); ++id) copy.Intern(strings_[id]);
+  return copy;
+}
+
 Symbol Interner::Lookup(std::string_view s) const {
   auto it = index_.find(s);
   return it == index_.end() ? kNoSymbol : it->second;

@@ -30,6 +30,20 @@ class Interner {
   /// kNoSymbol.
   Symbol Intern(std::string_view s);
 
+  /// Deep copy preserving every id (the clone maps id i to the same string).
+  /// The implicitly generated copy constructor is deleted below because it
+  /// would copy string_view keys pointing into the *source's* deque; cloning
+  /// re-interns in id order instead, which reproduces the dense id space.
+  /// This is how a snapshot chain extends its dictionary: the delta corpus
+  /// clones the chain's interner, so base symbol ids stay valid verbatim in
+  /// delta rows and new strings take fresh ids past the base's end_id().
+  Interner Clone() const;
+
+  Interner(Interner&&) = default;
+  Interner& operator=(Interner&&) = default;
+  Interner(const Interner&) = delete;
+  Interner& operator=(const Interner&) = delete;
+
   /// Returns the id for `s`, or kNoSymbol if it was never interned.
   Symbol Lookup(std::string_view s) const;
 

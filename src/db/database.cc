@@ -11,7 +11,19 @@ namespace db {
 
 Database::Database(DatabaseOptions options) : options_(std::move(options)) {}
 
-Database::~Database() = default;
+Database::~Database() {
+  std::thread worker;
+  {
+    std::lock_guard<std::mutex> lock(compact_mu_);
+    compact_stop_ = true;
+    worker = std::move(compactor_);
+  }
+  compact_cv_.notify_all();
+  // Joined outside compact_mu_ (the loop relocks it to exit). Queued
+  // compactions are abandoned — the deltas they would have merged stay
+  // valid in their snapshots, nothing is lost.
+  if (worker.joinable()) worker.join();
+}
 
 Status Database::Attach(const std::string& name, SnapshotPtr snapshot) {
   if (name.empty()) {
@@ -161,6 +173,131 @@ Status Database::Reload(const std::string& name) {
   }
 }
 
+Status Database::Ingest(const std::string& name, Corpus trees) {
+  if (trees.empty()) {
+    return Status::InvalidArgument("Database::Ingest: empty tree batch");
+  }
+  std::shared_ptr<std::mutex> ingest_mu = IngestMutexFor(name);
+  if (ingest_mu == nullptr) {
+    return Status::NotFound("corpus not attached: " + name);
+  }
+  // One append to this corpus at a time: the read-append-publish sequence
+  // below is not atomic on its own, and two concurrent appends reading the
+  // same chain would each publish a chain missing the other's trees.
+  std::lock_guard<std::mutex> ingest_lock(*ingest_mu);
+  SnapshotPtr appended;
+  for (;;) {
+    SnapshotPtr current = snapshot(name);
+    if (current == nullptr) {
+      return Status::NotFound("corpus not attached: " + name);
+    }
+    // O(delta): shares the base relation, rebuilds only the delta arena.
+    LPATH_ASSIGN_OR_RETURN(appended, current->Append(trees));
+    bool published = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = catalog_.find(name);
+      if (it == catalog_.end()) {
+        return Status::NotFound("corpus not attached: " + name);
+      }
+      // Publish only onto the chain we appended to: a Swap/Reload that
+      // landed meanwhile must not be silently rolled back. On conflict,
+      // re-append onto the newer snapshot (the ingest lock guarantees the
+      // conflict was not another ingest).
+      if (it->second->snapshot() == current) {
+        (void)it->second->UpdateSnapshot(appended);
+        it->second->NoteIngest();
+        published = true;
+      }
+    }
+    if (published) break;
+  }
+  int32_t threshold = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    threshold = options_.compact_delta_trees;
+  }
+  if (threshold > 0 && appended->delta_tree_count() >= threshold) {
+    ScheduleCompaction(name);
+  }
+  return Status::OK();
+}
+
+Status Database::Compact(const std::string& name) {
+  return CompactInternal(name);
+}
+
+Status Database::CompactInternal(const std::string& name) {
+  std::shared_ptr<std::mutex> ingest_mu = IngestMutexFor(name);
+  if (ingest_mu == nullptr) {
+    return Status::NotFound("corpus not attached: " + name);
+  }
+  // Holding the ingest lock across the merge means no append can extend
+  // the chain we are folding — so "publish if still current" below only
+  // ever loses to an explicit Swap/Reload, in which case the compacted
+  // snapshot is stale and dropping it is correct.
+  std::lock_guard<std::mutex> ingest_lock(*ingest_mu);
+  SnapshotPtr current = snapshot(name);
+  if (current == nullptr) {
+    return Status::NotFound("corpus not attached: " + name);
+  }
+  if (!current->has_delta()) return Status::OK();
+  LPATH_ASSIGN_OR_RETURN(SnapshotPtr compacted, current->Compact());
+  std::shared_ptr<const void> retired;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = catalog_.find(name);
+    if (it == catalog_.end()) {
+      return Status::NotFound("corpus not attached: " + name);
+    }
+    if (it->second->snapshot() == current) {
+      retired = it->second->UpdateSnapshot(std::move(compacted));
+      it->second->NoteCompaction();
+    }
+  }
+  // `retired` (possibly the last reference to the pre-compaction chain)
+  // drops here, unlocked.
+  return Status::OK();
+}
+
+void Database::ScheduleCompaction(const std::string& name) {
+  std::lock_guard<std::mutex> lock(compact_mu_);
+  if (compact_stop_) return;
+  if (std::find(compact_queue_.begin(), compact_queue_.end(), name) ==
+      compact_queue_.end()) {
+    compact_queue_.push_back(name);
+  }
+  if (!compactor_.joinable()) {
+    compactor_ = std::thread([this] { CompactorLoop(); });
+  }
+  compact_cv_.notify_one();
+}
+
+void Database::CompactorLoop() {
+  std::unique_lock<std::mutex> lock(compact_mu_);
+  for (;;) {
+    compact_cv_.wait(
+        lock, [this] { return compact_stop_ || !compact_queue_.empty(); });
+    if (compact_stop_) return;
+    const std::string name = std::move(compact_queue_.front());
+    compact_queue_.pop_front();
+    lock.unlock();
+    // Best effort: on failure (or a concurrent Detach) the delta simply
+    // stays live and a later Ingest reschedules; the synchronous Compact()
+    // entry point is where errors surface to a caller.
+    (void)CompactInternal(name);
+    lock.lock();
+  }
+}
+
+std::shared_ptr<std::mutex> Database::IngestMutexFor(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (catalog_.count(name) == 0) return nullptr;
+  std::shared_ptr<std::mutex>& slot = ingest_mu_[name];
+  if (slot == nullptr) slot = std::make_shared<std::mutex>();
+  return slot;
+}
+
 Status Database::Detach(const std::string& name) {
   std::shared_ptr<service::QueryService> victim;
   {
@@ -171,6 +308,9 @@ Status Database::Detach(const std::string& name) {
     }
     victim = std::move(it->second);
     catalog_.erase(it);
+    // The lock entry goes too (an in-flight Ingest holding the shared_ptr
+    // keeps its mutex alive; it will fail NotFound at the publish step).
+    ingest_mu_.erase(name);
   }
   // `victim` drops here, outside the lock: if this was the last reference
   // the pool joins now, without stalling the catalog.
@@ -266,11 +406,16 @@ std::vector<CorpusInfo> Database::List() const {
     CorpusInfo info;
     info.name = name;
     info.snapshot_id = snap->id();
-    // Counted from the relation, not the corpus: an image-backed snapshot
-    // serves mapped columns over a tree-less corpus.
-    info.trees = static_cast<size_t>(snap->relation().tree_count());
-    info.nodes = snap->relation().element_count();
+    // Counted from the relations, not the corpus: an image-backed snapshot
+    // serves mapped columns over a tree-less corpus. Chain-wide — the
+    // unmerged delta's trees and rows are part of the corpus.
+    info.trees = static_cast<size_t>(snap->tree_count());
+    info.nodes = snap->element_count();
     info.relation_bytes = snap->relation().MemoryBytes();
+    if (snap->has_delta()) {
+      info.relation_bytes += snap->delta_relation()->MemoryBytes();
+    }
+    info.delta_trees = static_cast<size_t>(snap->delta_tree_count());
     info.threads = service->threads();
     out.push_back(std::move(info));
   }

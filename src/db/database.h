@@ -22,10 +22,13 @@
 #ifndef LPATHDB_DB_DATABASE_H_
 #define LPATHDB_DB_DATABASE_H_
 
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -47,15 +50,25 @@ struct DatabaseOptions {
   /// options — to change a corpus's labeling, attach a rebuilt snapshot
   /// via Swap.
   RelationOptions relation;
+  /// Live-corpus compaction threshold: when an Ingest leaves the corpus's
+  /// snapshot chain with at least this many delta trees, a background
+  /// compaction (merge delta into the base, republish) is scheduled. The
+  /// delta stays queryable throughout — compaction is a throughput
+  /// optimization, never a correctness requirement. 0 disables automatic
+  /// compaction (Compact() still works on demand).
+  int32_t compact_delta_trees = 4096;
 };
 
 /// One catalog row, for listings and monitoring.
 struct CorpusInfo {
   std::string name;
   uint64_t snapshot_id = 0;
-  size_t trees = 0;
-  size_t nodes = 0;
-  size_t relation_bytes = 0;
+  size_t trees = 0;  ///< chain-wide (base + unmerged delta)
+  size_t nodes = 0;  ///< chain-wide
+  size_t relation_bytes = 0;  ///< base + delta relation footprint
+  /// Trees in the unmerged delta (0 for a plain snapshot) — the live
+  /// tail a compaction would fold into the base.
+  size_t delta_trees = 0;
   int threads = 0;
 };
 
@@ -102,6 +115,28 @@ class Database {
   /// index-rebuild path) and publishes it via Swap.
   Status Reload(const std::string& name);
 
+  // --- Live ingestion -------------------------------------------------------
+
+  /// Appends `trees` to corpus `name` without downtime: the current
+  /// snapshot chain is extended (O(delta) work — the base relation is
+  /// shared untouched, see storage/snapshot.h) and the new chain is
+  /// hot-swapped in. Queries in flight finish on the pre-append snapshot;
+  /// queries starting after the call see the appended trees. Appends to
+  /// one corpus are serialized by a per-corpus ingest lock, so concurrent
+  /// Ingest calls all land (in some order) rather than overwriting each
+  /// other. When the resulting delta reaches
+  /// DatabaseOptions::compact_delta_trees, a background compaction is
+  /// scheduled. NotFound if `name` is not attached; InvalidArgument for an
+  /// empty batch.
+  Status Ingest(const std::string& name, Corpus trees);
+
+  /// Synchronously merges corpus `name`'s delta into its base and
+  /// publishes the compacted snapshot (for an image-backed corpus this
+  /// rewrites the image file crash-safely and remaps it). A no-op success
+  /// when there is no delta. Readers are never blocked: in-flight queries
+  /// keep the pre-compaction chain alive via their session references.
+  Status Compact(const std::string& name);
+
   /// Removes `name` from the catalog. In-flight queries on its service are
   /// unaffected (the service lives until its last shared reference drops).
   Status Detach(const std::string& name);
@@ -142,6 +177,17 @@ class Database {
 
  private:
   std::shared_ptr<service::QueryService> Resolve(const std::string& name) const;
+  /// The per-corpus ingest lock (created on first use), or null if `name`
+  /// is not attached. Serializes the read-append-publish sequence of
+  /// Ingest and Compact against each other, per corpus — never against
+  /// queries, and never across corpora.
+  std::shared_ptr<std::mutex> IngestMutexFor(const std::string& name);
+  /// Compact's body; also the background compactor's per-item work.
+  Status CompactInternal(const std::string& name);
+  /// Enqueues `name` for the background compactor (deduplicated), lazily
+  /// starting the compactor thread on first use.
+  void ScheduleCompaction(const std::string& name);
+  void CompactorLoop();
 
   // Guards catalog_, options_ and options_version_, and serializes
   // snapshot publication with catalog replacement; never held across
@@ -154,6 +200,19 @@ class Database {
   uint64_t options_version_ = 0;
   std::unordered_map<std::string, std::shared_ptr<service::QueryService>>
       catalog_;
+  /// Per-corpus ingest locks (see IngestMutexFor), guarded by mu_ and held
+  /// as shared_ptr so a lock stays valid across a concurrent Detach.
+  std::unordered_map<std::string, std::shared_ptr<std::mutex>> ingest_mu_;
+
+  /// Background compactor: one lazily-started thread draining a
+  /// deduplicated queue of corpus names. Compaction failures are dropped
+  /// (the delta simply stays live and a later Ingest reschedules);
+  /// synchronous Compact() is the error-surfacing path.
+  std::mutex compact_mu_;
+  std::condition_variable compact_cv_;
+  std::deque<std::string> compact_queue_;
+  bool compact_stop_ = false;
+  std::thread compactor_;
 };
 
 }  // namespace db

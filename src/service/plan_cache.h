@@ -43,6 +43,16 @@ std::string NormalizeQueryText(std::string_view text);
 struct CachedPlan {
   std::shared_ptr<const sql::PreparedPlan> plan;  ///< null iff negative
   std::shared_ptr<sql::ExistsMemo> memo;          ///< null iff negative
+  /// Snapshot-chain second source: the same query prepared against the
+  /// session's delta relation, with its own EXISTS memo. Preparing per
+  /// source is what keeps symbol resolution honest — a literal present
+  /// only in delta-ingested trees is unknown to the base dictionary (and
+  /// correctly empties the base plan) while resolving in the delta plan,
+  /// and vice versa — and gives each (plan, relation) pair its own memo,
+  /// so answers never leak across source generations. Null when the
+  /// session's snapshot has no delta (or the entry is negative).
+  std::shared_ptr<const sql::PreparedPlan> delta_plan;
+  std::shared_ptr<sql::ExistsMemo> delta_memo;
   Status error = Status::OK();                    ///< !ok() iff negative
 
   bool negative() const { return plan == nullptr; }

@@ -34,7 +34,24 @@ uint64_t HitKey(const Hit& h) {
          static_cast<uint32_t>(h.id);
 }
 
+/// Rebases a source's hits into the chain tid space. Must happen before any
+/// cross-source merge or DISTINCT stage: delta tree 0 and base tree 0 are
+/// different trees, and an unshifted HitKey would alias them.
+void ShiftTids(std::vector<Hit>& hits, int32_t offset) {
+  if (offset == 0) return;
+  for (Hit& h : hits) h.tid += offset;
+}
+
 }  // namespace
+
+/// See the declaration: one executable (source, plan, memo) triple.
+struct QueryService::SourceRun {
+  const sql::PlanExecutor* executor;
+  const sql::PreparedPlan* plan;
+  sql::ExistsMemo* memo;
+  const NodeRelation* relation;
+  int32_t tid_offset;  ///< added to every hit tid (0 for the base)
+};
 
 bool PendingQuery::ready() const {
   return future_.valid() &&
@@ -81,7 +98,7 @@ std::shared_ptr<const void> QueryService::UpdateSnapshot(SnapshotPtr snapshot) {
 
 SnapshotPtr QueryService::snapshot() const { return CurrentSession()->snapshot; }
 
-Result<std::shared_ptr<const sql::PreparedPlan>> QueryService::PrepareUncached(
+Result<CachedPlan> QueryService::PrepareUncached(
     const Session& session, const std::string& normalized) {
   const NodeRelation& relation = session.snapshot->relation();
   LPATH_ASSIGN_OR_RETURN(LocationPath path, ParseLPath(normalized));
@@ -95,7 +112,24 @@ Result<std::shared_ptr<const sql::PreparedPlan>> QueryService::PrepareUncached(
   }
   LPATH_ASSIGN_OR_RETURN(std::unique_ptr<sql::PreparedPlan> prepared,
                          sql::Prepare(plan, relation, options_.exec));
-  return std::shared_ptr<const sql::PreparedPlan>(std::move(prepared));
+  CachedPlan entry;
+  entry.plan = std::move(prepared);
+  entry.memo =
+      std::make_shared<sql::ExistsMemo>(options_.exists_memo_entries);
+  if (const NodeRelation* delta = session.snapshot->delta_relation()) {
+    // The chain's second source gets the same compiled plan prepared
+    // against its own relation: literals resolve in the delta dictionary
+    // (which may know strings the base has never seen, and vice versa),
+    // the optimizer sees delta statistics, and the distinct sub-expression
+    // identities give the per-source EXISTS memo a collision-free key
+    // space — the "memo keyed per source generation" contract.
+    LPATH_ASSIGN_OR_RETURN(std::unique_ptr<sql::PreparedPlan> dprep,
+                           sql::Prepare(plan, *delta, options_.exec));
+    entry.delta_plan = std::move(dprep);
+    entry.delta_memo =
+        std::make_shared<sql::ExistsMemo>(options_.exists_memo_entries);
+  }
+  return entry;
 }
 
 Result<CachedPlan> QueryService::GetPlanIn(const Session& session,
@@ -109,18 +143,16 @@ Result<CachedPlan> QueryService::GetPlanIn(const Session& session,
   // the later Put wins, which is correct (plans are interchangeable, and
   // each racer executes against the plan+memo pair it created, never a
   // plan paired with another instance's memo).
-  Result<std::shared_ptr<const sql::PreparedPlan>> prepared =
-      PrepareUncached(session, key);
+  Result<CachedPlan> prepared = PrepareUncached(session, key);
   if (!prepared.ok()) {
     // Negative entry: the same bad text will be answered from the cache.
-    session.cache.Put(key, CachedPlan{nullptr, nullptr, prepared.status()});
+    CachedPlan negative;
+    negative.error = prepared.status();
+    session.cache.Put(key, negative);
     return prepared.status();
   }
-  CachedPlan entry{prepared.value(),
-                   std::make_shared<sql::ExistsMemo>(options_.exists_memo_entries),
-                   Status::OK()};
-  session.cache.Put(key, entry);
-  return entry;
+  session.cache.Put(key, *prepared);
+  return std::move(*prepared);
 }
 
 Result<std::shared_ptr<const sql::PreparedPlan>> QueryService::GetPlan(
@@ -130,11 +162,61 @@ Result<std::shared_ptr<const sql::PreparedPlan>> QueryService::GetPlan(
   return std::move(planned.plan);
 }
 
+int QueryService::CollectSources(const Session& session,
+                                 const CachedPlan& planned, SourceRun* out) {
+  int n = 0;
+  out[n++] = SourceRun{&session.executor, planned.plan.get(),
+                       planned.memo.get(), &session.snapshot->relation(),
+                       /*tid_offset=*/0};
+  if (session.delta_executor.has_value() && planned.delta_plan != nullptr) {
+    out[n++] = SourceRun{&*session.delta_executor, planned.delta_plan.get(),
+                         planned.delta_memo.get(),
+                         session.snapshot->delta_relation(),
+                         session.snapshot->base_tree_count()};
+  }
+  return n;
+}
+
+Result<QueryResult> QueryService::RunSerial(const Session& session,
+                                            const CachedPlan& planned,
+                                            const RowSink* sink) {
+  SourceRun sources[2];
+  const int nsources = CollectSources(session, planned, sources);
+  QueryResult merged;
+  sql::ExecStats total;
+  Status failure = Status::OK();
+  for (int s = 0; s < nsources; ++s) {
+    const SourceRun& src = sources[s];
+    sql::ExecStats stats;
+    Result<QueryResult> r =
+        src.executor->ExecutePrepared(*src.plan, &stats, src.memo);
+    if (src.tid_offset != 0) stats.delta_rows = stats.candidates;
+    total.Add(stats);
+    if (!r.ok()) {
+      failure = r.status();
+      break;
+    }
+    ShiftTids(r->hits, src.tid_offset);
+    merged.hits.insert(merged.hits.end(), r->hits.begin(), r->hits.end());
+  }
+  total.morsels += 1;
+  total.sources = static_cast<uint64_t>(nsources);
+  RecordExec(total, /*sharded=*/false);
+  if (!failure.ok()) return failure;
+  // Sources cover disjoint tid ranges, so the concatenation is already
+  // DISTINCT; Normalize restores the global sort order across the seam.
+  merged.Normalize();
+  if (sink != nullptr && !merged.hits.empty()) {
+    (*sink)(std::span<const Hit>(merged.hits));
+  }
+  return merged;
+}
+
 Result<QueryResult> QueryService::RunSharded(const Session& session,
                                              CachedPlan planned,
                                              const RowSink* sink) {
-  const sql::PreparedPlan& plan = *planned.plan;
-  const NodeRelation& relation = session.snapshot->relation();
+  SourceRun sources[2];
+  const int nsources = CollectSources(session, planned, sources);
   int workers = options_.shards_per_query > 0
                     ? std::min(options_.shards_per_query, pool_->size())
                     : pool_->size();
@@ -142,35 +224,60 @@ Result<QueryResult> QueryService::RunSharded(const Session& session,
   // Adaptive fan-out: when the optimizer expects the root variable to
   // enumerate only a handful of rows, the per-morsel setup (task posts,
   // binary-searched run cuts, result merge) costs more than it parallelizes.
-  bool serial = plan.always_empty || workers <= 1;
+  // On a chain the estimate is the sum over live (non-always-empty) sources.
+  uint64_t root_estimate = 0;
+  bool any_live = false;
+  for (int s = 0; s < nsources; ++s) {
+    if (sources[s].plan->always_empty) continue;
+    any_live = true;
+    root_estimate += sources[s].plan->root_cardinality;
+  }
+  bool serial = !any_live || workers <= 1;
   if (!serial && options_.adaptive_serial_rows > 0 &&
-      plan.root_cardinality < options_.adaptive_serial_rows) {
+      root_estimate < options_.adaptive_serial_rows) {
     serial = true;
   }
   // Morsel planning: ~morsels_per_thread row-balanced tid slices per
   // worker, pulled from a shared claim cursor below. Over-decomposition is
   // the skew defence — a giant tree occupies one worker for one morsel
   // while the others drain the rest — and the minimum morsel size keeps
-  // the per-morsel overhead amortized.
-  std::vector<TidRange> morsels;
+  // the per-morsel overhead amortized. On a chain, the budget is split
+  // across sources proportionally to their row mass (every live source
+  // gets at least one morsel), so a small delta costs one extra morsel
+  // instead of doubling the fan-out.
+  struct Morsel {
+    int source;
+    TidRange range;
+  };
+  std::vector<Morsel> morsels;
   if (!serial) {
     const uint64_t min_rows = std::max<uint64_t>(
         1, options_.adaptive_serial_rows /
                static_cast<uint64_t>(std::max(1, options_.morsels_per_thread)));
-    morsels = relation.CarveTidRanges(
-        workers * std::max(1, options_.morsels_per_thread), min_rows);
+    const uint64_t budget = static_cast<uint64_t>(
+        workers * std::max(1, options_.morsels_per_thread));
+    uint64_t total_rows = 0;
+    for (int s = 0; s < nsources; ++s) {
+      if (!sources[s].plan->always_empty) {
+        total_rows += sources[s].relation->row_count();
+      }
+    }
+    for (int s = 0; s < nsources; ++s) {
+      if (sources[s].plan->always_empty) continue;
+      const uint64_t rows = sources[s].relation->row_count();
+      const int share =
+          total_rows == 0 ? 1
+                          : std::max<int>(1, static_cast<int>(
+                                                 budget * rows / total_rows));
+      for (const TidRange& r :
+           sources[s].relation->CarveTidRanges(share, min_rows)) {
+        morsels.push_back(Morsel{s, r});
+      }
+    }
     if (morsels.size() <= 1) serial = true;
   }
   if (serial) {
-    sql::ExecStats stats;
-    Result<QueryResult> r =
-        session.executor.ExecutePrepared(plan, &stats, planned.memo.get());
-    stats.morsels += 1;
-    RecordExec(stats, /*sharded=*/false);
-    if (sink != nullptr && r.ok() && !r->hits.empty()) {
-      (*sink)(std::span<const Hit>(r->hits));
-    }
-    return r;
+    return RunSerial(session, planned, sink);
   }
 
   // Merge stage for streaming: per-morsel results are deduplicated against
@@ -187,18 +294,25 @@ Result<QueryResult> QueryService::RunSharded(const Session& session,
                                            Result<QueryResult>(QueryResult{}));
   std::vector<sql::ExecStats> stats(count);
   std::atomic<uint64_t> steals{0};
-  // The item lambda owns the cache entry (plan + memo, copied into
-  // RunOnPool's shared state), keeping both alive for helpers scheduled
-  // after the query completes. The locals (`morsels`, `results`, ...) are
-  // captured by reference: a late helper never claims an item, so it never
-  // dereferences them after this frame returns.
+  // The item lambda owns the cache entry (plans + memos, copied into
+  // RunOnPool's shared state), keeping them alive for helpers scheduled
+  // after the query completes. The locals (`sources`, `morsels`, `results`,
+  // ...) are captured by reference: a late helper never claims an item, so
+  // it never dereferences them after this frame returns.
   RunOnPool(count, workers,
-            [&session, planned, &morsels, &results, &stats, &steals, sink,
+            [planned, &sources, &morsels, &results, &stats, &steals, sink,
              merge](int i, int worker) {
-    const TidRange& slice = morsels[i];
-    results[i] = session.executor.ExecuteShard(
-        *planned.plan, slice.tid_lo, slice.tid_hi, &stats[i],
-        planned.memo.get());
+    const Morsel& m = morsels[i];
+    const SourceRun& src = sources[m.source];
+    results[i] = src.executor->ExecuteShard(*src.plan, m.range.tid_lo,
+                                            m.range.tid_hi, &stats[i],
+                                            src.memo);
+    if (src.tid_offset != 0) {
+      stats[i].delta_rows = stats[i].candidates;
+      // Rebase into chain tid space before the DISTINCT stages (both the
+      // streaming merge below and the final Normalize) see the hits.
+      if (results[i].ok()) ShiftTids(results[i]->hits, src.tid_offset);
+    }
     if (worker > 0) steals.fetch_add(1, std::memory_order_relaxed);
     if (sink != nullptr && results[i].ok()) {
       std::vector<Hit> fresh;
@@ -217,6 +331,7 @@ Result<QueryResult> QueryService::RunSharded(const Session& session,
   for (int i = 0; i < count; ++i) total.Add(stats[i]);
   total.morsels += static_cast<uint64_t>(count);
   total.steal_count += steals.load(std::memory_order_relaxed);
+  total.sources = static_cast<uint64_t>(nsources);
   RecordExec(total, /*sharded=*/true);
   QueryResult merged;
   for (int i = 0; i < count; ++i) {
@@ -280,15 +395,7 @@ Result<QueryResult> QueryService::QueryOnce(const std::string& query,
   Result<QueryResult> r = [&]() -> Result<QueryResult> {
     LPATH_ASSIGN_OR_RETURN(CachedPlan planned, GetPlanIn(*session, query));
     if (sharded) return RunSharded(*session, std::move(planned), sink);
-    sql::ExecStats stats;
-    Result<QueryResult> serial = session->executor.ExecutePrepared(
-        *planned.plan, &stats, planned.memo.get());
-    stats.morsels += 1;
-    RecordExec(stats, /*sharded=*/false);
-    if (sink != nullptr && serial.ok() && !serial->hits.empty()) {
-      (*sink)(std::span<const Hit>(serial->hits));
-    }
-    return serial;
+    return RunSerial(*session, planned, sink);
   }();
 
   const double seconds = timer.ElapsedSeconds();
@@ -357,6 +464,16 @@ void QueryService::RecordExec(const sql::ExecStats& exec, bool sharded) {
   }
 }
 
+void QueryService::NoteIngest() {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ingests_ += 1;
+}
+
+void QueryService::NoteCompaction() {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  compactions_ += 1;
+}
+
 ServiceStats QueryService::Stats() const {
   ServiceStats s;
   s.cache = CurrentSession()->cache.stats();
@@ -367,6 +484,8 @@ ServiceStats QueryService::Stats() const {
     s.errors = errors_;
     s.sharded_queries = sharded_queries_;
     s.serial_queries = serial_queries_;
+    s.ingests = ingests_;
+    s.compactions = compactions_;
     s.exec = exec_;
     s.total_seconds = total_seconds_;
     sorted = latency_ring_ms_;
@@ -386,6 +505,8 @@ void QueryService::ResetStats() {
   errors_ = 0;
   sharded_queries_ = 0;
   serial_queries_ = 0;
+  ingests_ = 0;
+  compactions_ = 0;
   exec_ = sql::ExecStats{};
   total_seconds_ = 0.0;
   latency_ring_ms_.clear();

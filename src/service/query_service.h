@@ -49,6 +49,7 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
@@ -112,6 +113,8 @@ struct ServiceStats {
   uint64_t errors = 0;
   uint64_t sharded_queries = 0;  ///< executed with fan-out > 1
   uint64_t serial_queries = 0;   ///< executed serially (incl. adaptive picks)
+  uint64_t ingests = 0;          ///< append-publications noted (NoteIngest)
+  uint64_t compactions = 0;      ///< delta merges noted (NoteCompaction)
   PlanCache::Stats cache;        ///< current session's cache (reset by swap)
   sql::ExecStats exec;           ///< summed over all queries and shards
   LatencySummary latency;
@@ -196,6 +199,12 @@ class QueryService {
   ServiceStats Stats() const;
   void ResetStats();
 
+  /// Ingestion observability: the publisher (db::Database::Ingest /
+  /// ::Compact, or any caller driving UpdateSnapshot with a chain) ticks
+  /// these after the swap so :stats / monitoring see live-corpus traffic.
+  void NoteIngest();
+  void NoteCompaction();
+
   int threads() const { return pool_->size(); }
   const QueryServiceOptions& options() const { return options_; }
 
@@ -206,21 +215,44 @@ class QueryService {
   struct Session {
     SnapshotPtr snapshot;
     sql::PlanExecutor executor;
+    /// Snapshot-chain second source: a borrowing executor over the delta
+    /// relation (the session owns the snapshot, which pins the borrow).
+    /// Engaged exactly when snapshot->has_delta().
+    std::optional<sql::PlanExecutor> delta_executor;
     mutable PlanCache cache;
 
     Session(SnapshotPtr snap, const QueryServiceOptions& options)
         : snapshot(std::move(snap)),
           executor(snapshot, options.exec),
-          cache(options.plan_cache_capacity) {}
+          cache(options.plan_cache_capacity) {
+      if (snapshot->has_delta()) {
+        delta_executor.emplace(*snapshot->delta_relation(), options.exec);
+      }
+    }
   };
   using SessionPtr = std::shared_ptr<const Session>;
+
+  /// One executable (source, plan, memo) triple of a query: the base
+  /// relation, plus the delta relation when the session's snapshot is a
+  /// chain. Hits from a source are shifted by `tid_offset` into the chain
+  /// tid space before any merge, so DISTINCT keys never collide across
+  /// sources.
+  struct SourceRun;
 
   /// Plan lookup returning the whole cache entry (plan + shared EXISTS
   /// memo); the entry is always positive — errors surface as the Status.
   Result<CachedPlan> GetPlanIn(const Session& session,
                                const std::string& query);
-  Result<std::shared_ptr<const sql::PreparedPlan>> PrepareUncached(
-      const Session& session, const std::string& normalized);
+  Result<CachedPlan> PrepareUncached(const Session& session,
+                                     const std::string& normalized);
+  /// Fills `out` (room for 2) with the query's executable sources; returns
+  /// the count (1, or 2 for a chain).
+  static int CollectSources(const Session& session, const CachedPlan& planned,
+                            SourceRun* out);
+  /// Serial evaluation over every source, hits shifted and merged.
+  Result<QueryResult> RunSerial(const Session& session,
+                                const CachedPlan& planned,
+                                const RowSink* sink);
   Result<QueryResult> RunSharded(const Session& session, CachedPlan planned,
                                  const RowSink* sink);
   Result<QueryResult> QueryOnce(const std::string& query, bool sharded,
@@ -260,6 +292,8 @@ class QueryService {
   uint64_t errors_ = 0;
   uint64_t sharded_queries_ = 0;
   uint64_t serial_queries_ = 0;
+  uint64_t ingests_ = 0;
+  uint64_t compactions_ = 0;
   sql::ExecStats exec_;
   double total_seconds_ = 0.0;
   std::vector<double> latency_ring_ms_;  // bounded reservoir of recent queries

@@ -52,6 +52,14 @@ struct ExecStats {
   uint64_t batch_selected = 0;
   /// Codec blocks/runs decoded by scans fused over compressed columns.
   uint64_t decoded_blocks = 0;
+  /// Relation sources the execution consulted: 1 for a plain snapshot, 2
+  /// when a snapshot chain's delta ran alongside the base (scheduler-set).
+  /// Rolls up as a maximum, so aggregated stats answer "was the chain ever
+  /// two-source" rather than summing a meaningless total.
+  uint64_t sources = 0;
+  /// Candidate rows enumerated from the delta source (these also count
+  /// into `candidates`) — how much of the work the unmerged tail carries.
+  uint64_t delta_rows = 0;
 
   /// Fraction of batch-scanned rows that made it into a selection vector;
   /// 1.0 when no batches ran.
@@ -76,6 +84,8 @@ struct ExecStats {
     batch_rows += o.batch_rows;
     batch_selected += o.batch_selected;
     decoded_blocks += o.decoded_blocks;
+    sources = sources > o.sources ? sources : o.sources;
+    delta_rows += o.delta_rows;
   }
 };
 

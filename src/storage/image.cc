@@ -5,6 +5,7 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cerrno>
 #include <cstdio>
@@ -512,6 +513,36 @@ Status CorruptionAt(const std::string& path, const char* what) {
   return Status::Corruption("invalid relation image " + path + ": " + what);
 }
 
+/// Best-effort posix_madvise over the file range [offset, offset + len),
+/// widened to page boundaries. Hints are advisory: failures (and platforms
+/// without posix_madvise) are silently ignored.
+void AdviseRange(const MappedFile& file, uint64_t offset, uint64_t len,
+                 int advice) {
+#if defined(POSIX_MADV_NORMAL)
+  if (len == 0 || offset >= file.size()) return;
+  static const uint64_t page =
+      static_cast<uint64_t>(std::max<long>(1, ::sysconf(_SC_PAGESIZE)));
+  const uint64_t begin = (offset / page) * page;
+  const uint64_t end = std::min<uint64_t>(offset + len, file.size());
+  (void)::posix_madvise(
+      const_cast<unsigned char*>(file.data()) + begin,
+      static_cast<size_t>(end - begin), advice);
+#else
+  (void)file;
+  (void)offset;
+  (void)len;
+  (void)advice;
+#endif
+}
+
+#if defined(POSIX_MADV_NORMAL)
+constexpr int kAdviseWillNeed = POSIX_MADV_WILLNEED;
+constexpr int kAdviseRandom = POSIX_MADV_RANDOM;
+#else
+constexpr int kAdviseWillNeed = 0;
+constexpr int kAdviseRandom = 0;
+#endif
+
 /// offsets[0] == 0, non-decreasing, offsets.back() == total.
 template <typename T>
 bool IsPrefixArray(std::span<const T> offsets, uint64_t total) {
@@ -580,6 +611,12 @@ Result<NodeRelation> ImageIO::Open(const std::string& path,
   // kHeaderOnly skips exactly this scan — the one check whose cost is
   // O(file size); everything below stays on.
   if (options.verify == ImageVerify::kFull) {
+    // The scan below touches every payload page once, in order: tell the
+    // kernel to start fetching them ahead of the read.
+    if (options.madvise) {
+      AdviseRange(*file, sizeof(ImageHeader),
+                  file->size() - sizeof(ImageHeader), kAdviseWillNeed);
+    }
     Fnv64 fnv;
     fnv.Update(file->data() + sizeof(ImageHeader),
                file->size() - sizeof(ImageHeader));
@@ -669,6 +706,24 @@ Result<NodeRelation> ImageIO::Open(const std::string& path,
   // once here so every span accessor (and the binary searches behind the
   // run/range lookups) work identically over both. The encoded views are
   // kept alongside so the batch executor can fuse decode into its scans.
+  // Mapping hints (see ImageOpenOptions::madvise): the sections consumed
+  // eagerly right below — encoded column payloads (decoded into the arena)
+  // and the interner table (re-interned into the fresh corpus) — are
+  // prefetched; the sections served straight out of the mapping at query
+  // time get MADV_RANDOM after the one-time sanity scans further down.
+  if (options.madvise) {
+    for (uint32_t i = 0; i < kRelColEncodable; ++i) {
+      if (table[i].encoding != static_cast<uint32_t>(ColumnEncoding::kRaw)) {
+        AdviseRange(*file, table[i].offset, table[i].stored_bytes,
+                    kAdviseWillNeed);
+      }
+    }
+    AdviseRange(*file, table[kIdxInternerOffsets].offset,
+                table[kIdxInternerOffsets].stored_bytes, kAdviseWillNeed);
+    AdviseRange(*file, table[kIdxInternerBlob].offset,
+                table[kIdxInternerBlob].stored_bytes, kAdviseWillNeed);
+  }
+
   auto backing = std::make_shared<MappedBacking>();
   backing->file = file;
   std::array<EncodedColumnView, kRelColEncodable> encoded_views{};
@@ -744,6 +799,23 @@ Result<NodeRelation> ImageIO::Open(const std::string& path,
                                 interner_offsets[s + 1] - interner_offsets[s]);
     if (interner->Intern(name) != static_cast<Symbol>(s + 1)) {
       return CorruptionAt(path, "interner table has duplicate strings");
+    }
+  }
+
+  // The sanity scans above were the last sequential pass; from here on the
+  // mapped sections are hit by binary searches and point lookups, where
+  // readahead only evicts useful pages. Encoded columns are excluded: their
+  // payloads were decoded into the arena and the batch scan re-reads them
+  // sequentially per block.
+  if (options.madvise) {
+    for (uint32_t i = 0; i < kSectionCount; ++i) {
+      if (i == kIdxInternerOffsets || i == kIdxInternerBlob) continue;
+      if (i < kRelColEncodable &&
+          table[i].encoding != static_cast<uint32_t>(ColumnEncoding::kRaw)) {
+        continue;
+      }
+      AdviseRange(*file, table[i].offset, table[i].stored_bytes,
+                  kAdviseRandom);
     }
   }
 

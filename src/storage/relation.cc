@@ -39,10 +39,17 @@ struct ColumnArena {
 /// Counts every label+sort build (see NodeRelation::BuildCount).
 std::atomic<uint64_t> g_build_count{0};
 
+/// Counts every tree labeled by a build (see NodeRelation::LabeledTreeCount).
+std::atomic<uint64_t> g_labeled_tree_count{0};
+
 }  // namespace
 
 uint64_t NodeRelation::BuildCount() {
   return g_build_count.load(std::memory_order_relaxed);
+}
+
+uint64_t NodeRelation::LabeledTreeCount() {
+  return g_labeled_tree_count.load(std::memory_order_relaxed);
 }
 
 Result<NodeRelation> NodeRelation::Build(const Corpus& corpus,
@@ -59,6 +66,7 @@ Result<NodeRelation> NodeRelation::Build(std::shared_ptr<const Corpus> owned,
     return Status::InvalidArgument("NodeRelation::Build: null corpus");
   }
   g_build_count.fetch_add(1, std::memory_order_relaxed);
+  g_labeled_tree_count.fetch_add(owned->size(), std::memory_order_relaxed);
   const Corpus& corpus = *owned;
   NodeRelation rel;
   rel.scheme_ = options.scheme;
@@ -221,6 +229,191 @@ Result<NodeRelation> NodeRelation::Build(std::shared_ptr<const Corpus> owned,
   }
 
   // 9. Bind the accessor spans to the arena and hand it over.
+  rel.tid_ = cols.tid;
+  rel.left_ = cols.left;
+  rel.right_ = cols.right;
+  rel.depth_ = cols.depth;
+  rel.id_ = cols.id;
+  rel.pid_ = cols.pid;
+  rel.name_ = cols.name;
+  rel.value_ = cols.value;
+  rel.kind_ = cols.kind;
+  rel.runs_ = cols.runs;
+  rel.by_right_ = cols.by_right;
+  rel.by_pid_ = cols.by_pid;
+  rel.value_index_ = cols.value_index;
+  rel.value_offsets_ = cols.value_offsets;
+  rel.tree_row_prefix_ = cols.tree_row_prefix;
+  rel.tree_base_ = cols.tree_base;
+  rel.elem_row_ = cols.elem_row;
+  rel.attr_offsets_ = cols.attr_offsets;
+  rel.attr_rows_ = cols.attr_rows;
+  rel.backing_ = std::move(arena);
+  return rel;
+}
+
+Result<NodeRelation> NodeRelation::Merge(const NodeRelation& base,
+                                         const NodeRelation& delta,
+                                         std::shared_ptr<const Corpus> owned) {
+  if (owned == nullptr) {
+    return Status::InvalidArgument("NodeRelation::Merge: null corpus");
+  }
+  if (base.scheme_ != delta.scheme_) {
+    return Status::InvalidArgument(
+        "NodeRelation::Merge: sources use different label schemes");
+  }
+  const Symbol name_end = owned->interner().end_id();
+  if (base.runs_.size() > name_end || delta.runs_.size() > name_end) {
+    return Status::InvalidArgument(
+        "NodeRelation::Merge: merged dictionary misses source symbols");
+  }
+  NodeRelation rel;
+  rel.scheme_ = base.scheme_;
+  rel.corpus_ = std::move(owned);
+  rel.tree_count_ = base.tree_count_ + delta.tree_count_;
+  rel.element_count_ = base.element_count_ + delta.element_count_;
+  auto arena = std::make_shared<ColumnArena>();
+  ColumnArena& cols = *arena;
+
+  const size_t nb = base.row_count();
+  const size_t nd = delta.row_count();
+  const size_t n = nb + nd;
+  const int32_t tid_off = base.tree_count_;
+
+  // 1. Clustered columns: per-name run concatenation (base rows, then delta
+  // rows with shifted tids). Every row belongs to exactly one run (name is
+  // never kNoSymbol), and within a run the order (tid, left, right, ...) is
+  // preserved because shifted delta tids all exceed base tids. The remap
+  // arrays record each source row's merged position for the indexes below.
+  cols.tid.resize(n);
+  cols.left.resize(n);
+  cols.right.resize(n);
+  cols.depth.resize(n);
+  cols.id.resize(n);
+  cols.pid.resize(n);
+  cols.name.resize(n);
+  cols.value.resize(n);
+  cols.kind.resize(n);
+  cols.runs.assign(name_end, RowRange{});
+  std::vector<Row> base_remap(nb);
+  std::vector<Row> delta_remap(nd);
+  Row out = 0;
+  for (Symbol s = 1; s < name_end; ++s) {
+    const RowRange br = base.run(s);
+    const RowRange dr = delta.run(s);
+    if (br.empty() && dr.empty()) continue;
+    const Row begin = out;
+    for (Row r = br.begin; r < br.end; ++r, ++out) {
+      base_remap[r] = out;
+      cols.tid[out] = base.tid_[r];
+      cols.left[out] = base.left_[r];
+      cols.right[out] = base.right_[r];
+      cols.depth[out] = base.depth_[r];
+      cols.id[out] = base.id_[r];
+      cols.pid[out] = base.pid_[r];
+      cols.name[out] = base.name_[r];
+      cols.value[out] = base.value_[r];
+      cols.kind[out] = base.kind_[r];
+    }
+    for (Row r = dr.begin; r < dr.end; ++r, ++out) {
+      delta_remap[r] = out;
+      cols.tid[out] = delta.tid_[r] + tid_off;
+      cols.left[out] = delta.left_[r];
+      cols.right[out] = delta.right_[r];
+      cols.depth[out] = delta.depth_[r];
+      cols.id[out] = delta.id_[r];
+      cols.pid[out] = delta.pid_[r];
+      cols.name[out] = delta.name_[r];
+      cols.value[out] = delta.value_[r];
+      cols.kind[out] = delta.kind_[r];
+    }
+    cols.runs[s] = RowRange{begin, out};
+  }
+  if (out != n) {
+    return Status::Corruption(
+        "NodeRelation::Merge: run directories do not cover the sources");
+  }
+
+  // 2. Per-run permutations: remapped concatenation per run. The secondary
+  // orders ((tid, right, left) and (tid, pid, left)) lead with tid, so base
+  // entries precede all shifted delta entries within each run.
+  cols.by_right.resize(n);
+  cols.by_pid.resize(n);
+  for (Symbol s = 1; s < name_end; ++s) {
+    const RowRange br = base.run(s);
+    const RowRange dr = delta.run(s);
+    Row w = cols.runs[s].begin;
+    for (Row i = br.begin; i < br.end; ++i) {
+      cols.by_right[w++] = base_remap[base.by_right_[i]];
+    }
+    for (Row i = dr.begin; i < dr.end; ++i) {
+      cols.by_right[w++] = delta_remap[delta.by_right_[i]];
+    }
+    w = cols.runs[s].begin;
+    for (Row i = br.begin; i < br.end; ++i) {
+      cols.by_pid[w++] = base_remap[base.by_pid_[i]];
+    }
+    for (Row i = dr.begin; i < dr.end; ++i) {
+      cols.by_pid[w++] = delta_remap[delta.by_pid_[i]];
+    }
+  }
+
+  // 3. Value index: per-value remapped concatenation, same tid argument.
+  cols.value_index.reserve(base.value_index_.size() +
+                           delta.value_index_.size());
+  cols.value_offsets.resize(name_end + 1);
+  cols.value_offsets[0] = 0;
+  for (Symbol v = 0; v < name_end; ++v) {
+    for (Row r : base.ValueRange(v)) {
+      cols.value_index.push_back(base_remap[r]);
+    }
+    for (Row r : delta.ValueRange(v)) {
+      cols.value_index.push_back(delta_remap[r]);
+    }
+    cols.value_offsets[v + 1] = static_cast<uint32_t>(cols.value_index.size());
+  }
+
+  // 4. Per-tree prefix sums and the (tid, id) lookup tables: offset-shifted
+  // concatenation (delta trees follow base trees in the merged tid space).
+  cols.tree_row_prefix.resize(static_cast<size_t>(rel.tree_count_) + 1);
+  for (int32_t t = 0; t <= base.tree_count_; ++t) {
+    cols.tree_row_prefix[t] = base.tree_row_prefix_[t];
+  }
+  for (int32_t t = 1; t <= delta.tree_count_; ++t) {
+    cols.tree_row_prefix[tid_off + t] = nb + delta.tree_row_prefix_[t];
+  }
+  cols.tree_base.resize(static_cast<size_t>(rel.tree_count_) + 1);
+  const uint32_t elem_off = base.tree_base_.back();
+  for (int32_t t = 0; t <= base.tree_count_; ++t) {
+    cols.tree_base[t] = base.tree_base_[t];
+  }
+  for (int32_t t = 1; t <= delta.tree_count_; ++t) {
+    cols.tree_base[tid_off + t] = elem_off + delta.tree_base_[t];
+  }
+  cols.elem_row.resize(rel.element_count_);
+  for (size_t i = 0; i < base.elem_row_.size(); ++i) {
+    cols.elem_row[i] = base_remap[base.elem_row_[i]];
+  }
+  for (size_t i = 0; i < delta.elem_row_.size(); ++i) {
+    cols.elem_row[elem_off + i] = delta_remap[delta.elem_row_[i]];
+  }
+  cols.attr_offsets.resize(rel.element_count_ + 1);
+  const uint32_t attr_off = base.attr_offsets_.back();
+  for (size_t i = 0; i < base.attr_offsets_.size(); ++i) {
+    cols.attr_offsets[i] = base.attr_offsets_[i];
+  }
+  for (size_t i = 1; i < delta.attr_offsets_.size(); ++i) {
+    cols.attr_offsets[elem_off + i] = attr_off + delta.attr_offsets_[i];
+  }
+  cols.attr_rows.resize(base.attr_rows_.size() + delta.attr_rows_.size());
+  for (size_t i = 0; i < base.attr_rows_.size(); ++i) {
+    cols.attr_rows[i] = base_remap[base.attr_rows_[i]];
+  }
+  for (size_t i = 0; i < delta.attr_rows_.size(); ++i) {
+    cols.attr_rows[attr_off + i] = delta_remap[delta.attr_rows_[i]];
+  }
+
+  // 5. Bind spans, exactly as Build does.
   rel.tid_ = cols.tid;
   rel.left_ = cols.left;
   rel.right_ = cols.right;

@@ -103,6 +103,22 @@ class NodeRelation {
   static Result<NodeRelation> Build(const Corpus& corpus,
                                     RelationOptions options = {});
 
+  /// Builds the compaction of `base` + `delta` — bit-identical to what a
+  /// full Build over the concatenated corpora would produce — by pure
+  /// linear merge: no labeling and no sorting. Works because the chain
+  /// keeps three invariants: delta symbol ids extend the base's dictionary
+  /// (shared strings keep their base ids, so per-name runs concatenate),
+  /// every delta tid maps to base tree_count() + tid (so within a run the
+  /// base rows sort strictly before the shifted delta rows under every
+  /// clustered and secondary order, all of which lead with tid after the
+  /// run's name), and labels are per-tree (no base label changes when
+  /// trees are appended). `corpus` becomes the merged relation's owner and
+  /// must carry the delta's (superset) dictionary; it may be tree-less
+  /// (image-backed compaction) or hold the concatenated trees.
+  static Result<NodeRelation> Merge(const NodeRelation& base,
+                                    const NodeRelation& delta,
+                                    std::shared_ptr<const Corpus> corpus);
+
   LabelScheme scheme() const { return scheme_; }
   const Corpus& corpus() const { return *corpus_; }
   /// Shared owner of the corpus. Built through the borrowing overload it
@@ -257,6 +273,14 @@ class NodeRelation {
   /// load-path counter tests use to assert that opening a persistent image
   /// performs no labeling or sorting.
   static uint64_t BuildCount();
+
+  /// Process-wide count of trees ever labeled by Build. The O(delta)
+  /// append guarantee is stated in this counter: appending N trees onto an
+  /// M-tree snapshot advances it by exactly N — by delta + N onto a chain
+  /// whose delta is rebuilt — never by anything proportional to M (the
+  /// base is never relabeled), and compaction advances it by 0 (Merge
+  /// neither labels nor sorts).
+  static uint64_t LabeledTreeCount();
 
  private:
   friend class ImageIO;

@@ -53,9 +53,29 @@ Result<SnapshotPtr> CorpusSnapshot::Open(const std::string& path,
   return SnapshotPtr(snapshot);
 }
 
+namespace {
+
+/// A fresh corpus carrying a clone of `interner` and no trees — the owner
+/// shape NodeRelation::Merge needs when the merged trees themselves are not
+/// materialized (image-backed compaction, chain Save).
+std::shared_ptr<Corpus> CorpusWithDictionary(const Interner& interner) {
+  auto corpus = std::make_shared<Corpus>();
+  corpus->ResetInterner(interner.Clone());
+  return corpus;
+}
+
+}  // namespace
+
 Status CorpusSnapshot::Save(const std::string& path, ImageSaveOptions options,
                             ImageSaveStats* stats) const {
-  return ImageIO::Save(relation_, path, options, stats);
+  if (!has_delta()) return ImageIO::Save(relation_, path, options, stats);
+  // The image format holds one relation; merge the chain first (linear, no
+  // labeling) so the file covers every published tree.
+  LPATH_ASSIGN_OR_RETURN(
+      NodeRelation merged,
+      NodeRelation::Merge(relation_, *delta_relation_,
+                          CorpusWithDictionary(delta_corpus_->interner())));
+  return ImageIO::Save(merged, path, options, stats);
 }
 
 Result<SnapshotPtr> CorpusSnapshot::Rebuild() const {
@@ -65,8 +85,98 @@ Result<SnapshotPtr> CorpusSnapshot::Rebuild() const {
 Result<SnapshotPtr> CorpusSnapshot::Rebuild(RelationOptions options) const {
   // An image-backed snapshot has no trees to relabel: re-open the image
   // (its labeling is baked in; `options` cannot change it).
-  if (image_backed()) return Open(image_path_);
-  return Build(corpus_, options);
+  LPATH_ASSIGN_OR_RETURN(SnapshotPtr base, image_backed()
+                                               ? Open(image_path_)
+                                               : Build(corpus_, options));
+  if (!has_delta()) return base;
+  // Carry the chain: rebuild the delta relation over the immutable delta
+  // corpus under the (possibly image-baked) base scheme and re-attach it.
+  LPATH_ASSIGN_OR_RETURN(NodeRelation drel,
+                         NodeRelation::Build(delta_corpus_, base->options_));
+  auto* chained =
+      new CorpusSnapshot(base->corpus_, base->relation_, base->options_);
+  chained->image_path_ = base->image_path_;
+  chained->delta_corpus_ = delta_corpus_;
+  chained->delta_relation_ =
+      std::make_shared<const NodeRelation>(std::move(drel));
+  return SnapshotPtr(chained);
+}
+
+Result<SnapshotPtr> CorpusSnapshot::Append(const Corpus& incoming) const {
+  if (incoming.empty()) {
+    return Status::InvalidArgument("CorpusSnapshot::Append: empty corpus");
+  }
+  // The new delta corpus: a clone-extension of the chain's dictionary (so
+  // base ids stay valid and new strings take fresh ids), the existing delta
+  // trees verbatim, then the incoming trees re-interned. Work is
+  // O(existing delta + incoming); the base is untouched.
+  auto delta = std::make_shared<Corpus>();
+  delta->ResetInterner(interner().Clone());
+  if (has_delta()) {
+    for (size_t i = 0; i < delta_corpus_->size(); ++i) {
+      delta->Add(delta_corpus_->tree(static_cast<TreeId>(i)));
+    }
+  }
+  delta->AppendFrom(incoming);
+  LPATH_ASSIGN_OR_RETURN(
+      NodeRelation drel,
+      NodeRelation::Build(std::shared_ptr<const Corpus>(delta), options_));
+  auto* chained = new CorpusSnapshot(corpus_, relation_, options_);
+  chained->image_path_ = image_path_;
+  chained->delta_corpus_ = std::move(delta);
+  chained->delta_relation_ =
+      std::make_shared<const NodeRelation>(std::move(drel));
+  return SnapshotPtr(chained);
+}
+
+Result<SnapshotPtr> CorpusSnapshot::Compact(ImageSaveStats* save_stats) const {
+  if (!has_delta()) {
+    return Status::InvalidArgument("CorpusSnapshot::Compact: no delta");
+  }
+  // The merged corpus: the delta's dictionary (a superset of the base's),
+  // plus the concatenated trees when the base holds trees. An image-backed
+  // base is tree-less and the compaction stays tree-less — exactly what
+  // re-opening the rewritten image serves anyway.
+  std::shared_ptr<Corpus> merged =
+      CorpusWithDictionary(delta_corpus_->interner());
+  if (!image_backed()) {
+    for (size_t i = 0; i < corpus_->size(); ++i) {
+      merged->Add(corpus_->tree(static_cast<TreeId>(i)));
+    }
+    for (size_t i = 0; i < delta_corpus_->size(); ++i) {
+      merged->Add(delta_corpus_->tree(static_cast<TreeId>(i)));
+    }
+  }
+  LPATH_ASSIGN_OR_RETURN(
+      NodeRelation mrel,
+      NodeRelation::Merge(relation_, *delta_relation_, merged));
+  if (image_backed()) {
+    // Crash safety rides on ImageIO::Save's unique-tmp + fsync + rename:
+    // a reader (or a crash) mid-compaction sees either the old image or
+    // the new one, never a torn file.
+    LPATH_RETURN_IF_ERROR(ImageIO::Save(mrel, image_path_, {}, save_stats));
+    return Open(image_path_);
+  }
+  auto* snapshot = new CorpusSnapshot(std::move(merged), std::move(mrel),
+                                      options_);
+  return SnapshotPtr(snapshot);
+}
+
+const Tree* CorpusSnapshot::TreeAt(int32_t tid) const {
+  const int32_t base_trees = base_tree_count();
+  if (tid < 0) return nullptr;
+  if (tid < base_trees) {
+    // An image-backed base serves a tree-less corpus; callers that need
+    // the bracketed tree (printing, navigation) get a null.
+    if (static_cast<size_t>(tid) >= corpus_->size()) return nullptr;
+    return &corpus_->tree(tid);
+  }
+  const int32_t local = tid - base_trees;
+  if (!has_delta() ||
+      static_cast<size_t>(local) >= delta_corpus_->size()) {
+    return nullptr;
+  }
+  return &delta_corpus_->tree(local);
 }
 
 }  // namespace lpath

@@ -10,6 +10,20 @@
 // single pointer exchange (see db::Database::Swap); queries in flight
 // keep their old snapshot alive through their own reference and never
 // observe a torn state.
+//
+// Live corpora: a snapshot is a two-link *chain* — an immutable base
+// (built in memory or served from an mmap'd image) plus an optional small
+// delta relation holding trees appended since the base was built. Append()
+// extends the chain in O(delta): only the delta trees are (re)labeled and
+// sorted, the base is shared untouched, and the result is published like
+// any other snapshot. Chain tid space: base trees keep their tids, delta
+// tree d is addressed as base tree_count() + d; executors run each source
+// with its own prepared plan and shift delta hits into chain tids at the
+// merge (queries never cross trees, so the union over sources is exactly
+// the rebuilt-corpus result). Compact() folds the delta back into one
+// relation by linear merge (NodeRelation::Merge — no labeling, no
+// sorting), rewriting the backing image in place (tmp + rename) when the
+// base is image-backed.
 
 #ifndef LPATHDB_STORAGE_SNAPSHOT_H_
 #define LPATHDB_STORAGE_SNAPSHOT_H_
@@ -55,20 +69,68 @@ class CorpusSnapshot {
                                   ImageOpenOptions options = {});
 
   /// Writes this snapshot's relation (and interner) as a persistent image.
+  /// A chain is merged first (linear, no labeling), so the image always
+  /// covers base + delta; opening it yields a delta-free snapshot.
   Status Save(const std::string& path, ImageSaveOptions options = {},
               ImageSaveStats* stats = nullptr) const;
 
   /// A new snapshot over the same corpus with a freshly built relation —
   /// the "rebuilt index" input to a hot swap. For an image-backed snapshot
   /// there are no trees to relabel; Rebuild re-opens the image instead
-  /// (a fresh mapping picks up a republished file).
+  /// (a fresh mapping picks up a republished file). A chain's delta is
+  /// rebuilt over the (immutable) delta corpus and re-attached.
   Result<SnapshotPtr> Rebuild() const;
   Result<SnapshotPtr> Rebuild(RelationOptions options) const;
+
+  // --- Snapshot chain -------------------------------------------------------
+
+  /// Extends the chain with `incoming`'s trees (copied; symbols re-interned
+  /// into a clone of the chain's dictionary) in O(existing delta + incoming)
+  /// work: the base relation is shared untouched — no base tree is ever
+  /// relabeled (see NodeRelation::LabeledTreeCount). Returns a new snapshot;
+  /// this one is unchanged (readers pinned to it are unaffected).
+  Result<SnapshotPtr> Append(const Corpus& incoming) const;
+
+  /// Folds the delta into the base by linear merge (no labeling, no
+  /// sorting): the result is the relation a full rebuild over the
+  /// concatenated corpora would produce. For an image-backed base the
+  /// merged relation is written back to image_path() (crash-safe tmp +
+  /// rename + fsync) and re-opened; `save_stats`, when non-null, receives
+  /// the per-column compression breakdown of that write. InvalidArgument
+  /// when the chain has no delta.
+  Result<SnapshotPtr> Compact(ImageSaveStats* save_stats = nullptr) const;
+
+  /// True when trees have been appended since the base was built/opened.
+  bool has_delta() const { return delta_relation_ != nullptr; }
+  /// The delta relation, or nullptr without a delta.
+  const NodeRelation* delta_relation() const { return delta_relation_.get(); }
+  /// Trees in the base relation alone.
+  int32_t base_tree_count() const { return relation_.tree_count(); }
+  /// Trees in the delta alone (0 without one).
+  int32_t delta_tree_count() const {
+    return has_delta() ? delta_relation_->tree_count() : 0;
+  }
+  /// Chain-wide tree count (base + delta) — the published tid space.
+  int32_t tree_count() const {
+    return base_tree_count() + delta_tree_count();
+  }
+  /// Chain-wide element count.
+  size_t element_count() const {
+    return relation_.element_count() +
+           (has_delta() ? delta_relation_->element_count() : 0);
+  }
+  /// The tree behind a chain-global tid, or nullptr when that source's
+  /// corpus is tree-less (image-backed base) or the tid is out of range.
+  const Tree* TreeAt(int32_t tid) const;
 
   const Corpus& corpus() const { return *corpus_; }
   const std::shared_ptr<const Corpus>& corpus_ptr() const { return corpus_; }
   const NodeRelation& relation() const { return relation_; }
-  const Interner& interner() const { return corpus_->interner(); }
+  /// The chain-wide dictionary: the delta's (a superset extension of the
+  /// base's, sharing every base id) when a delta exists, else the base's.
+  const Interner& interner() const {
+    return has_delta() ? delta_corpus_->interner() : corpus_->interner();
+  }
   const RelationOptions& options() const { return options_; }
 
   /// Process-wide monotonically increasing build number, so two snapshots
@@ -89,6 +151,13 @@ class CorpusSnapshot {
   RelationOptions options_;
   uint64_t id_;
   std::string image_path_;  ///< empty unless opened via Open()
+
+  // The chain's delta link, both null for a plain (delta-free) snapshot.
+  // delta_corpus_ holds only the appended trees (local tids 0..delta-1)
+  // and a dictionary cloned from — and extending — the base's, so base
+  // symbol ids stay valid in delta rows verbatim.
+  std::shared_ptr<const Corpus> delta_corpus_;
+  std::shared_ptr<const NodeRelation> delta_relation_;
 };
 
 }  // namespace lpath

@@ -7,6 +7,38 @@ TreeId Corpus::Add(Tree tree) {
   return static_cast<TreeId>(trees_.size() - 1);
 }
 
+void Corpus::AppendFrom(const Corpus& other) {
+  const Interner& theirs = other.interner();
+  // Dense remap table, filled lazily: most ingests share most strings with
+  // the base dictionary, so the common case is a lookup, not an insert.
+  std::vector<Symbol> remap(theirs.end_id(), kNoSymbol);
+  auto map = [&](Symbol s) -> Symbol {
+    if (s == kNoSymbol) return kNoSymbol;
+    Symbol& slot = remap[s];
+    if (slot == kNoSymbol) slot = interner_->Intern(theirs.name(s));
+    return slot;
+  };
+  for (size_t i = 0; i < other.size(); ++i) {
+    const Tree& src = other.tree(static_cast<TreeId>(i));
+    Tree copy;
+    // Node ids are pre-order creation positions and attributes are stored
+    // contiguously per node in creation order, so replaying AddRoot /
+    // AddChild / AddAttr in id order reproduces the tree exactly.
+    for (NodeId n = 0; n < static_cast<NodeId>(src.size()); ++n) {
+      if (n == 0) {
+        copy.AddRoot(map(src.name(n)));
+      } else {
+        copy.AddChild(src.parent(n), map(src.name(n)));
+      }
+      for (int a = 0; a < src.attr_count(n); ++a) {
+        const Attr& attr = src.attrs(n)[a];
+        copy.AddAttr(n, map(attr.name), map(attr.value));
+      }
+    }
+    Add(std::move(copy));
+  }
+}
+
 size_t Corpus::TotalNodes() const {
   size_t total = 0;
   for (const Tree& t : trees_) total += t.size();

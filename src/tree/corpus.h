@@ -38,6 +38,18 @@ class Corpus {
   /// interner for all symbols.
   TreeId Add(Tree tree);
 
+  /// Appends copies of every tree of `other`, re-interning each symbol from
+  /// `other`'s dictionary into this one (symbol ids are remapped; shared
+  /// strings resolve to this corpus's existing ids). The ingestion path of
+  /// the snapshot chain: externally loaded trees enter a delta corpus whose
+  /// dictionary is a clone-extension of the chain's.
+  void AppendFrom(const Corpus& other);
+
+  /// Replaces the dictionary. Intended for assembling a corpus from parts
+  /// that already share symbol ids (snapshot-chain append and compaction);
+  /// any trees already present must use ids valid in `interner`.
+  void ResetInterner(Interner interner) { *interner_ = std::move(interner); }
+
   size_t size() const { return trees_.size(); }
   bool empty() const { return trees_.empty(); }
   const Tree& tree(TreeId tid) const { return trees_[tid]; }

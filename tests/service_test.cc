@@ -84,9 +84,10 @@ TEST(PlanCacheTest, NormalizePreservesQuotedLiterals) {
 TEST(PlanCacheTest, LruEvictsOldestAndCountsStats) {
   service::PlanCache cache(2);
   auto plan = [] {
-    return service::CachedPlan{std::make_shared<sql::PreparedPlan>(),
-                               std::make_shared<sql::ExistsMemo>(),
-                               Status::OK()};
+    service::CachedPlan entry;
+    entry.plan = std::make_shared<sql::PreparedPlan>();
+    entry.memo = std::make_shared<sql::ExistsMemo>();
+    return entry;
   };
   EXPECT_FALSE(cache.Get("a").has_value());
   cache.Put("a", plan());
@@ -107,8 +108,9 @@ TEST(PlanCacheTest, LruEvictsOldestAndCountsStats) {
 
 TEST(PlanCacheTest, NegativeEntriesShareTheLruAndCountHits) {
   service::PlanCache cache(2);
-  cache.Put("bad", service::CachedPlan{
-                       nullptr, nullptr, Status::InvalidArgument("parse error")});
+  service::CachedPlan bad;
+  bad.error = Status::InvalidArgument("parse error");
+  cache.Put("bad", std::move(bad));
   std::optional<service::CachedPlan> hit = cache.Get("bad");
   ASSERT_TRUE(hit.has_value());
   EXPECT_TRUE(hit->negative());
