@@ -1,13 +1,25 @@
-// A thread-safe LRU cache from normalized query text to preparation
-// outcomes — the parse/compile/optimize-once, execute-many half of the
-// serving path. An entry is either a shared prepared plan or the error
-// Status the text produced (a *negative* entry): bad query text gets
-// resubmitted just like good text, and re-deriving the same parse error on
-// every submission is wasted work. Both kinds share one LRU policy.
+// A thread-safe LRU cache from query text to preparation outcomes — the
+// parse/compile/optimize-once, execute-many half of the serving path.
 //
-// Plans are handed out as shared_ptr<const PreparedPlan>, so an entry
-// evicted while queries still execute against it stays alive until the
-// last of them finishes.
+// The cache is two-level:
+//   text  → entry   the front map: normalized query text to its entry;
+//   fingerprint → entry   the structural index: a front-map miss that
+//                 compiles to a plan whose fingerprint (sql/fingerprint.h)
+//                 matches an existing entry — and whose compiled plan
+//                 PlanEquals that entry's representative, the collision
+//                 check — *binds the new spelling to the existing entry*
+//                 instead of preparing again. Distinct spellings of one
+//                 structure share one prepared plan, one EXISTS memo, and
+//                 one delta plan/memo per source.
+//
+// An entry is either a shared prepared plan bundle or the error Status the
+// text produced (a *negative* entry, text-keyed only — errors are spelling
+// -specific and carry no plan to fingerprint). Both kinds share one LRU
+// policy over entries; evicting an entry unbinds all of its spellings.
+//
+// Entries are handed out as shared_ptr<const CachedPlan> — one refcount
+// bump per hit under the mutex — so an entry evicted while queries still
+// execute against it stays alive until the last of them finishes.
 
 #ifndef LPATHDB_SERVICE_PLAN_CACHE_H_
 #define LPATHDB_SERVICE_PLAN_CACHE_H_
@@ -16,10 +28,9 @@
 #include <list>
 #include <memory>
 #include <mutex>
-#include <optional>
 #include <string>
 #include <unordered_map>
-#include <utility>
+#include <vector>
 
 #include "common/status.h"
 #include "sql/exists_memo.h"
@@ -28,68 +39,131 @@
 namespace lpath {
 namespace service {
 
-/// Collapses whitespace runs to single spaces and trims the ends, so that
-/// reformatted spellings of one query share a cache entry. Queries are
-/// case- and quote-sensitive beyond that.
+/// Collapses whitespace runs to single spaces and trims the ends — outside
+/// quoted literals, whose bytes (including whitespace runs) are preserved
+/// verbatim — so reformatted spellings of one query share a cache entry
+/// without aliasing distinct quoted strings. Queries are case- and
+/// quote-sensitive beyond that.
 std::string NormalizeQueryText(std::string_view text);
 
-/// One preparation outcome: a plan, or (negative entry) the error Status
-/// that preparing the text produced. Positive entries also carry the
-/// plan's shared EXISTS memo: subquery answers derived by any morsel of
-/// any execution of this plan are reused by all later ones. The memo is
-/// valid exactly as long as the (plan, session relation) pair, so it
-/// lives and dies with the cache entry — LRU eviction and snapshot swaps
-/// (which rebuild the whole cache) drop both together.
+/// One preparation outcome: a plan bundle, or (negative entry) the error
+/// Status that preparing the text produced. Positive entries carry, per
+/// relation source, the prepared plan and its shared EXISTS memo, plus the
+/// registry-verified fingerprint keys that let executions consult the
+/// session's snapshot-scoped subplan memo (see service/subplan_memo.h).
+/// Preparing per source is what keeps symbol resolution honest — a literal
+/// present only in delta-ingested trees is unknown to the base dictionary
+/// (and correctly empties the base plan) while resolving in the delta
+/// plan, and vice versa — and gives each (plan, relation) pair its own
+/// memo, so answers never leak across source generations. Everything here
+/// lives and dies with the cache entry: LRU eviction and snapshot swaps
+/// (which rebuild the whole cache) drop plan and memos together.
 struct CachedPlan {
+  /// Structural fingerprint of the compiled (unresolved) plan; 0 for
+  /// negative entries.
+  uint64_t fingerprint = 0;
+
   std::shared_ptr<const sql::PreparedPlan> plan;  ///< null iff negative
   std::shared_ptr<sql::ExistsMemo> memo;          ///< null iff negative
-  /// Snapshot-chain second source: the same query prepared against the
-  /// session's delta relation, with its own EXISTS memo. Preparing per
-  /// source is what keeps symbol resolution honest — a literal present
-  /// only in delta-ingested trees is unknown to the base dictionary (and
-  /// correctly empties the base plan) while resolving in the delta plan,
-  /// and vice versa — and gives each (plan, relation) pair its own memo,
-  /// so answers never leak across source generations. Null when the
-  /// session's snapshot has no delta (or the entry is negative).
+
+  /// Snapshot-chain second source (null when the session's snapshot has
+  /// no delta, or the entry is negative).
   std::shared_ptr<const sql::PreparedPlan> delta_plan;
   std::shared_ptr<sql::ExistsMemo> delta_memo;
-  Status error = Status::OK();                    ///< !ok() iff negative
+
+  /// Registry-verified subplan memo keys per source: every memoizable
+  /// EXISTS node of the source's prepared plan (all nesting levels) whose
+  /// subtree the session registry agreed to share, mapped to its subtree
+  /// fingerprint. Passed to the executor as sql::GlobalExistsMemo::keys.
+  std::unordered_map<const BoolExpr*, uint64_t> sub_keys;
+  std::unordered_map<const BoolExpr*, uint64_t> delta_sub_keys;
+
+  Status error = Status::OK();  ///< !ok() iff negative
 
   bool negative() const { return plan == nullptr; }
 };
 
+using CachedPlanPtr = std::shared_ptr<const CachedPlan>;
+
 class PlanCache {
  public:
   struct Stats {
-    uint64_t hits = 0;           ///< total, including negative hits
+    uint64_t hits = 0;           ///< text-level hits, including negative
     uint64_t negative_hits = 0;  ///< hits that returned a cached error
-    uint64_t misses = 0;
-    uint64_t evictions = 0;
-    size_t size = 0;
+    uint64_t misses = 0;         ///< text-level misses
+    /// Text misses that still avoided a sql::Prepare by structurally
+    /// matching an existing entry (fingerprint + PlanEquals); the new
+    /// spelling was bound to the shared entry.
+    uint64_t shared_prepare_hits = 0;
+    /// Fingerprint matches whose PlanEquals check failed — genuinely
+    /// distinct plans colliding on the 64-bit hash. Each gets its own
+    /// entry; correctness never rides on the hash alone.
+    uint64_t fingerprint_collisions = 0;
+    uint64_t evictions = 0;  ///< entries evicted (all spellings unbound)
+    size_t size = 0;         ///< entries (shared plans + negatives)
+    size_t texts = 0;        ///< normalized spellings currently bound
+    size_t fingerprints = 0;  ///< distinct fingerprints indexed
     size_t capacity = 0;
   };
 
   /// A cache with room for `capacity` entries (at least one).
   explicit PlanCache(size_t capacity);
 
-  /// Returns the entry for `key` (moving it to the front), or nullopt.
-  std::optional<CachedPlan> Get(const std::string& key);
+  /// Returns the entry bound to `key` (moving it to the LRU front), or
+  /// null on a front-map miss — the caller should compile the text and
+  /// probe GetByFingerprint before preparing.
+  CachedPlanPtr Get(const std::string& key);
 
-  /// Inserts (or replaces) the entry for `key`, evicting from the tail.
-  void Put(const std::string& key, CachedPlan entry);
+  /// Second-level lookup after a front-map miss: the caller compiled `key`
+  /// into `compiled` with fingerprint `fp`. On a structural match against
+  /// an existing entry's representative, `key` is bound to that entry and
+  /// the shared bundle returned — a respelling serviced without
+  /// sql::Prepare. Null when no structurally equal entry exists.
+  CachedPlanPtr GetByFingerprint(const std::string& key, uint64_t fp,
+                                 const ExecPlan& compiled);
+
+  /// Inserts a freshly prepared `entry` for `key`, keeping `rep` (the
+  /// compiled, unresolved plan) as the structural representative for
+  /// future GetByFingerprint probes. If a racing thread already published
+  /// a structurally equal entry (or one for the same text), that entry
+  /// wins; the returned pointer is the bundle the caller should execute.
+  CachedPlanPtr Put(const std::string& key, uint64_t fp, ExecPlan rep,
+                    CachedPlanPtr entry);
+
+  /// Caches the error `key` produced (negative, text-keyed entry).
+  void PutNegative(const std::string& key, Status error);
 
   Stats stats() const;
 
  private:
-  using Entry = std::pair<std::string, CachedPlan>;
+  struct Entry {
+    std::vector<std::string> texts;  ///< spellings bound to this entry
+    bool has_fp = false;
+    uint64_t fp = 0;
+    std::unique_ptr<const ExecPlan> rep;  ///< null for negative entries
+    CachedPlanPtr value;
+  };
+  using EntryList = std::list<Entry>;
+
+  /// Binds `key` to the entry, evicting the entry's oldest spelling past
+  /// the per-entry bound (a hostile stream of fresh spellings of one hot
+  /// structure must not grow the front map without limit).
+  void BindTextLocked(EntryList::iterator it, const std::string& key);
+  void UnbindEntryLocked(EntryList::iterator it);
+  void EvictLocked();
+
+  static constexpr size_t kMaxTextsPerEntry = 64;
 
   mutable std::mutex mu_;
   size_t capacity_;
-  std::list<Entry> lru_;  // front = most recently used
-  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  EntryList lru_;  // front = most recently used
+  std::unordered_map<std::string, EntryList::iterator> by_text_;
+  std::unordered_map<uint64_t, std::vector<EntryList::iterator>> by_fp_;
   uint64_t hits_ = 0;
   uint64_t negative_hits_ = 0;
   uint64_t misses_ = 0;
+  uint64_t shared_prepare_hits_ = 0;
+  uint64_t fingerprint_collisions_ = 0;
   uint64_t evictions_ = 0;
 };
 

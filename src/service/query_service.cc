@@ -10,6 +10,7 @@
 #include "lpath/parser.h"
 #include "plan/compile.h"
 #include "plan/sql_gen.h"
+#include "sql/fingerprint.h"
 #include "sql/parser.h"
 
 namespace lpath {
@@ -42,6 +43,23 @@ void ShiftTids(std::vector<Hit>& hits, int32_t offset) {
   for (Hit& h : hits) h.tid += offset;
 }
 
+/// Walks a prepared plan's subplan nest, registering every memoizable
+/// EXISTS subtree with the session registry and collecting the
+/// registry-verified global memo keys (nodes the registry refused —
+/// fingerprint collisions — are simply left out and keep per-plan
+/// memoization only).
+void RegisterSubplans(SubplanMemoRegistry& registry,
+                      const sql::PreparedPlan& pp,
+                      std::unordered_map<const BoolExpr*, uint64_t>* keys) {
+  for (const auto& [node, fp] : pp.sub_fingerprint) {
+    if (registry.Register(fp, *node->sub)) (*keys)[node] = fp;
+  }
+  for (const auto& [node, sub] : pp.subs) {
+    (void)node;
+    RegisterSubplans(registry, *sub, keys);
+  }
+}
+
 }  // namespace
 
 /// See the declaration: one executable (source, plan, memo) triple.
@@ -51,6 +69,9 @@ struct QueryService::SourceRun {
   sql::ExistsMemo* memo;
   const NodeRelation* relation;
   int32_t tid_offset;  ///< added to every hit tid (0 for the base)
+  /// The session's snapshot-scoped subplan memo for this source, plus the
+  /// plan's verified keys into it.
+  sql::GlobalExistsMemo global;
 };
 
 bool PendingQuery::ready() const {
@@ -98,8 +119,8 @@ std::shared_ptr<const void> QueryService::UpdateSnapshot(SnapshotPtr snapshot) {
 
 SnapshotPtr QueryService::snapshot() const { return CurrentSession()->snapshot; }
 
-Result<CachedPlan> QueryService::PrepareUncached(
-    const Session& session, const std::string& normalized) {
+Result<ExecPlan> QueryService::CompileQuery(const Session& session,
+                                            const std::string& normalized) {
   const NodeRelation& relation = session.snapshot->relation();
   LPATH_ASSIGN_OR_RETURN(LocationPath path, ParseLPath(normalized));
   CompileOptions copts;
@@ -110,69 +131,98 @@ Result<CachedPlan> QueryService::PrepareUncached(
     const std::string sql_text = GenerateSql(plan);
     LPATH_ASSIGN_OR_RETURN(plan, sql::ParseSql(sql_text));
   }
+  return plan;
+}
+
+Result<CachedPlan> QueryService::PrepareCompiled(const Session& session,
+                                                 const ExecPlan& compiled) {
+  const NodeRelation& relation = session.snapshot->relation();
   LPATH_ASSIGN_OR_RETURN(std::unique_ptr<sql::PreparedPlan> prepared,
-                         sql::Prepare(plan, relation, options_.exec));
+                         sql::Prepare(compiled, relation, options_.exec));
   CachedPlan entry;
   entry.plan = std::move(prepared);
   entry.memo =
       std::make_shared<sql::ExistsMemo>(options_.exists_memo_entries);
+  RegisterSubplans(session.subplans, *entry.plan, &entry.sub_keys);
   if (const NodeRelation* delta = session.snapshot->delta_relation()) {
     // The chain's second source gets the same compiled plan prepared
     // against its own relation: literals resolve in the delta dictionary
     // (which may know strings the base has never seen, and vice versa),
-    // the optimizer sees delta statistics, and the distinct sub-expression
-    // identities give the per-source EXISTS memo a collision-free key
-    // space — the "memo keyed per source generation" contract.
+    // the optimizer sees delta statistics, and per-source preparation,
+    // memos and subplan registries keep answers from leaking across
+    // source generations — the "memo keyed per source generation"
+    // contract.
     LPATH_ASSIGN_OR_RETURN(std::unique_ptr<sql::PreparedPlan> dprep,
-                           sql::Prepare(plan, *delta, options_.exec));
+                           sql::Prepare(compiled, *delta, options_.exec));
     entry.delta_plan = std::move(dprep);
     entry.delta_memo =
         std::make_shared<sql::ExistsMemo>(options_.exists_memo_entries);
+    RegisterSubplans(*session.delta_subplans, *entry.delta_plan,
+                     &entry.delta_sub_keys);
   }
   return entry;
 }
 
-Result<CachedPlan> QueryService::GetPlanIn(const Session& session,
-                                           const std::string& query) {
+Result<CachedPlanPtr> QueryService::GetPlanIn(const Session& session,
+                                              const std::string& query) {
   const std::string key = NormalizeQueryText(query);
-  if (std::optional<CachedPlan> cached = session.cache.Get(key)) {
+  if (CachedPlanPtr cached = session.cache.Get(key)) {
     if (cached->negative()) return cached->error;
-    return std::move(*cached);
+    return cached;
   }
-  // Prepared outside the cache lock; a racing miss duplicates the work and
-  // the later Put wins, which is correct (plans are interchangeable, and
-  // each racer executes against the plan+memo pair it created, never a
-  // plan paired with another instance's memo).
-  Result<CachedPlan> prepared = PrepareUncached(session, key);
-  if (!prepared.ok()) {
+  // Compile outside the cache lock, then probe the structural level: a
+  // respelling of a cached structure binds to the existing entry and
+  // shares its prepared plans and memos without a sql::Prepare.
+  Result<ExecPlan> compiled = CompileQuery(session, key);
+  if (!compiled.ok()) {
     // Negative entry: the same bad text will be answered from the cache.
-    CachedPlan negative;
-    negative.error = prepared.status();
-    session.cache.Put(key, negative);
+    session.cache.PutNegative(key, compiled.status());
+    return compiled.status();
+  }
+  const uint64_t fingerprint = sql::PlanFingerprint(*compiled);
+  if (CachedPlanPtr shared =
+          session.cache.GetByFingerprint(key, fingerprint, *compiled)) {
+    return shared;
+  }
+  // A racing miss duplicates the prepare; Put publishes the first bundle
+  // and the racer adopts it (bundles of one structure are
+  // interchangeable).
+  Result<CachedPlan> prepared = PrepareCompiled(session, *compiled);
+  if (!prepared.ok()) {
+    session.cache.PutNegative(key, prepared.status());
     return prepared.status();
   }
-  session.cache.Put(key, *prepared);
-  return std::move(*prepared);
+  prepared->fingerprint = fingerprint;
+  auto entry = std::make_shared<const CachedPlan>(std::move(*prepared));
+  return session.cache.Put(key, fingerprint, std::move(*compiled),
+                           std::move(entry));
 }
 
 Result<std::shared_ptr<const sql::PreparedPlan>> QueryService::GetPlan(
     const std::string& query) {
   SessionPtr session = CurrentSession();
-  LPATH_ASSIGN_OR_RETURN(CachedPlan planned, GetPlanIn(*session, query));
-  return std::move(planned.plan);
+  LPATH_ASSIGN_OR_RETURN(CachedPlanPtr planned, GetPlanIn(*session, query));
+  return planned->plan;
 }
 
 int QueryService::CollectSources(const Session& session,
                                  const CachedPlan& planned, SourceRun* out) {
   int n = 0;
-  out[n++] = SourceRun{&session.executor, planned.plan.get(),
-                       planned.memo.get(), &session.snapshot->relation(),
-                       /*tid_offset=*/0};
+  out[n++] = SourceRun{
+      &session.executor,
+      planned.plan.get(),
+      planned.memo.get(),
+      &session.snapshot->relation(),
+      /*tid_offset=*/0,
+      sql::GlobalExistsMemo{session.subplans.memo(), &planned.sub_keys}};
   if (session.delta_executor.has_value() && planned.delta_plan != nullptr) {
-    out[n++] = SourceRun{&*session.delta_executor, planned.delta_plan.get(),
+    out[n++] = SourceRun{&*session.delta_executor,
+                         planned.delta_plan.get(),
                          planned.delta_memo.get(),
                          session.snapshot->delta_relation(),
-                         session.snapshot->base_tree_count()};
+                         session.snapshot->base_tree_count(),
+                         sql::GlobalExistsMemo{session.delta_subplans->memo(),
+                                               &planned.delta_sub_keys}};
   }
   return n;
 }
@@ -189,7 +239,7 @@ Result<QueryResult> QueryService::RunSerial(const Session& session,
     const SourceRun& src = sources[s];
     sql::ExecStats stats;
     Result<QueryResult> r =
-        src.executor->ExecutePrepared(*src.plan, &stats, src.memo);
+        src.executor->ExecutePrepared(*src.plan, &stats, src.memo, src.global);
     if (src.tid_offset != 0) stats.delta_rows = stats.candidates;
     total.Add(stats);
     if (!r.ok()) {
@@ -213,10 +263,10 @@ Result<QueryResult> QueryService::RunSerial(const Session& session,
 }
 
 Result<QueryResult> QueryService::RunSharded(const Session& session,
-                                             CachedPlan planned,
+                                             CachedPlanPtr planned,
                                              const RowSink* sink) {
   SourceRun sources[2];
-  const int nsources = CollectSources(session, planned, sources);
+  const int nsources = CollectSources(session, *planned, sources);
   int workers = options_.shards_per_query > 0
                     ? std::min(options_.shards_per_query, pool_->size())
                     : pool_->size();
@@ -277,7 +327,7 @@ Result<QueryResult> QueryService::RunSharded(const Session& session,
     if (morsels.size() <= 1) serial = true;
   }
   if (serial) {
-    return RunSerial(session, planned, sink);
+    return RunSerial(session, *planned, sink);
   }
 
   // Merge stage for streaming: per-morsel results are deduplicated against
@@ -294,11 +344,12 @@ Result<QueryResult> QueryService::RunSharded(const Session& session,
                                            Result<QueryResult>(QueryResult{}));
   std::vector<sql::ExecStats> stats(count);
   std::atomic<uint64_t> steals{0};
-  // The item lambda owns the cache entry (plans + memos, copied into
-  // RunOnPool's shared state), keeping them alive for helpers scheduled
-  // after the query completes. The locals (`sources`, `morsels`, `results`,
-  // ...) are captured by reference: a late helper never claims an item, so
-  // it never dereferences them after this frame returns.
+  // The item lambda owns the cache entry (the shared_ptr is copied into
+  // RunOnPool's shared state), keeping plans, memos and subplan keys alive
+  // for helpers scheduled after the query completes. The locals
+  // (`sources`, `morsels`, `results`, ...) are captured by reference: a
+  // late helper never claims an item, so it never dereferences them after
+  // this frame returns.
   RunOnPool(count, workers,
             [planned, &sources, &morsels, &results, &stats, &steals, sink,
              merge](int i, int worker) {
@@ -306,7 +357,7 @@ Result<QueryResult> QueryService::RunSharded(const Session& session,
     const SourceRun& src = sources[m.source];
     results[i] = src.executor->ExecuteShard(*src.plan, m.range.tid_lo,
                                             m.range.tid_hi, &stats[i],
-                                            src.memo);
+                                            src.memo, src.global);
     if (src.tid_offset != 0) {
       stats[i].delta_rows = stats[i].candidates;
       // Rebase into chain tid space before the DISTINCT stages (both the
@@ -393,24 +444,31 @@ Result<QueryResult> QueryService::QueryOnce(const std::string& query,
   // same snapshot even if a swap lands mid-query.
   SessionPtr session = CurrentSession();
   Result<QueryResult> r = [&]() -> Result<QueryResult> {
-    LPATH_ASSIGN_OR_RETURN(CachedPlan planned, GetPlanIn(*session, query));
+    LPATH_ASSIGN_OR_RETURN(CachedPlanPtr planned, GetPlanIn(*session, query));
     if (sharded) return RunSharded(*session, std::move(planned), sink);
-    return RunSerial(*session, planned, sink);
+    return RunSerial(*session, *planned, sink);
   }();
-
-  const double seconds = timer.ElapsedSeconds();
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  queries_ += 1;
-  if (!r.ok()) errors_ += 1;
-  total_seconds_ += seconds;
-  const double ms = seconds * 1e3;
-  if (latency_ring_ms_.size() < kLatencySamples) {
-    latency_ring_ms_.push_back(ms);
-  } else {
-    latency_ring_ms_[next_sample_ % kLatencySamples] = ms;
-  }
-  next_sample_ += 1;
+  RecordQueries(timer.ElapsedSeconds(), !r.ok(), /*count=*/1,
+                /*coalesced=*/0);
   return r;
+}
+
+void QueryService::RecordQueries(double seconds, bool error, int count,
+                                 int coalesced) {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  queries_ += static_cast<uint64_t>(count);
+  if (error) errors_ += static_cast<uint64_t>(count);
+  batch_coalesced_ += static_cast<uint64_t>(coalesced);
+  total_seconds_ += seconds * count;
+  const double ms = seconds * 1e3;
+  for (int i = 0; i < count; ++i) {
+    if (latency_ring_ms_.size() < kLatencySamples) {
+      latency_ring_ms_.push_back(ms);
+    } else {
+      latency_ring_ms_[next_sample_ % kLatencySamples] = ms;
+    }
+    next_sample_ += 1;
+  }
 }
 
 Result<QueryResult> QueryService::Query(const std::string& query) {
@@ -445,11 +503,82 @@ std::vector<Result<QueryResult>> QueryService::QueryBatch(
                                            Result<QueryResult>(QueryResult{}));
   if (queries.empty()) return results;
 
-  // Workers claim whole queries; each runs serially so that concurrent
-  // batch items do not contend over intra-query morsels.
-  RunOnPool(static_cast<int>(queries.size()), pool_->size(),
-            [this, &queries, &results](int i, int /*worker*/) {
-    results[i] = QueryOnce(queries[i], /*sharded=*/false, /*sink=*/nullptr);
+  // One consistent session for the whole batch, so every member resolves
+  // and executes against the same snapshot and the same cache.
+  SessionPtr session = CurrentSession();
+
+  // Coalescing, stage 1: group members by normalized text (exact
+  // respellings collapse for free) and resolve each distinct text once —
+  // in parallel, since cache misses carry the parse/compile/prepare cost.
+  struct TextGroup {
+    std::string key;
+    std::vector<int> members;
+    Result<CachedPlanPtr> planned = Result<CachedPlanPtr>(nullptr);
+  };
+  std::vector<TextGroup> texts;
+  {
+    std::unordered_map<std::string, size_t> index;
+    for (size_t i = 0; i < queries.size(); ++i) {
+      std::string key = NormalizeQueryText(queries[i]);
+      auto [it, inserted] = index.emplace(std::move(key), texts.size());
+      if (inserted) {
+        texts.push_back(TextGroup{});
+        texts.back().key = it->first;
+      }
+      texts[it->second].members.push_back(static_cast<int>(i));
+    }
+  }
+  RunOnPool(static_cast<int>(texts.size()), pool_->size(),
+            [this, &session, &texts](int i, int /*worker*/) {
+    texts[i].planned = GetPlanIn(*session, texts[i].key);
+  });
+
+  // Stage 2: distinct texts that resolved to the same cache entry —
+  // structurally identical spellings — merge into one execution group.
+  // Entry identity is pointer identity: the cache binds equal structures
+  // to one shared CachedPlan.
+  struct ExecGroup {
+    CachedPlanPtr planned;
+    std::vector<int> members;
+  };
+  std::vector<ExecGroup> groups;
+  {
+    std::unordered_map<const CachedPlan*, size_t> index;
+    for (TextGroup& text : texts) {
+      if (!text.planned.ok()) {
+        // Resolution errors fan out to every member of the text group.
+        for (int member : text.members) {
+          results[member] = text.planned.status();
+        }
+        RecordQueries(/*seconds=*/0.0, /*error=*/true,
+                      static_cast<int>(text.members.size()),
+                      /*coalesced=*/0);
+        continue;
+      }
+      const CachedPlanPtr& planned = *text.planned;
+      auto [it, inserted] = index.emplace(planned.get(), groups.size());
+      if (inserted) {
+        groups.push_back(ExecGroup{planned, {}});
+      }
+      ExecGroup& group = groups[it->second];
+      group.members.insert(group.members.end(), text.members.begin(),
+                           text.members.end());
+    }
+  }
+
+  // Stage 3: workers claim whole groups; each group executes its plan
+  // once, serially (so concurrent groups do not contend over intra-query
+  // morsels), and the result fans out to every member.
+  RunOnPool(static_cast<int>(groups.size()), pool_->size(),
+            [this, &session, &groups, &results](int g, int /*worker*/) {
+    ExecGroup& group = groups[g];
+    Timer timer;
+    Result<QueryResult> r = RunSerial(*session, *group.planned,
+                                      /*sink=*/nullptr);
+    for (int member : group.members) results[member] = r;
+    RecordQueries(timer.ElapsedSeconds(), !r.ok(),
+                  static_cast<int>(group.members.size()),
+                  static_cast<int>(group.members.size()) - 1);
   });
   return results;
 }
@@ -476,7 +605,14 @@ void QueryService::NoteCompaction() {
 
 ServiceStats QueryService::Stats() const {
   ServiceStats s;
-  s.cache = CurrentSession()->cache.stats();
+  {
+    SessionPtr session = CurrentSession();
+    s.cache = session->cache.stats();
+    s.subplans = session->subplans.stats();
+    if (session->delta_subplans.has_value()) {
+      s.subplans.Add(session->delta_subplans->stats());
+    }
+  }
   std::vector<double> sorted;
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
@@ -486,6 +622,7 @@ ServiceStats QueryService::Stats() const {
     s.serial_queries = serial_queries_;
     s.ingests = ingests_;
     s.compactions = compactions_;
+    s.batch_coalesced = batch_coalesced_;
     s.exec = exec_;
     s.total_seconds = total_seconds_;
     sorted = latency_ring_ms_;
@@ -507,6 +644,7 @@ void QueryService::ResetStats() {
   serial_queries_ = 0;
   ingests_ = 0;
   compactions_ = 0;
+  batch_coalesced_ = 0;
   exec_ = sql::ExecStats{};
   total_seconds_ = 0.0;
   latency_ring_ms_.clear();

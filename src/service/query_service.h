@@ -10,10 +10,15 @@
 //     and relation) alive via shared ownership, and new queries pick up the
 //     new one. Prepared plans resolve symbols against one snapshot's
 //     dictionary, so each session gets its own cache;
-//   - an LRU prepared-plan cache keyed by normalized query text, so each
-//     distinct query is parsed, compiled and optimized once and executed
-//     many times — including *negative* entries that cache the error of a
-//     malformed query instead of re-deriving it per submission;
+//   - a two-level LRU prepared-plan cache: normalized query text in
+//     front, structural plan fingerprints behind (see service/plan_cache.h)
+//     — so each distinct query is parsed, compiled and optimized once,
+//     distinct *spellings* of one structure share a single prepared plan
+//     and memo bundle, and *negative* entries cache the error of a
+//     malformed query instead of re-deriving it per submission. Each
+//     session also carries per-source subplan memo registries
+//     (service/subplan_memo.h) so EXISTS subtrees recurring across
+//     different cached plans share their answers;
 //   - a fixed thread pool running morsel-driven parallel execution: the
 //     scheduler carves the tree-id space into ~morsels_per_thread×workers
 //     row-balanced morsels (storage::NodeRelation::CarveTidRanges over the
@@ -40,6 +45,9 @@
 //                 (optionally also streaming to a callback).
 //   QueryBatch()  spreads a batch of queries over the pool workers — the
 //                 throughput path a front end with its own queue would use.
+//                 Members that resolve to the same cached plan (same
+//                 structure, any spelling) coalesce into one execution
+//                 whose result fans out to all of them.
 
 #ifndef LPATHDB_SERVICE_QUERY_SERVICE_H_
 #define LPATHDB_SERVICE_QUERY_SERVICE_H_
@@ -55,7 +63,9 @@
 #include <vector>
 
 #include "lpath/engine.h"
+#include "plan/exec_plan.h"
 #include "service/plan_cache.h"
+#include "service/subplan_memo.h"
 #include "service/thread_pool.h"
 #include "sql/executor.h"
 #include "storage/snapshot.h"
@@ -115,7 +125,14 @@ struct ServiceStats {
   uint64_t serial_queries = 0;   ///< executed serially (incl. adaptive picks)
   uint64_t ingests = 0;          ///< append-publications noted (NoteIngest)
   uint64_t compactions = 0;      ///< delta merges noted (NoteCompaction)
+  /// Batch members answered by another member's execution: same-structure
+  /// queries in one QueryBatch call coalesce to a single execution fanned
+  /// out to all of them.
+  uint64_t batch_coalesced = 0;
   PlanCache::Stats cache;        ///< current session's cache (reset by swap)
+  /// Current session's snapshot-scoped subplan memo registries, base and
+  /// delta summed (reset by swap, like the cache).
+  SubplanMemoRegistry::Stats subplans;
   sql::ExecStats exec;           ///< summed over all queries and shards
   LatencySummary latency;
   double total_seconds = 0.0;  ///< summed per-query wall time
@@ -220,13 +237,20 @@ class QueryService {
     /// Engaged exactly when snapshot->has_delta().
     std::optional<sql::PlanExecutor> delta_executor;
     mutable PlanCache cache;
+    /// Cross-plan EXISTS memo registries, one per relation source, owned
+    /// here so they die with the snapshot generation they were filled
+    /// against. `delta_subplans` engaged exactly when snapshot->has_delta().
+    mutable SubplanMemoRegistry subplans;
+    mutable std::optional<SubplanMemoRegistry> delta_subplans;
 
     Session(SnapshotPtr snap, const QueryServiceOptions& options)
         : snapshot(std::move(snap)),
           executor(snapshot, options.exec),
-          cache(options.plan_cache_capacity) {
+          cache(options.plan_cache_capacity),
+          subplans(options.exists_memo_entries) {
       if (snapshot->has_delta()) {
         delta_executor.emplace(*snapshot->delta_relation(), options.exec);
+        delta_subplans.emplace(options.exists_memo_entries);
       }
     }
   };
@@ -239,12 +263,19 @@ class QueryService {
   /// sources.
   struct SourceRun;
 
-  /// Plan lookup returning the whole cache entry (plan + shared EXISTS
-  /// memo); the entry is always positive — errors surface as the Status.
-  Result<CachedPlan> GetPlanIn(const Session& session,
-                               const std::string& query);
-  Result<CachedPlan> PrepareUncached(const Session& session,
-                                     const std::string& normalized);
+  /// Plan lookup returning the shared cache entry (plan + memos + subplan
+  /// memo keys); the entry is always positive — errors surface as the
+  /// Status. Resolution order: text front map, then structural fingerprint
+  /// (respellings bind to the existing entry without a sql::Prepare), then
+  /// a full prepare published via Put.
+  Result<CachedPlanPtr> GetPlanIn(const Session& session,
+                                  const std::string& query);
+  /// Parse + compile (+ optional SQL text round trip) of normalized text.
+  Result<ExecPlan> CompileQuery(const Session& session,
+                                const std::string& normalized);
+  /// sql::Prepare per source plus subplan-memo registration.
+  Result<CachedPlan> PrepareCompiled(const Session& session,
+                                     const ExecPlan& compiled);
   /// Fills `out` (room for 2) with the query's executable sources; returns
   /// the count (1, or 2 for a chain).
   static int CollectSources(const Session& session, const CachedPlan& planned,
@@ -253,10 +284,14 @@ class QueryService {
   Result<QueryResult> RunSerial(const Session& session,
                                 const CachedPlan& planned,
                                 const RowSink* sink);
-  Result<QueryResult> RunSharded(const Session& session, CachedPlan planned,
+  Result<QueryResult> RunSharded(const Session& session, CachedPlanPtr planned,
                                  const RowSink* sink);
   Result<QueryResult> QueryOnce(const std::string& query, bool sharded,
                                 const RowSink* sink);
+  /// Records `count` completed queries sharing one wall-clock measurement
+  /// (QueryBatch's coalesced groups record every member at the group's
+  /// latency; count-1 of them tick the coalesced counter).
+  void RecordQueries(double seconds, bool error, int count, int coalesced);
   /// Runs fn(0..items-1, worker) across the pool: helper tasks are bulk-
   /// posted for up to max_workers-1 other workers while the calling thread
   /// (worker 0) drains the same claim counter, and the call returns once
@@ -294,6 +329,7 @@ class QueryService {
   uint64_t serial_queries_ = 0;
   uint64_t ingests_ = 0;
   uint64_t compactions_ = 0;
+  uint64_t batch_coalesced_ = 0;
   sql::ExecStats exec_;
   double total_seconds_ = 0.0;
   std::vector<double> latency_ring_ms_;  // bounded reservoir of recent queries

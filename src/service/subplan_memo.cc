@@ -1,0 +1,38 @@
+#include "service/subplan_memo.h"
+
+#include <utility>
+
+#include "sql/fingerprint.h"
+
+namespace lpath {
+namespace service {
+
+bool SubplanMemoRegistry::Register(uint64_t fp, const ExecPlan& subtree) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = reps_.find(fp);
+  if (it == reps_.end()) {
+    reps_.emplace(fp, std::make_unique<const ExecPlan>(subtree.Clone()));
+    return true;
+  }
+  if (sql::PlanEquals(*it->second, subtree)) {
+    cross_plan_ += 1;
+    return true;
+  }
+  collisions_ += 1;
+  return false;
+}
+
+SubplanMemoRegistry::Stats SubplanMemoRegistry::stats() const {
+  Stats s;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    s.subtrees = reps_.size();
+    s.cross_plan = cross_plan_;
+    s.collisions = collisions_;
+  }
+  s.memo_entries = memo_.size();
+  return s;
+}
+
+}  // namespace service
+}  // namespace lpath

@@ -1,0 +1,86 @@
+// SubplanMemoRegistry: the snapshot-scoped, cross-plan EXISTS memo.
+//
+// PR 4's ExistsMemo made subquery answers shared across the morsels and
+// executions of *one* cached plan. This registry widens the scope to one
+// relation source of one session: EXISTS subtrees that recur across
+// *different* top-level plans — the common shape when many queries filter
+// on the same predicate — are keyed by their structural fingerprint
+// (sql/fingerprint.h) so they all read and fill one memo table.
+//
+// Sharing is collision-checked: the first plan to register a fingerprint
+// donates a clone of its resolved subtree as the *representative*; later
+// registrations must PlanEquals the representative or they are refused
+// (the node keeps its per-plan memo and simply skips the global level —
+// degraded sharing, never wrong answers).
+//
+// Invalidation story: memo entries are pure functions of (resolved
+// subtree, correlation row) over one immutable NodeRelation. A registry
+// is owned by a QueryService session and scoped to one relation source
+// (base or delta), so a snapshot hot swap — which rebuilds the session —
+// drops the registry with the relation generation it was filled against;
+// base and delta never share a registry even within a session. Stale
+// entries are unreachable by construction, exactly like the per-plan
+// memos.
+
+#ifndef LPATHDB_SERVICE_SUBPLAN_MEMO_H_
+#define LPATHDB_SERVICE_SUBPLAN_MEMO_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "plan/exec_plan.h"
+#include "sql/exists_memo.h"
+
+namespace lpath {
+namespace service {
+
+class SubplanMemoRegistry {
+ public:
+  struct Stats {
+    uint64_t subtrees = 0;    ///< distinct representatives registered
+    uint64_t cross_plan = 0;  ///< registrations that matched an existing rep
+    uint64_t collisions = 0;  ///< fingerprint matches PlanEquals rejected
+    size_t memo_entries = 0;  ///< answers currently memoized
+
+    void Add(const Stats& o) {
+      subtrees += o.subtrees;
+      cross_plan += o.cross_plan;
+      collisions += o.collisions;
+      memo_entries += o.memo_entries;
+    }
+  };
+
+  /// A registry whose memo holds at most ~`memo_entries` answers.
+  explicit SubplanMemoRegistry(size_t memo_entries)
+      : memo_(memo_entries) {}
+
+  SubplanMemoRegistry(const SubplanMemoRegistry&) = delete;
+  SubplanMemoRegistry& operator=(const SubplanMemoRegistry&) = delete;
+
+  /// Registers `subtree` (the *resolved* EXISTS subplan) under its
+  /// fingerprint `fp`. Returns true when the caller's node may share the
+  /// global memo under key `fp` — first registration, or structural match
+  /// with the representative — and false on a verified hash collision,
+  /// in which case the node must not use the global memo.
+  bool Register(uint64_t fp, const ExecPlan& subtree);
+
+  /// The fingerprint-keyed memo shared by every verified registrant.
+  sql::ExistsMemo* memo() { return &memo_; }
+
+  Stats stats() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<uint64_t, std::unique_ptr<const ExecPlan>> reps_;
+  uint64_t cross_plan_ = 0;
+  uint64_t collisions_ = 0;
+  sql::ExistsMemo memo_;
+};
+
+}  // namespace service
+}  // namespace lpath
+
+#endif  // LPATHDB_SERVICE_SUBPLAN_MEMO_H_

@@ -88,8 +88,12 @@ struct Bounds {
 class Runner {
  public:
   Runner(const NodeRelation& rel, const ExecOptions& options, ExecStats* stats,
-         ExistsMemo* shared_memo)
-      : rel_(rel), options_(options), stats_(stats), shared_memo_(shared_memo) {}
+         ExistsMemo* shared_memo, GlobalExistsMemo global)
+      : rel_(rel),
+        options_(options),
+        stats_(stats),
+        shared_memo_(shared_memo),
+        global_(global) {}
 
   Status Run(const PreparedPlan& pp, QueryResult* out) {
     return RunShard(pp, 0, kMaxInt, out);
@@ -196,13 +200,20 @@ class Runner {
     // nothing and evaluates to false here.
 
     // Memoize on the single correlation variable when there is one. The
-    // run-private map is consulted first (no lock), then the shared table
-    // that spans all morsels of the query and all executions of a cached
-    // plan; a shared hit is copied into the private map so the stripe lock
-    // is paid once per (run, binding).
+    // lookup chain is ordered by cost: the run-private map first (no
+    // lock), then the per-plan shared table that spans all morsels of the
+    // query and all executions of a cached plan (keyed by node address),
+    // then the snapshot-scoped subplan memo keyed by the subtree's
+    // structural fingerprint, which holds answers derived by *other*
+    // top-level plans sharing this subtree. A hit at any level is copied
+    // into the cheaper levels so their locks are paid once per (run,
+    // binding).
     const int outer_var = f.pp->sub_outer_var.at(&e);
     uint64_t memo_key = 0;
     std::unordered_map<uint64_t, bool>* memo = nullptr;
+    const uint64_t plan_key = reinterpret_cast<uintptr_t>(&e);
+    uint64_t global_key = 0;
+    bool has_global = false;
     if (outer_var >= 0) {
       memo = &memo_[&e];
       memo_key = f.bound[outer_var];
@@ -212,10 +223,26 @@ class Runner {
         return it->second;
       }
       if (shared_memo_ != nullptr) {
-        if (std::optional<bool> hit = shared_memo_->Lookup(&e, memo_key)) {
+        if (std::optional<bool> hit = shared_memo_->Lookup(plan_key, memo_key)) {
           if (stats_ != nullptr) stats_->shared_memo_hits += 1;
           memo->emplace(memo_key, *hit);
           return *hit;
+        }
+      }
+      if (global_.memo != nullptr && global_.keys != nullptr) {
+        const auto key_it = global_.keys->find(&e);
+        if (key_it != global_.keys->end()) {
+          has_global = true;
+          global_key = key_it->second;
+          if (std::optional<bool> hit =
+                  global_.memo->Lookup(global_key, memo_key)) {
+            if (stats_ != nullptr) stats_->subplan_memo_hits += 1;
+            memo->emplace(memo_key, *hit);
+            if (shared_memo_ != nullptr) {
+              shared_memo_->Insert(plan_key, memo_key, *hit);
+            }
+            return *hit;
+          }
         }
       }
     }
@@ -228,7 +255,10 @@ class Runner {
     const bool found = Extend(sub_frame, 0, /*out=*/nullptr);
     if (memo != nullptr) {
       memo->emplace(memo_key, found);
-      if (shared_memo_ != nullptr) shared_memo_->Insert(&e, memo_key, found);
+      if (shared_memo_ != nullptr) {
+        shared_memo_->Insert(plan_key, memo_key, found);
+      }
+      if (has_global) global_.memo->Insert(global_key, memo_key, found);
     }
     return found;
   }
@@ -869,6 +899,7 @@ class Runner {
   const ExecOptions& options_;
   ExecStats* stats_;
   ExistsMemo* shared_memo_;
+  GlobalExistsMemo global_;
   const PreparedPlan* root_pp_ = nullptr;
   int32_t shard_lo_ = 0;
   int32_t shard_hi_ = kMaxInt;
@@ -891,9 +922,10 @@ Result<QueryResult> PlanExecutor::Execute(const ExecPlan& plan,
 
 Result<QueryResult> PlanExecutor::ExecutePrepared(const PreparedPlan& pp,
                                                   ExecStats* stats,
-                                                  ExistsMemo* shared_memo) const {
+                                                  ExistsMemo* shared_memo,
+                                                  GlobalExistsMemo global) const {
   if (stats != nullptr) stats->shards += 1;
-  Runner runner(rel_, options_, stats, shared_memo);
+  Runner runner(rel_, options_, stats, shared_memo, global);
   QueryResult out;
   LPATH_RETURN_IF_ERROR(runner.Run(pp, &out));
   return out;
@@ -902,9 +934,10 @@ Result<QueryResult> PlanExecutor::ExecutePrepared(const PreparedPlan& pp,
 Result<QueryResult> PlanExecutor::ExecuteShard(const PreparedPlan& pp,
                                                int32_t tid_lo, int32_t tid_hi,
                                                ExecStats* stats,
-                                               ExistsMemo* shared_memo) const {
+                                               ExistsMemo* shared_memo,
+                                               GlobalExistsMemo global) const {
   if (stats != nullptr) stats->shards += 1;
-  Runner runner(rel_, options_, stats, shared_memo);
+  Runner runner(rel_, options_, stats, shared_memo, global);
   QueryResult out;
   LPATH_RETURN_IF_ERROR(runner.RunShard(pp, tid_lo, tid_hi, &out));
   return out;

@@ -12,6 +12,7 @@
 #define LPATHDB_SQL_EXECUTOR_H_
 
 #include <cstdint>
+#include <unordered_map>
 #include <utility>
 
 #include "common/result.h"
@@ -33,6 +34,10 @@ struct ExecStats {
   /// answers reused across the morsels of a query or across executions of
   /// one cached plan, rather than re-derived by this run.
   uint64_t shared_memo_hits = 0;
+  /// Hits in the snapshot-scoped *subplan* memo (fingerprint-keyed; see
+  /// service/subplan_memo.h): subquery answers derived by a *different*
+  /// top-level plan sharing a structurally equal EXISTS subtree.
+  uint64_t subplan_memo_hits = 0;
   /// Plan executions: each ExecutePrepared/ExecuteShard call contributes 1,
   /// so rolled up per query this is the fan-out the service chose — 1 means
   /// the adaptive heuristic ran the query serially.
@@ -77,6 +82,7 @@ struct ExecStats {
     subqueries += o.subqueries;
     memo_hits += o.memo_hits;
     shared_memo_hits += o.shared_memo_hits;
+    subplan_memo_hits += o.subplan_memo_hits;
     shards += o.shards;
     morsels += o.morsels;
     steal_count += o.steal_count;
@@ -87,6 +93,18 @@ struct ExecStats {
     sources = sources > o.sources ? sources : o.sources;
     delta_rows += o.delta_rows;
   }
+};
+
+/// Snapshot-scoped EXISTS memo attachment for one execution: `memo` is a
+/// session-wide fingerprint-keyed table shared by every plan prepared
+/// against one relation source, and `keys` maps this prepared plan's
+/// memoizable EXISTS nodes (all nesting levels) to their registry-verified
+/// subtree fingerprints. Nodes absent from `keys` — hash collisions the
+/// registry refused to share, or non-memoizable subtrees — simply skip the
+/// global level. A default-constructed value disables the feature.
+struct GlobalExistsMemo {
+  ExistsMemo* memo = nullptr;
+  const std::unordered_map<const BoolExpr*, uint64_t>* keys = nullptr;
 };
 
 /// Executes prepared plans. Stateless between calls; one executor can be
@@ -113,10 +131,14 @@ class PlanExecutor {
   /// Runs an already prepared plan. `shared_memo`, when non-null, is a
   /// cross-run EXISTS memo consulted before (and filled alongside) the
   /// run-private one; it must have been filled only against this (plan,
-  /// relation) pair — see sql::ExistsMemo for the contract.
+  /// relation) pair — see sql::ExistsMemo for the contract. `global`
+  /// optionally adds the snapshot-scoped fingerprint-keyed memo level
+  /// consulted last and filled alongside the others; it must be scoped to
+  /// this relation source (see GlobalExistsMemo).
   Result<QueryResult> ExecutePrepared(const PreparedPlan& pp,
                                       ExecStats* stats = nullptr,
-                                      ExistsMemo* shared_memo = nullptr) const;
+                                      ExistsMemo* shared_memo = nullptr,
+                                      GlobalExistsMemo global = {}) const;
 
   /// Runs one shard of a prepared plan: the root frame's candidate
   /// enumeration is constrained to trees with tid in [tid_lo, tid_hi).
@@ -129,7 +151,8 @@ class PlanExecutor {
   /// every concurrent kernel invocation of a query).
   Result<QueryResult> ExecuteShard(const PreparedPlan& pp, int32_t tid_lo,
                                    int32_t tid_hi, ExecStats* stats = nullptr,
-                                   ExistsMemo* shared_memo = nullptr) const;
+                                   ExistsMemo* shared_memo = nullptr,
+                                   GlobalExistsMemo global = {}) const;
 
   const ExecOptions& options() const { return options_; }
   const NodeRelation& relation() const { return rel_; }

@@ -8,9 +8,9 @@ namespace sql {
 ExistsMemo::ExistsMemo(size_t max_entries)
     : per_stripe_capacity_(std::max<size_t>(1, max_entries / kStripes)) {}
 
-std::optional<bool> ExistsMemo::Lookup(const void* sub,
+std::optional<bool> ExistsMemo::Lookup(uint64_t sub_key,
                                        uint64_t binding) const {
-  const Key key{sub, binding};
+  const Key key{sub_key, binding};
   Stripe& stripe = StripeFor(key);
   std::lock_guard<std::mutex> lock(stripe.mu);
   const auto it = stripe.map.find(key);
@@ -18,8 +18,8 @@ std::optional<bool> ExistsMemo::Lookup(const void* sub,
   return it->second;
 }
 
-void ExistsMemo::Insert(const void* sub, uint64_t binding, bool value) {
-  const Key key{sub, binding};
+void ExistsMemo::Insert(uint64_t sub_key, uint64_t binding, bool value) {
+  const Key key{sub_key, binding};
   Stripe& stripe = StripeFor(key);
   std::lock_guard<std::mutex> lock(stripe.mu);
   if (stripe.map.size() >= per_stripe_capacity_ &&

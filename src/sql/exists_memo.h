@@ -4,9 +4,15 @@
 // binding. Historically that map was private to one Runner, so every
 // shard of a parallel query — and every re-execution of a cached plan —
 // re-derived the same subquery answers. An ExistsMemo hoists the map out:
-// it is keyed by (subplan expression, correlation binding row) and safe
-// for concurrent readers and writers, so all morsels of a query, and all
+// it is keyed by (subplan key, correlation binding row) and safe for
+// concurrent readers and writers, so all morsels of a query, and all
 // executions sharing one prepared plan, consult a single table.
+//
+// The subplan key is caller-chosen: a per-plan memo keys by the EXISTS
+// node's address (unique within one prepared plan), while the
+// snapshot-scoped subplan registry keys by *structural fingerprint* so
+// equal subtrees in different top-level plans share one key space (see
+// sql/fingerprint.h and service/subplan_memo.h).
 //
 // Correctness contract: an entry is a pure function of (subplan, binding
 // row) over one immutable NodeRelation, so a memo must never outlive the
@@ -41,12 +47,13 @@ class ExistsMemo {
   ExistsMemo(const ExistsMemo&) = delete;
   ExistsMemo& operator=(const ExistsMemo&) = delete;
 
-  /// The memoized result for `sub` evaluated under `binding`, if present.
-  std::optional<bool> Lookup(const void* sub, uint64_t binding) const;
+  /// The memoized result for subplan key `sub_key` evaluated under
+  /// `binding`, if present.
+  std::optional<bool> Lookup(uint64_t sub_key, uint64_t binding) const;
 
   /// Records a result. Duplicate inserts are benign (both racers computed
   /// the same pure function); inserts into a full stripe are dropped.
-  void Insert(const void* sub, uint64_t binding, bool value);
+  void Insert(uint64_t sub_key, uint64_t binding, bool value);
 
   /// Entries currently held (approximate under concurrent inserts).
   size_t size() const;
@@ -57,7 +64,7 @@ class ExistsMemo {
   static constexpr size_t kStripes = 16;
 
   struct Key {
-    const void* sub;
+    uint64_t sub;
     uint64_t binding;
     bool operator==(const Key& o) const {
       return sub == o.sub && binding == o.binding;
@@ -66,8 +73,7 @@ class ExistsMemo {
   struct KeyHash {
     size_t operator()(const Key& k) const {
       // splitmix64-style mix of the two words.
-      uint64_t h = reinterpret_cast<uintptr_t>(k.sub) ^
-                   (k.binding + 0x9e3779b97f4a7c15ULL);
+      uint64_t h = k.sub ^ (k.binding + 0x9e3779b97f4a7c15ULL);
       h ^= h >> 30;
       h *= 0xbf58476d1ce4e5b9ULL;
       h ^= h >> 27;

@@ -1,14 +1,19 @@
 #include "sql/optimizer.h"
 
 #include <algorithm>
+#include <atomic>
 #include <functional>
 #include <limits>
 #include <set>
+
+#include "sql/fingerprint.h"
 
 namespace lpath {
 namespace sql {
 
 namespace {
+
+std::atomic<uint64_t> g_prepare_calls{0};
 
 bool IsLocal(const Operand& o) { return !o.is_literal() && !o.is_outer(); }
 
@@ -443,7 +448,15 @@ Result<std::unique_ptr<PreparedPlan>> PrepareResolved(
             PrepareResolved(e->sub->Clone(), rel, options, false));
         std::set<int> outer;
         CollectOuterAsLocal(*e->sub, &outer);
-        pp->sub_outer_var[e] = outer.size() == 1 ? *outer.begin() : -1;
+        const int outer_var = outer.size() == 1 ? *outer.begin() : -1;
+        pp->sub_outer_var[e] = outer_var;
+        if (outer_var >= 0) {
+          // Memoizable subtree: fingerprint the resolved form (symbol ids,
+          // canonical orientation, correlation variable alpha-renamed) so
+          // structurally equal subtrees in *other* plans prepared against
+          // this relation can share one memo key space.
+          pp->sub_fingerprint[e] = PlanFingerprint(*e->sub);
+        }
         pp->subs.emplace(e, std::move(sub));
         break;
       }
@@ -457,12 +470,25 @@ Result<std::unique_ptr<PreparedPlan>> PrepareResolved(
 Result<std::unique_ptr<PreparedPlan>> Prepare(const ExecPlan& plan,
                                               const NodeRelation& rel,
                                               const ExecOptions& options) {
+  g_prepare_calls.fetch_add(1, std::memory_order_relaxed);
+  // Fingerprint the unresolved input: the value is corpus-independent, so
+  // a plan cache can recognize this structure no matter which relation the
+  // entry was prepared against.
+  const uint64_t fingerprint = PlanFingerprint(plan);
   ExecPlan resolved = plan.Clone();
   NormalizeOrientation(&resolved);
   bool always_empty = false;
   LPATH_RETURN_IF_ERROR(
       ResolveLiterals(&resolved, rel.interner(), &always_empty));
-  return PrepareResolved(std::move(resolved), rel, options, always_empty);
+  LPATH_ASSIGN_OR_RETURN(
+      std::unique_ptr<PreparedPlan> pp,
+      PrepareResolved(std::move(resolved), rel, options, always_empty));
+  pp->fingerprint = fingerprint;
+  return pp;
+}
+
+uint64_t PrepareCallCount() {
+  return g_prepare_calls.load(std::memory_order_relaxed);
 }
 
 }  // namespace sql

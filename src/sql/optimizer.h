@@ -87,6 +87,19 @@ struct PreparedPlan {
   /// or -1 if it references zero or multiple parent variables.
   std::unordered_map<const BoolExpr*, int> sub_outer_var;
 
+  /// Structural fingerprint of the *input* (unresolved) plan — see
+  /// sql/fingerprint.h. Corpus-independent: the same value for this plan
+  /// prepared against any relation, so it can key a cross-source cache.
+  uint64_t fingerprint = 0;
+
+  /// Structural fingerprints of the *resolved* EXISTS subtrees, for
+  /// memoizable subplans only (single correlation variable). Resolved
+  /// symbol ids are per-relation, so these keys are valid exactly for the
+  /// relation this plan was prepared against — the isolation the
+  /// snapshot-scoped subplan memo registry needs. Only this level's
+  /// direct subplans appear; nested levels carry their own maps.
+  std::unordered_map<const BoolExpr*, uint64_t> sub_fingerprint;
+
   /// True if some conjunct can never hold (e.g. name = unknown tag).
   bool always_empty = false;
 
@@ -111,6 +124,11 @@ struct PreparedPlan {
 Result<std::unique_ptr<PreparedPlan>> Prepare(const ExecPlan& plan,
                                               const NodeRelation& rel,
                                               const ExecOptions& options);
+
+/// Process-wide count of top-level Prepare() calls — a test witness for
+/// prepare dedup (N spellings of one structure must prepare once per
+/// relation source, not once per spelling).
+uint64_t PrepareCallCount();
 
 }  // namespace sql
 }  // namespace lpath

@@ -240,22 +240,24 @@ TEST_F(MorselServiceTest, SharedMemoServesLaterExecutionsAcrossMorsels) {
 
 TEST(ExistsMemoTest, LookupInsertAndCapacity) {
   sql::ExistsMemo memo(/*max_entries=*/16);  // one entry per stripe
-  int a = 0, b = 0;  // distinct addresses as subplan identities
-  EXPECT_FALSE(memo.Lookup(&a, 1).has_value());
-  memo.Insert(&a, 1, true);
-  memo.Insert(&a, 2, false);
-  memo.Insert(&b, 1, false);
-  ASSERT_TRUE(memo.Lookup(&a, 1).has_value());
-  EXPECT_TRUE(*memo.Lookup(&a, 1));
-  EXPECT_FALSE(*memo.Lookup(&a, 2));
-  EXPECT_FALSE(*memo.Lookup(&b, 1));
-  EXPECT_FALSE(memo.Lookup(&b, 2).has_value());
+  // Distinct 64-bit keys as subplan identities (callers use node addresses
+  // or subtree fingerprints; the memo treats them as opaque).
+  const uint64_t a = 0xa11ce, b = 0xb0b;
+  EXPECT_FALSE(memo.Lookup(a, 1).has_value());
+  memo.Insert(a, 1, true);
+  memo.Insert(a, 2, false);
+  memo.Insert(b, 1, false);
+  ASSERT_TRUE(memo.Lookup(a, 1).has_value());
+  EXPECT_TRUE(*memo.Lookup(a, 1));
+  EXPECT_FALSE(*memo.Lookup(a, 2));
+  EXPECT_FALSE(*memo.Lookup(b, 1));
+  EXPECT_FALSE(memo.Lookup(b, 2).has_value());
 
   // Saturate: inserts beyond the per-stripe share are dropped, lookups
   // keep answering, nothing already stored is evicted.
-  for (uint64_t k = 0; k < 1000; ++k) memo.Insert(&b, 100 + k, true);
+  for (uint64_t k = 0; k < 1000; ++k) memo.Insert(b, 100 + k, true);
   EXPECT_LE(memo.size(), 1000u + 3u);
-  EXPECT_TRUE(*memo.Lookup(&a, 1));
+  EXPECT_TRUE(*memo.Lookup(a, 1));
 }
 
 TEST(MorselMemoHammerTest, ConcurrentMorselsAndHotSwapsStayConsistent) {

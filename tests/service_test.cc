@@ -15,7 +15,9 @@
 #include <vector>
 
 #include "lpath/engines.h"
+#include "plan/exec_plan.h"
 #include "service/plan_cache.h"
+#include "sql/fingerprint.h"
 #include "service/thread_pool.h"
 #include "test_util.h"
 
@@ -79,45 +81,119 @@ TEST(PlanCacheTest, NormalizePreservesQuotedLiterals) {
   EXPECT_EQ(service::NormalizeQueryText("//V[@lex=\"a\tb\"]  "),
             "//V[@lex=\"a\tb\"]");
   EXPECT_EQ(service::NormalizeQueryText("'  x  '"), "'  x  '");
+  // Regression: a run of spaces inside a quoted value must not collapse —
+  // 'VB  NN' and 'VB NN' are different literals and different cache keys.
+  EXPECT_EQ(service::NormalizeQueryText("//V[@lex='VB  NN']"),
+            "//V[@lex='VB  NN']");
+  EXPECT_NE(service::NormalizeQueryText("//V[@lex='VB  NN']"),
+            service::NormalizeQueryText("//V[@lex='VB NN']"));
 }
+
+namespace {
+
+// A structurally distinct plan per tag: one variable whose name column is
+// pinned to a tag-specific literal.
+ExecPlan TaggedPlan(const std::string& tag) {
+  ExecPlan plan;
+  plan.num_vars = 1;
+  Conjunct c;
+  c.lhs = Operand::Column(0, PlanCol::kName);
+  c.rhs = Operand::String(tag);
+  plan.conjuncts.push_back(std::move(c));
+  return plan;
+}
+
+service::CachedPlanPtr MakeBundle(uint64_t fp) {
+  auto entry = std::make_shared<service::CachedPlan>();
+  entry->fingerprint = fp;
+  entry->plan = std::make_shared<sql::PreparedPlan>();
+  entry->memo = std::make_shared<sql::ExistsMemo>();
+  return entry;
+}
+
+}  // namespace
 
 TEST(PlanCacheTest, LruEvictsOldestAndCountsStats) {
   service::PlanCache cache(2);
-  auto plan = [] {
-    service::CachedPlan entry;
-    entry.plan = std::make_shared<sql::PreparedPlan>();
-    entry.memo = std::make_shared<sql::ExistsMemo>();
-    return entry;
+  auto put = [&cache](const std::string& key) {
+    ExecPlan rep = TaggedPlan(key);
+    const uint64_t fp = sql::PlanFingerprint(rep);
+    cache.Put(key, fp, std::move(rep), MakeBundle(fp));
   };
-  EXPECT_FALSE(cache.Get("a").has_value());
-  cache.Put("a", plan());
-  cache.Put("b", plan());
-  EXPECT_TRUE(cache.Get("a").has_value());  // "a" now most recent
-  cache.Put("c", plan());                   // evicts "b"
-  EXPECT_FALSE(cache.Get("b").has_value());
-  EXPECT_TRUE(cache.Get("a").has_value());
-  EXPECT_TRUE(cache.Get("c").has_value());
+  EXPECT_EQ(cache.Get("a"), nullptr);
+  put("a");
+  put("b");
+  EXPECT_NE(cache.Get("a"), nullptr);  // "a" now most recent
+  put("c");                            // evicts "b"
+  EXPECT_EQ(cache.Get("b"), nullptr);
+  EXPECT_NE(cache.Get("a"), nullptr);
+  EXPECT_NE(cache.Get("c"), nullptr);
   const service::PlanCache::Stats stats = cache.stats();
   EXPECT_EQ(stats.hits, 3u);
   EXPECT_EQ(stats.negative_hits, 0u);
   EXPECT_EQ(stats.misses, 2u);
   EXPECT_EQ(stats.evictions, 1u);
   EXPECT_EQ(stats.size, 2u);
+  EXPECT_EQ(stats.texts, 2u);
   EXPECT_EQ(stats.capacity, 2u);
 }
 
 TEST(PlanCacheTest, NegativeEntriesShareTheLruAndCountHits) {
   service::PlanCache cache(2);
-  service::CachedPlan bad;
-  bad.error = Status::InvalidArgument("parse error");
-  cache.Put("bad", std::move(bad));
-  std::optional<service::CachedPlan> hit = cache.Get("bad");
-  ASSERT_TRUE(hit.has_value());
+  cache.PutNegative("bad", Status::InvalidArgument("parse error"));
+  service::CachedPlanPtr hit = cache.Get("bad");
+  ASSERT_NE(hit, nullptr);
   EXPECT_TRUE(hit->negative());
   EXPECT_TRUE(hit->error.IsInvalidArgument());
   const service::PlanCache::Stats stats = cache.stats();
   EXPECT_EQ(stats.hits, 1u);
   EXPECT_EQ(stats.negative_hits, 1u);
+}
+
+TEST(PlanCacheTest, RespellingsBindToOneEntryByFingerprint) {
+  service::PlanCache cache(4);
+  ExecPlan rep = TaggedPlan("NP");
+  const uint64_t fp = sql::PlanFingerprint(rep);
+  service::CachedPlanPtr first =
+      cache.Put("//NP", fp, rep.Clone(), MakeBundle(fp));
+
+  // A differently spelled query compiling to the same structure binds to
+  // the existing entry without a Put.
+  ExecPlan respelled = TaggedPlan("NP");
+  service::CachedPlanPtr shared =
+      cache.GetByFingerprint("//'NP'", fp, respelled);
+  ASSERT_NE(shared, nullptr);
+  EXPECT_EQ(shared.get(), first.get());
+  // And the spelling is now a front-map hit.
+  EXPECT_EQ(cache.Get("//'NP'").get(), first.get());
+
+  // A genuinely different plan presented under the same hash is refused.
+  ExecPlan other = TaggedPlan("VP");
+  EXPECT_EQ(cache.GetByFingerprint("//VP", fp, other), nullptr);
+
+  const service::PlanCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.shared_prepare_hits, 1u);
+  EXPECT_EQ(stats.fingerprint_collisions, 1u);
+  EXPECT_EQ(stats.size, 1u);
+  EXPECT_EQ(stats.texts, 2u);
+  EXPECT_EQ(stats.fingerprints, 1u);
+}
+
+TEST(PlanCacheTest, RacingPutAdoptsThePublishedEntry) {
+  service::PlanCache cache(4);
+  ExecPlan rep = TaggedPlan("NP");
+  const uint64_t fp = sql::PlanFingerprint(rep);
+  service::CachedPlanPtr winner =
+      cache.Put("//NP", fp, rep.Clone(), MakeBundle(fp));
+  // Same text raced: the loser's bundle is dropped, the winner returned.
+  service::CachedPlanPtr same_text =
+      cache.Put("//NP", fp, rep.Clone(), MakeBundle(fp));
+  EXPECT_EQ(same_text.get(), winner.get());
+  // Different text, structurally equal plan: bound to the same entry.
+  service::CachedPlanPtr same_structure =
+      cache.Put("//'NP'", fp, rep.Clone(), MakeBundle(fp));
+  EXPECT_EQ(same_structure.get(), winner.get());
+  EXPECT_EQ(cache.stats().size, 1u);
 }
 
 class QueryServiceTest : public ::testing::Test {
