@@ -29,10 +29,13 @@
 // --benchmark_out gives the raw dump. CI runs both through the
 // bench_ingest_report ctest entry.
 
+#include <unistd.h>
+
 #include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <map>
 #include <string>
 #include <thread>
@@ -272,6 +275,59 @@ void BenchCompact(benchmark::State& st, int delta) {
   }
 }
 
+/// Routed Database::Ingest of the 32-tree batch with and without a
+/// write-ahead log: the price of durability is one serialized batch
+/// write plus a commit fsync per ingest (DatabaseOptions::wal_dir). The
+/// corpus is swapped back to its base after every timed ingest so each
+/// iteration pays O(batch), never O(accumulated delta).
+void BenchDurableIngest(benchmark::State& st, bool durable) {
+  namespace fs = std::filesystem;
+  IngestFixture& fx = GetIngestFixture();
+  db::DatabaseOptions opts;
+  opts.service.threads = 2;
+  opts.compact_delta_trees = 0;
+  std::string wal_dir;
+  if (durable) {
+    wal_dir = (fs::temp_directory_path() /
+               ("lpathdb_bench_ingest_wal_" + std::to_string(::getpid())))
+                  .string();
+    fs::remove_all(wal_dir);
+    opts.wal_dir = wal_dir;
+  }
+  db::Database database(opts);
+  Status setup = database.OpenCorpus("wsj", CloneCorpus(fx.base->corpus()));
+  if (!setup.ok()) {
+    st.SkipWithError(setup.ToString().c_str());
+    return;
+  }
+  const SnapshotPtr base = database.snapshot("wsj");
+
+  double total = 0.0;
+  uint64_t iters = 0;
+  for (auto _ : st) {
+    Corpus batch = CloneCorpus(fx.append_batch);  // untimed
+    Timer timer;
+    Status s = database.Ingest("wsj", std::move(batch));
+    total += timer.ElapsedSeconds();
+    if (!s.ok()) {
+      st.SkipWithError(s.ToString().c_str());
+      if (durable) fs::remove_all(wal_dir);
+      return;
+    }
+    (void)database.Swap("wsj", base);  // keep the next ingest O(batch)
+    ++iters;
+  }
+  st.SetItemsProcessed(static_cast<int64_t>(iters * kAppendBatch));
+  if (iters > 0) {
+    const double per_ingest = total / static_cast<double>(iters);
+    st.counters["trees_per_second"] =
+        per_ingest > 0.0 ? kAppendBatch / per_ingest : 0.0;
+    IngestTable().Record(durable ? "durable:on" : "durable:off", "Ingest",
+                         Measurement{per_ingest, kAppendBatch, true});
+  }
+  if (durable) fs::remove_all(wal_dir);
+}
+
 /// Suite QPS while an ingest thread keeps appending into the same corpus.
 /// The thread ingests 8-tree batches; past 64 delta trees the background
 /// compactor folds them, and past ~192 ingested trees a Swap resets the
@@ -364,18 +420,31 @@ void RegisterAll() {
           ->Unit(benchmark::kMillisecond);
     }
   }
+  for (bool durable : {false, true}) {
+    const std::string name =
+        std::string(durable ? "durable:on" : "durable:off") + "/Ingest";
+    benchmark::RegisterBenchmark(
+        name.c_str(),
+        [durable](benchmark::State& st) { BenchDurableIngest(st, durable); })
+        ->UseRealTime()
+        ->Unit(benchmark::kMillisecond);
+  }
   benchmark::RegisterBenchmark("live/Query", BenchQueryDuringIngest)
       ->UseRealTime()
       ->Unit(benchmark::kMillisecond);
 }
 
 void PrintTables() {
-  printf("%s", IngestTable().Render({"Append", "Query", "Compact"}).c_str());
+  printf("%s", IngestTable()
+                   .Render({"Append", "Query", "Compact", "Ingest"})
+                   .c_str());
   printf("\n(Append: per %d-tree batch onto the row's delta; Query: per "
          "23-query suite pass, two-source; Compact: per delta fold; live: "
-         "per suite pass under continuous ingest; scale: %d base "
-         "sentences, LPATHDB_SENTENCES overrides)\n",
-         kAppendBatch, IngestSentences());
+         "per suite pass under continuous ingest; durable:*: routed "
+         "Database::Ingest per %d-tree batch without/with a write-ahead "
+         "log (fsync per commit); scale: %d base sentences, "
+         "LPATHDB_SENTENCES overrides)\n",
+         kAppendBatch, kAppendBatch, IngestSentences());
 }
 
 /// Writes the table as the BENCH_ingest.json trajectory point when

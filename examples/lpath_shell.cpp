@@ -2,6 +2,7 @@
 // in the spirit of the query tools the paper's linguists used.
 //
 //   ./examples/lpath_shell [--wsj N | --swb N | --corpus FILE.mrg]
+//                          [--wal DIR]
 //
 // The shell fronts a db::Database: several corpora may be attached at
 // once, each served by its own QueryService (plan cache + shard pool);
@@ -33,6 +34,11 @@
 //   :vectorized on|off switch between the batch and the scalar executor
 //                      kernel (on is the default)
 //   :cache             plan-cache and latency statistics
+//   :wal               durability status: per-corpus write-ahead-log
+//                      position and segment count, replayed batches,
+//                      checkpoints, and compaction health (--wal DIR
+//                      makes every ingest durable: committed to the log
+//                      before it is published, replayed on reopen)
 //   .help              this text
 //   .quit              exit
 
@@ -75,6 +81,8 @@ void PrintHelp() {
       "                    (plan caches and stats start fresh)\n"
       "  :vectorized on|off  batch (selection-vector) vs scalar kernel\n"
       "  :cache            plan-cache and latency statistics\n"
+      "  :wal              durability status (WAL position, checkpoints,\n"
+      "                    compaction health; enable with --wal DIR)\n"
       "  .help  .quit\n");
 }
 
@@ -94,7 +102,9 @@ void PrintServiceStats(const std::string& name,
       "executor: %llu candidates, %llu bindings, %llu subqueries, "
       "%llu shard runs, %llu cross-plan memo hits\n"
       "live corpus: %llu ingests, %llu compactions, %llu delta rows "
-      "scanned, %llu max sources\n",
+      "scanned, %llu max sources\n"
+      "durability: %llu wal appends (%llu bytes), %llu replayed batches, "
+      "%llu checkpoints\n",
       name.c_str(), service.threads(),
       static_cast<unsigned long long>(st.queries),
       static_cast<unsigned long long>(st.errors),
@@ -122,7 +132,11 @@ void PrintServiceStats(const std::string& name,
       static_cast<unsigned long long>(st.ingests),
       static_cast<unsigned long long>(st.compactions),
       static_cast<unsigned long long>(st.exec.delta_rows),
-      static_cast<unsigned long long>(st.exec.sources));
+      static_cast<unsigned long long>(st.exec.sources),
+      static_cast<unsigned long long>(st.wal_appends),
+      static_cast<unsigned long long>(st.wal_bytes),
+      static_cast<unsigned long long>(st.replayed_batches),
+      static_cast<unsigned long long>(st.checkpoints));
 }
 
 /// Per-snapshot comparison engines for .sql/.plan/.engines: rebuilt lazily
@@ -145,6 +159,7 @@ struct EngineView {
 int main(int argc, char** argv) {
   std::string profile = "wsj";
   std::string corpus_path;
+  std::string wal_dir;
   int sentences = 1000;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -153,10 +168,13 @@ int main(int argc, char** argv) {
       sentences = std::atoi(argv[++i]);
     } else if (arg == "--corpus" && i + 1 < argc) {
       corpus_path = argv[++i];
+    } else if (arg == "--wal" && i + 1 < argc) {
+      wal_dir = argv[++i];
     }
   }
 
   db::DatabaseOptions db_opts;
+  db_opts.wal_dir = wal_dir;
   db::Database db(db_opts);
   std::string current;
   if (!corpus_path.empty()) {
@@ -399,6 +417,46 @@ int main(int argc, char** argv) {
     }
     if (input == ":cache") {
       PrintServiceStats(current, *db.service(current));
+      continue;
+    }
+    if (input == ":wal") {
+      if (db_opts.wal_dir.empty()) {
+        std::printf("durability is off — restart with --wal DIR to commit "
+                    "every ingest to a write-ahead log before it is "
+                    "published (and replay it on reopen)\n");
+        continue;
+      }
+      std::printf("wal dir: %s (fsync per commit)\n",
+                  db_opts.wal_dir.c_str());
+      for (const db::CorpusInfo& info : db.List()) {
+        if (!info.wal) {
+          std::printf("  %c %-10s no log\n",
+                      info.name == current ? '*' : ' ', info.name.c_str());
+          continue;
+        }
+        std::printf("  %c %-10s lsn %llu, %llu segment%s",
+                    info.name == current ? '*' : ' ', info.name.c_str(),
+                    static_cast<unsigned long long>(info.wal_last_lsn),
+                    static_cast<unsigned long long>(info.wal_segments),
+                    info.wal_segments == 1 ? "" : "s");
+        if (info.compaction_failures > 0) {
+          std::printf(", %llu compaction failure%s%s%s",
+                      static_cast<unsigned long long>(
+                          info.compaction_failures),
+                      info.compaction_failures == 1 ? "" : "s",
+                      info.last_compaction_error.empty() ? "" : ": ",
+                      info.last_compaction_error.c_str());
+        }
+        std::printf("\n");
+      }
+      const service::ServiceStats st = db.service(current)->Stats();
+      std::printf("'%s' session: %llu appends (%llu bytes), %llu replayed "
+                  "batches, %llu checkpoints\n",
+                  current.c_str(),
+                  static_cast<unsigned long long>(st.wal_appends),
+                  static_cast<unsigned long long>(st.wal_bytes),
+                  static_cast<unsigned long long>(st.replayed_batches),
+                  static_cast<unsigned long long>(st.checkpoints));
       continue;
     }
     if (StartsWith(input, ".sql ")) {

@@ -22,6 +22,7 @@
 #ifndef LPATHDB_DB_DATABASE_H_
 #define LPATHDB_DB_DATABASE_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -36,6 +37,7 @@
 #include "common/status.h"
 #include "service/query_service.h"
 #include "storage/snapshot.h"
+#include "storage/wal.h"
 #include "tree/corpus.h"
 
 namespace lpath {
@@ -57,6 +59,18 @@ struct DatabaseOptions {
   /// optimization, never a correctness requirement. 0 disables automatic
   /// compaction (Compact() still works on demand).
   int32_t compact_delta_trees = 4096;
+  /// Durable live ingestion: when non-empty, every attached corpus keeps a
+  /// write-ahead log under `<wal_dir>/<escaped name>/` (storage/wal.h).
+  /// Ingest then commits each batch to the log (fsync and all) *before*
+  /// publishing it — a failed append errors out without publishing — and
+  /// every attach path replays records the snapshot does not already cover
+  /// before the corpus serves, so an acknowledged Ingest survives a crash.
+  /// A successful image-backed compaction stamps the image with the LSN it
+  /// covers and checkpoints (truncates) the log behind it. Empty (the
+  /// default) disables durable ingest entirely.
+  std::string wal_dir;
+  /// WAL tuning (segment size, sync-per-commit) when wal_dir is set.
+  WalOptions wal;
 };
 
 /// One catalog row, for listings and monitoring.
@@ -70,6 +84,15 @@ struct CorpusInfo {
   /// tail a compaction would fold into the base.
   size_t delta_trees = 0;
   int threads = 0;
+  // Durability (all zero/false without DatabaseOptions::wal_dir).
+  bool wal = false;              ///< corpus has a live write-ahead log
+  uint64_t wal_last_lsn = 0;     ///< highest committed WAL record
+  uint64_t wal_segments = 0;     ///< live WAL segment files
+  // Background-compaction health: failures are counted (and the latest
+  // error kept) rather than dropped on the floor; the compactor retries
+  // with capped backoff, and a later Ingest reschedules regardless.
+  uint64_t compaction_failures = 0;
+  std::string last_compaction_error;  ///< empty after a clean compaction
 };
 
 class Database {
@@ -182,8 +205,12 @@ class Database {
   /// Ingest and Compact against each other, per corpus — never against
   /// queries, and never across corpora.
   std::shared_ptr<std::mutex> IngestMutexFor(const std::string& name);
-  /// Compact's body; also the background compactor's per-item work.
+  /// The corpus's live WAL handle, or null (not attached / no wal_dir).
+  std::shared_ptr<Wal> WalFor(const std::string& name) const;
+  /// Compact's body; also the background compactor's per-item work. Every
+  /// outcome (either entry point) is recorded in the health map.
   Status CompactInternal(const std::string& name);
+  Status CompactOnce(const std::string& name);
   /// Enqueues `name` for the background compactor (deduplicated), lazily
   /// starting the compactor thread on first use.
   void ScheduleCompaction(const std::string& name);
@@ -203,14 +230,33 @@ class Database {
   /// Per-corpus ingest locks (see IngestMutexFor), guarded by mu_ and held
   /// as shared_ptr so a lock stays valid across a concurrent Detach.
   std::unordered_map<std::string, std::shared_ptr<std::mutex>> ingest_mu_;
+  /// Live WAL handles (only with DatabaseOptions::wal_dir), guarded by mu_
+  /// for map shape; the Wal itself is internally synchronized and shared,
+  /// so an in-flight Ingest keeps its handle across a concurrent Detach.
+  std::unordered_map<std::string, std::shared_ptr<Wal>> wal_;
+
+  /// One unit of background-compaction work. A failed attempt is re-queued
+  /// with doubling backoff up to kMaxCompactAttempts (except NotFound —
+  /// the corpus was detached); after that the delta simply stays live, the
+  /// failure stays visible in compact_health_, and a later Ingest
+  /// reschedules from attempt zero.
+  struct CompactTask {
+    std::string name;
+    int attempt = 0;
+    std::chrono::steady_clock::time_point ready;
+  };
+  struct CompactHealth {
+    uint64_t failures = 0;
+    std::string last_error;  ///< cleared by the next clean compaction
+  };
 
   /// Background compactor: one lazily-started thread draining a
-  /// deduplicated queue of corpus names. Compaction failures are dropped
-  /// (the delta simply stays live and a later Ingest reschedules);
-  /// synchronous Compact() is the error-surfacing path.
-  std::mutex compact_mu_;
+  /// deduplicated queue of compaction tasks; synchronous Compact() is the
+  /// caller-facing error path, compact_health_ the monitoring one.
+  mutable std::mutex compact_mu_;
   std::condition_variable compact_cv_;
-  std::deque<std::string> compact_queue_;
+  std::deque<CompactTask> compact_queue_;
+  std::unordered_map<std::string, CompactHealth> compact_health_;
   bool compact_stop_ = false;
   std::thread compactor_;
 };

@@ -603,6 +603,22 @@ void QueryService::NoteCompaction() {
   compactions_ += 1;
 }
 
+void QueryService::NoteWalAppend(uint64_t payload_bytes) {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  wal_appends_ += 1;
+  wal_bytes_ += payload_bytes;
+}
+
+void QueryService::NoteReplay(uint64_t batches) {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  replayed_batches_ += batches;
+}
+
+void QueryService::NoteCheckpoint() {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  checkpoints_ += 1;
+}
+
 ServiceStats QueryService::Stats() const {
   ServiceStats s;
   {
@@ -622,6 +638,10 @@ ServiceStats QueryService::Stats() const {
     s.serial_queries = serial_queries_;
     s.ingests = ingests_;
     s.compactions = compactions_;
+    s.wal_appends = wal_appends_;
+    s.wal_bytes = wal_bytes_;
+    s.replayed_batches = replayed_batches_;
+    s.checkpoints = checkpoints_;
     s.batch_coalesced = batch_coalesced_;
     s.exec = exec_;
     s.total_seconds = total_seconds_;
@@ -644,6 +664,10 @@ void QueryService::ResetStats() {
   serial_queries_ = 0;
   ingests_ = 0;
   compactions_ = 0;
+  wal_appends_ = 0;
+  wal_bytes_ = 0;
+  replayed_batches_ = 0;
+  checkpoints_ = 0;
   batch_coalesced_ = 0;
   exec_ = sql::ExecStats{};
   total_seconds_ = 0.0;

@@ -125,6 +125,10 @@ struct ServiceStats {
   uint64_t serial_queries = 0;   ///< executed serially (incl. adaptive picks)
   uint64_t ingests = 0;          ///< append-publications noted (NoteIngest)
   uint64_t compactions = 0;      ///< delta merges noted (NoteCompaction)
+  uint64_t wal_appends = 0;      ///< durable-ingest WAL records committed
+  uint64_t wal_bytes = 0;        ///< payload bytes of those records
+  uint64_t replayed_batches = 0; ///< WAL batches recovered on attach/open
+  uint64_t checkpoints = 0;      ///< WAL truncations after compaction
   /// Batch members answered by another member's execution: same-structure
   /// queries in one QueryBatch call coalesce to a single execution fanned
   /// out to all of them.
@@ -221,6 +225,12 @@ class QueryService {
   /// these after the swap so :stats / monitoring see live-corpus traffic.
   void NoteIngest();
   void NoteCompaction();
+  /// Durability observability, same publisher contract: one WAL commit of
+  /// `payload_bytes`, `batches` records replayed on an attach, one
+  /// post-compaction checkpoint.
+  void NoteWalAppend(uint64_t payload_bytes);
+  void NoteReplay(uint64_t batches);
+  void NoteCheckpoint();
 
   int threads() const { return pool_->size(); }
   const QueryServiceOptions& options() const { return options_; }
@@ -329,6 +339,10 @@ class QueryService {
   uint64_t serial_queries_ = 0;
   uint64_t ingests_ = 0;
   uint64_t compactions_ = 0;
+  uint64_t wal_appends_ = 0;
+  uint64_t wal_bytes_ = 0;
+  uint64_t replayed_batches_ = 0;
+  uint64_t checkpoints_ = 0;
   uint64_t batch_coalesced_ = 0;
   sql::ExecStats exec_;
   double total_seconds_ = 0.0;

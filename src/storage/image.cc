@@ -15,6 +15,7 @@
 #include <utility>
 #include <vector>
 
+#include "storage/io_hooks.h"
 #include "tree/corpus.h"
 
 namespace lpath {
@@ -128,7 +129,9 @@ struct ImageHeader {
   uint32_t scheme = 0;
   uint32_t section_count = 0;
   uint32_t tree_count = 0;
-  uint32_t reserved = 0;
+  /// WAL checkpoint stamp (reserved and written as 0 before WAL support;
+  /// Open ignores it, ReadWalLsn surfaces it). See ImageSaveOptions.
+  uint32_t wal_lsn = 0;
   uint64_t row_count = 0;
   uint64_t element_count = 0;
   uint64_t symbol_count = 0;  ///< interner size, excluding reserved id 0
@@ -254,24 +257,26 @@ struct MappedBacking {
   std::array<std::vector<uint32_t>, kRelColEncodable> decoded;
 };
 
-/// Buffered image writer that checksums everything after the header as it
-/// goes (padding included, so the digest is a function of the file bytes).
+/// Image writer over a raw descriptor that checksums everything after the
+/// header as it goes (padding included, so the digest is a function of the
+/// file bytes). All writes go through lpath::io, so the fault-injection
+/// hooks see every byte Save persists.
 class ImageWriter {
  public:
-  explicit ImageWriter(std::FILE* f) : f_(f) {}
+  explicit ImageWriter(int fd) : fd_(fd) {}
 
-  bool WriteRaw(const void* data, size_t n) {
-    return n == 0 || std::fwrite(data, 1, n, f_) == n;
+  Status WriteRaw(const void* data, size_t n) {
+    return io::WriteFull(fd_, data, n);
   }
 
-  bool WritePayload(const void* data, size_t n) {
-    if (!WriteRaw(data, n)) return false;
+  Status WritePayload(const void* data, size_t n) {
+    LPATH_RETURN_IF_ERROR(WriteRaw(data, n));
     fnv_.Update(data, n);
     offset_ += n;
-    return true;
+    return Status::OK();
   }
 
-  bool PadToAlignment() {
+  Status PadToAlignment() {
     static const unsigned char kZeros[kSectionAlign] = {};
     const uint64_t padded = AlignUp(offset_);
     return WritePayload(kZeros, static_cast<size_t>(padded - offset_));
@@ -281,7 +286,7 @@ class ImageWriter {
   uint64_t digest() const { return fnv_.digest(); }
 
  private:
-  std::FILE* f_;
+  int fd_;
   Fnv64 fnv_;
   uint64_t offset_ = sizeof(ImageHeader);  ///< payload starts after header
 };
@@ -313,6 +318,14 @@ Status ImageIO::Save(const NodeRelation& rel, const std::string& path,
       options.format_version > kImageFormatVersion) {
     return Status::InvalidArgument("cannot write image format version " +
                                    std::to_string(options.format_version));
+  }
+  // The WAL stamp lives in the header's 32-bit reserved slot; an LSN past
+  // that is ~4 billion ingested batches on one corpus — refuse loudly
+  // rather than stamp a truncated value and silently re-replay on open.
+  if (options.wal_lsn > UINT32_MAX) {
+    return Status::InvalidArgument("WAL checkpoint LSN " +
+                                   std::to_string(options.wal_lsn) +
+                                   " exceeds the image header's stamp field");
   }
   const bool v2 = options.format_version >= 2;
   const Interner& interner = rel.interner();
@@ -430,6 +443,7 @@ Status ImageIO::Save(const NodeRelation& rel, const std::string& path,
   header.scheme = static_cast<uint32_t>(rel.scheme());
   header.section_count = kSectionCount;
   header.tree_count = static_cast<uint32_t>(rel.tree_count());
+  header.wal_lsn = static_cast<uint32_t>(options.wal_lsn);
   header.row_count = rel.row_count();
   header.element_count = rel.element_count();
   header.symbol_count = symbol_count;
@@ -442,61 +456,78 @@ Status ImageIO::Save(const NodeRelation& rel, const std::string& path,
   static std::atomic<uint64_t> save_serial{0};
   const std::string tmp = path + ".tmp." + std::to_string(::getpid()) + "." +
                           std::to_string(save_serial.fetch_add(1));
-  std::FILE* f = std::fopen(tmp.c_str(), "wb");
-  if (f == nullptr) {
-    return Status::IOError("cannot create " + tmp + ": " +
-                           std::strerror(errno));
+  LPATH_ASSIGN_OR_RETURN(const int fd, io::OpenForWrite(tmp));
+  // Any failure before the rename publishes leaves the target untouched;
+  // close and remove the temp file on every such path. Cleanup is raw
+  // (std::remove, not io::Unlink): Save is returning an error to a live
+  // process, and re-entering the injection layer that just failed us would
+  // turn "clean error" into "leaked temp file".
+  const auto fail = [&](const Status& status) {
+    ::close(fd);
+    std::remove(tmp.c_str());
+    return status;
+  };
+  if (io::CrashRequested("image:save:start")) {
+    return fail(Status::IOError("injected crash before image write"));
   }
-  ImageWriter writer(f);
-  bool ok = writer.WriteRaw(&header, sizeof(header));  // placeholder pass
-  if (v2) {
-    ok = ok && writer.WritePayload(table, sizeof(table));
-  } else {
-    SectionEntry v1_table[kSectionCount];
-    for (uint32_t i = 0; i < kSectionCount; ++i) {
-      v1_table[i] = SectionEntry{table[i].kind, table[i].elem_size,
-                                 table[i].offset, table[i].count};
+  ImageWriter writer(fd);
+  Status st = writer.WriteRaw(&header, sizeof(header));  // placeholder pass
+  if (st.ok()) {
+    if (v2) {
+      st = writer.WritePayload(table, sizeof(table));
+    } else {
+      SectionEntry v1_table[kSectionCount];
+      for (uint32_t i = 0; i < kSectionCount; ++i) {
+        v1_table[i] = SectionEntry{table[i].kind, table[i].elem_size,
+                                   table[i].offset, table[i].count};
+      }
+      st = writer.WritePayload(v1_table, sizeof(v1_table));
     }
-    ok = ok && writer.WritePayload(v1_table, sizeof(v1_table));
   }
-  for (uint32_t i = 0; ok && i < kSectionCount; ++i) {
-    ok = writer.PadToAlignment() &&
-         writer.WritePayload(sections[i].data, sections[i].stored_bytes);
+  for (uint32_t i = 0; st.ok() && i < kSectionCount; ++i) {
+    st = writer.PadToAlignment();
+    if (st.ok()) {
+      st = writer.WritePayload(sections[i].data, sections[i].stored_bytes);
+    }
   }
   // Seal: fill in the checksums and rewrite the header in place.
-  if (ok) {
+  if (st.ok()) {
     header.payload_checksum = writer.digest();
     header.header_checksum = HeaderChecksum(header);
-    ok = writer.offset() == file_size && std::fseek(f, 0, SEEK_SET) == 0 &&
-         writer.WriteRaw(&header, sizeof(header));
+    st = writer.offset() == file_size
+             ? io::PWriteFull(fd, &header, sizeof(header), 0)
+             : Status::IOError("short write to " + tmp);
   }
-  ok = (std::fflush(f) == 0) && ok;
   // Durability before the rename publishes: without the fsync a crash
   // after Save returns could replace the previous good image with a
   // not-yet-written-back inode.
-  ok = ok && ::fsync(fileno(f)) == 0;
-  ok = (std::fclose(f) == 0) && ok;
-  if (!ok) {
-    std::remove(tmp.c_str());
-    return Status::IOError("short write to " + tmp);
+  if (st.ok()) {
+    if (io::CrashRequested("image:save:before_sync")) {
+      st = Status::IOError("injected crash before image fsync");
+    } else {
+      st = io::Fsync(fd, tmp);
+    }
   }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    const int err = errno;
+  if (!st.ok()) return fail(st);
+  if (::close(fd) != 0) {
     std::remove(tmp.c_str());
-    return Status::IOError("cannot rename " + tmp + " to " + path + ": " +
-                           std::strerror(err));
+    return Status::IOError("cannot close " + tmp + ": " +
+                           std::strerror(errno));
   }
-  // Best-effort: persist the rename itself (the directory entry).
+  if (st = io::Rename(tmp, path); !st.ok()) {
+    std::remove(tmp.c_str());
+    return st;
+  }
+  // Persist the rename itself (the directory entry): until the directory
+  // is synced, a crash can roll the path back to the previous image — or
+  // to nothing — after Save already returned success. A failure here is a
+  // real durability loss and reports as one; the renamed file itself is in
+  // place and intact, so nothing is removed.
   const size_t slash = path.find_last_of('/');
-  const std::string dir = slash == std::string::npos
-                              ? std::string(".")
-                              : path.substr(0, slash + 1);
-  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
-  if (dfd >= 0) {
-    (void)::fsync(dfd);
-    ::close(dfd);
-  }
-  return Status::OK();
+  const std::string dir = slash == std::string::npos ? std::string(".")
+                          : slash == 0               ? std::string("/")
+                                                     : path.substr(0, slash);
+  return io::FsyncDir(dir);
 }
 
 namespace {
@@ -850,6 +881,27 @@ Result<NodeRelation> ImageIO::Open(const std::string& path,
   rel.attr_rows_ = SectionSpan<Row>(*file, table[kIdxAttrRows]);
   rel.backing_ = std::move(backing);
   return rel;
+}
+
+Result<uint64_t> ImageIO::ReadWalLsn(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IOError("cannot open " + path + ": " +
+                           std::strerror(errno));
+  }
+  ImageHeader header;
+  const size_t got = std::fread(&header, 1, sizeof(header), f);
+  std::fclose(f);
+  if (got != sizeof(header)) {
+    return CorruptionAt(path, "file shorter than the image header");
+  }
+  if (std::memcmp(header.magic, kImageMagic, sizeof(kImageMagic)) != 0) {
+    return CorruptionAt(path, "bad magic (not a relation image)");
+  }
+  if (header.header_checksum != HeaderChecksum(header)) {
+    return CorruptionAt(path, "header checksum mismatch");
+  }
+  return static_cast<uint64_t>(header.wal_lsn);
 }
 
 }  // namespace lpath

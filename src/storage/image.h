@@ -108,6 +108,14 @@ struct ImageSaveOptions {
   /// downgrade image older builds can open.
   uint32_t format_version = kImageFormatVersion;
   ImageEncoding encoding = ImageEncoding::kAuto;
+  /// WAL checkpoint stamp: the LSN of the last WAL record this image's
+  /// relation already covers (see storage/wal.h and db::Database's
+  /// durable-ingest path). Stored in a previously-reserved header field —
+  /// no format bump; images written before the field (and images saved
+  /// without a WAL) read back as 0. Replay after open skips records at or
+  /// below it, which is what makes compact-then-crash-before-truncate
+  /// exactly-once instead of at-least-once.
+  uint64_t wal_lsn = 0;
 };
 
 /// What Save() wrote, for tooling (`lpath_pack` prints this table).
@@ -155,6 +163,12 @@ class ImageIO {
   /// corpus-built snapshot instead).
   static Result<NodeRelation> Open(const std::string& path,
                                    ImageOpenOptions options = {});
+
+  /// Reads just the header (validating magic + header checksum) and
+  /// returns the image's checkpointed WAL LSN — 0 for images saved
+  /// without one, including every image written before the field existed.
+  /// O(1); used on the database's replay path before a corpus serves.
+  static Result<uint64_t> ReadWalLsn(const std::string& path);
 };
 
 }  // namespace lpath

@@ -1,0 +1,219 @@
+#include "storage/io_hooks.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace lpath {
+
+namespace {
+
+std::atomic<IoHooks*> g_hooks{nullptr};
+
+IoHooks* Current() { return g_hooks.load(std::memory_order_acquire); }
+
+Status Injected(const char* what, const std::string& path) {
+  return Status::IOError(std::string("injected I/O failure: ") + what + " " +
+                         path);
+}
+
+/// Per-op gate: counts the op, honors the op-count crash budget, and fails
+/// everything once `crashed` has latched. Returns null hooks when none are
+/// installed (the common case).
+Status BeginOp(IoHooks* hooks, const char* what, const std::string& path) {
+  if (hooks == nullptr) return Status::OK();
+  if (hooks->crashed.load(std::memory_order_relaxed)) {
+    return Injected(what, path);
+  }
+  hooks->ops.fetch_add(1, std::memory_order_relaxed);
+  int64_t budget = hooks->fail_after_ops.load(std::memory_order_relaxed);
+  while (budget >= 0) {
+    if (budget == 0) {
+      hooks->crashed.store(true, std::memory_order_relaxed);
+      return Injected(what, path);
+    }
+    if (hooks->fail_after_ops.compare_exchange_weak(
+            budget, budget - 1, std::memory_order_relaxed)) {
+      break;
+    }
+  }
+  return Status::OK();
+}
+
+/// EINTR-safe full write at the fd's current offset (offset < 0) or via
+/// pwrite at `offset`.
+Status RawWrite(int fd, const char* p, size_t n, int64_t offset,
+                const std::string& path) {
+  while (n > 0) {
+    const ssize_t wrote =
+        offset < 0 ? ::write(fd, p, n)
+                   : ::pwrite(fd, p, n, static_cast<off_t>(offset));
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError("write " + path + ": " + std::strerror(errno));
+    }
+    p += wrote;
+    n -= static_cast<size_t>(wrote);
+    if (offset >= 0) offset += wrote;
+  }
+  return Status::OK();
+}
+
+/// The shared write path: op gate, then the torn-write byte budget. A
+/// budget-exceeded write persists exactly the remaining budget before
+/// latching `crashed` — the genuinely torn record the WAL recovery tests
+/// need on disk.
+Status HookedWrite(int fd, const void* data, size_t n, int64_t offset,
+                   const std::string& path) {
+  IoHooks* hooks = Current();
+  LPATH_RETURN_IF_ERROR(BeginOp(hooks, "write", path));
+  const char* p = static_cast<const char*>(data);
+  if (hooks != nullptr) {
+    int64_t budget =
+        hooks->fail_write_after_bytes.load(std::memory_order_relaxed);
+    while (budget >= 0) {
+      if (static_cast<uint64_t>(budget) < n) {
+        if (!hooks->fail_write_after_bytes.compare_exchange_weak(
+                budget, 0, std::memory_order_relaxed)) {
+          continue;
+        }
+        // Torn: persist the budget's remainder, then die.
+        const size_t partial = static_cast<size_t>(budget);
+        (void)RawWrite(fd, p, partial, offset, path);
+        hooks->bytes_written.fetch_add(partial, std::memory_order_relaxed);
+        hooks->crashed.store(true, std::memory_order_relaxed);
+        return Injected("torn write", path);
+      }
+      if (hooks->fail_write_after_bytes.compare_exchange_weak(
+              budget, budget - static_cast<int64_t>(n),
+              std::memory_order_relaxed)) {
+        break;
+      }
+    }
+    hooks->bytes_written.fetch_add(n, std::memory_order_relaxed);
+  }
+  return RawWrite(fd, p, n, offset, path);
+}
+
+}  // namespace
+
+ScopedIoHooks::ScopedIoHooks(IoHooks* hooks) {
+  g_hooks.store(hooks, std::memory_order_release);
+}
+
+ScopedIoHooks::~ScopedIoHooks() {
+  g_hooks.store(nullptr, std::memory_order_release);
+}
+
+namespace io {
+
+Result<int> OpenForWrite(const std::string& path) {
+  LPATH_RETURN_IF_ERROR(BeginOp(Current(), "open", path));
+  const int fd =
+      ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    return Status::IOError("cannot create " + path + ": " +
+                           std::strerror(errno));
+  }
+  return fd;
+}
+
+Result<int> OpenForAppend(const std::string& path) {
+  LPATH_RETURN_IF_ERROR(BeginOp(Current(), "open", path));
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::IOError("cannot open " + path + ": " +
+                           std::strerror(errno));
+  }
+  return fd;
+}
+
+Status WriteFull(int fd, const void* data, size_t n) {
+  return n == 0 ? Status::OK() : HookedWrite(fd, data, n, -1, "fd");
+}
+
+Status PWriteFull(int fd, const void* data, size_t n, uint64_t offset) {
+  return n == 0 ? Status::OK()
+                : HookedWrite(fd, data, n, static_cast<int64_t>(offset),
+                              "fd");
+}
+
+Status Fsync(int fd, const std::string& path) {
+  IoHooks* hooks = Current();
+  LPATH_RETURN_IF_ERROR(BeginOp(hooks, "fsync", path));
+  if (hooks != nullptr && hooks->fail_fsync.load(std::memory_order_relaxed)) {
+    return Injected("fsync", path);
+  }
+  if (::fsync(fd) != 0) {
+    return Status::IOError("fsync " + path + ": " + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Status FsyncDir(const std::string& dir) {
+  IoHooks* hooks = Current();
+  LPATH_RETURN_IF_ERROR(BeginOp(hooks, "fsync-dir", dir));
+  if (hooks != nullptr && hooks->fail_fsync.load(std::memory_order_relaxed)) {
+    return Injected("fsync-dir", dir);
+  }
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dfd < 0) {
+    return Status::IOError("cannot open directory " + dir + ": " +
+                           std::strerror(errno));
+  }
+  const int rc = ::fsync(dfd);
+  const int err = errno;
+  ::close(dfd);
+  if (rc != 0) {
+    return Status::IOError("fsync directory " + dir + ": " +
+                           std::strerror(err));
+  }
+  return Status::OK();
+}
+
+Status Rename(const std::string& from, const std::string& to) {
+  IoHooks* hooks = Current();
+  LPATH_RETURN_IF_ERROR(BeginOp(hooks, "rename", from));
+  if (hooks != nullptr && hooks->fail_rename.load(std::memory_order_relaxed)) {
+    return Injected("rename", from);
+  }
+  if (std::rename(from.c_str(), to.c_str()) != 0) {
+    return Status::IOError("cannot rename " + from + " to " + to + ": " +
+                           std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Status TruncateFd(int fd, uint64_t size, const std::string& path) {
+  LPATH_RETURN_IF_ERROR(BeginOp(Current(), "truncate", path));
+  if (::ftruncate(fd, static_cast<off_t>(size)) != 0) {
+    return Status::IOError("truncate " + path + ": " + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Status Unlink(const std::string& path) {
+  LPATH_RETURN_IF_ERROR(BeginOp(Current(), "unlink", path));
+  if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+    return Status::IOError("cannot remove " + path + ": " +
+                           std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+bool CrashRequested(const char* point) {
+  IoHooks* hooks = Current();
+  if (hooks == nullptr) return false;
+  if (hooks->crashed.load(std::memory_order_relaxed)) return true;
+  if (hooks->on_point && hooks->on_point(point)) {
+    hooks->crashed.store(true, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
+}  // namespace io
+}  // namespace lpath

@@ -1,0 +1,98 @@
+// Injectable fault hooks under every mutating file operation the storage
+// layer performs (WAL appends, image saves): tests install an IoHooks to
+// drive a write/fsync/rename failure — or a full simulated process crash —
+// at any I/O boundary, then uninstall it and reopen from whatever reached
+// disk. Production runs carry no hooks: the wrappers in lpath::io are thin
+// EINTR-safe syscall loops with a single relaxed atomic load on the hot
+// path.
+//
+// Crash model. `fail_after_ops` counts down across *all* hooked mutating
+// operations; when it reaches zero the hooks latch `crashed` and that
+// operation — and every later one — fails. Sweeping fail_after_ops =
+// 0, 1, 2, ... over a scenario therefore drives a failure at every I/O
+// boundary the scenario crosses, without the test naming any of them.
+// `fail_write_after_bytes` is a byte budget: the failing write persists
+// exactly the budget's remainder first, producing a genuinely torn record
+// or image. `fail_fsync`/`fail_rename` simulate transient errors (EIO,
+// disk full) without latching: the process continues and must report a
+// clean Status. `on_point` is a named-crash-point callback for targeted
+// tests (return true to latch `crashed` at that boundary).
+//
+// What the model does not simulate: loss of *successfully written but not
+// yet fsynced* page-cache data on a real power cut. A latched crash makes
+// the failing write itself short, but bytes from earlier completed writes
+// are assumed durable once the op that covers them fsyncs — the standard
+// fsync-discipline contract the WAL's commit protocol is built on.
+
+#ifndef LPATHDB_STORAGE_IO_HOOKS_H_
+#define LPATHDB_STORAGE_IO_HOOKS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace lpath {
+
+struct IoHooks {
+  /// Mutating ops to allow before latching `crashed` (-1 = unlimited).
+  std::atomic<int64_t> fail_after_ops{-1};
+  /// Bytes to let through hooked writes before a torn short write latches
+  /// `crashed` (-1 = unlimited). The failing write persists the remainder.
+  std::atomic<int64_t> fail_write_after_bytes{-1};
+  /// Fail every fsync (file and directory) with a transient IOError,
+  /// without latching `crashed`.
+  std::atomic<bool> fail_fsync{false};
+  /// Fail every rename with a transient IOError, without latching.
+  std::atomic<bool> fail_rename{false};
+  /// Once set (by any trigger above, or manually), every hooked operation
+  /// fails until the hooks are uninstalled — the process is "dead".
+  std::atomic<bool> crashed{false};
+  /// Named crash points (e.g. "wal:append:before_sync"): return true to
+  /// latch `crashed` at that boundary. Set before installing; not
+  /// synchronized against concurrent mutation.
+  std::function<bool(std::string_view point)> on_point;
+
+  // Observability for tests.
+  std::atomic<uint64_t> ops{0};            ///< hooked mutating ops seen
+  std::atomic<uint64_t> bytes_written{0};  ///< bytes hooked writes persisted
+};
+
+/// Installs `hooks` process-wide for its scope (tests only; the storage
+/// layer consults at most one hook set at a time).
+class ScopedIoHooks {
+ public:
+  explicit ScopedIoHooks(IoHooks* hooks);
+  ~ScopedIoHooks();
+
+  ScopedIoHooks(const ScopedIoHooks&) = delete;
+  ScopedIoHooks& operator=(const ScopedIoHooks&) = delete;
+};
+
+namespace io {
+
+/// Creates (or truncates) `path` for writing. Caller owns the fd.
+Result<int> OpenForWrite(const std::string& path);
+/// Opens an existing file for writing without truncation (WAL tail).
+Result<int> OpenForAppend(const std::string& path);
+Status WriteFull(int fd, const void* data, size_t n);
+Status PWriteFull(int fd, const void* data, size_t n, uint64_t offset);
+Status Fsync(int fd, const std::string& path);
+/// Opens the directory and fsyncs it — persists creates/renames/unlinks
+/// of entries within it.
+Status FsyncDir(const std::string& dir);
+Status Rename(const std::string& from, const std::string& to);
+Status TruncateFd(int fd, uint64_t size, const std::string& path);
+Status Unlink(const std::string& path);
+/// True when an installed hook requests a crash at this named boundary
+/// (or has already latched one); the caller must fail the operation.
+bool CrashRequested(const char* point);
+
+}  // namespace io
+}  // namespace lpath
+
+#endif  // LPATHDB_STORAGE_IO_HOOKS_H_

@@ -50,6 +50,13 @@ Result<SnapshotPtr> CorpusSnapshot::Open(const std::string& path,
   auto* snapshot =
       new CorpusSnapshot(std::move(corpus), std::move(relation), rel_options);
   snapshot->image_path_ = path;
+  // Surface the image's WAL stamp so the database replays only records the
+  // image does not already cover. Best effort on purpose: the image just
+  // opened and validated above, so a read failure here means a pre-stamp
+  // (or concurrently republished) file — both read as 0, i.e. replay all.
+  if (Result<uint64_t> lsn = ImageIO::ReadWalLsn(path); lsn.ok()) {
+    snapshot->base_wal_lsn_ = lsn.value();
+  }
   return SnapshotPtr(snapshot);
 }
 
@@ -96,6 +103,7 @@ Result<SnapshotPtr> CorpusSnapshot::Rebuild(RelationOptions options) const {
   auto* chained =
       new CorpusSnapshot(base->corpus_, base->relation_, base->options_);
   chained->image_path_ = base->image_path_;
+  chained->base_wal_lsn_ = base->base_wal_lsn_;
   chained->delta_corpus_ = delta_corpus_;
   chained->delta_relation_ =
       std::make_shared<const NodeRelation>(std::move(drel));
@@ -123,13 +131,15 @@ Result<SnapshotPtr> CorpusSnapshot::Append(const Corpus& incoming) const {
       NodeRelation::Build(std::shared_ptr<const Corpus>(delta), options_));
   auto* chained = new CorpusSnapshot(corpus_, relation_, options_);
   chained->image_path_ = image_path_;
+  chained->base_wal_lsn_ = base_wal_lsn_;
   chained->delta_corpus_ = std::move(delta);
   chained->delta_relation_ =
       std::make_shared<const NodeRelation>(std::move(drel));
   return SnapshotPtr(chained);
 }
 
-Result<SnapshotPtr> CorpusSnapshot::Compact(ImageSaveStats* save_stats) const {
+Result<SnapshotPtr> CorpusSnapshot::Compact(
+    ImageSaveStats* save_stats, ImageSaveOptions save_options) const {
   if (!has_delta()) {
     return Status::InvalidArgument("CorpusSnapshot::Compact: no delta");
   }
@@ -154,7 +164,8 @@ Result<SnapshotPtr> CorpusSnapshot::Compact(ImageSaveStats* save_stats) const {
     // Crash safety rides on ImageIO::Save's unique-tmp + fsync + rename:
     // a reader (or a crash) mid-compaction sees either the old image or
     // the new one, never a torn file.
-    LPATH_RETURN_IF_ERROR(ImageIO::Save(mrel, image_path_, {}, save_stats));
+    LPATH_RETURN_IF_ERROR(
+        ImageIO::Save(mrel, image_path_, save_options, save_stats));
     return Open(image_path_);
   }
   auto* snapshot = new CorpusSnapshot(std::move(merged), std::move(mrel),

@@ -96,9 +96,11 @@ class CorpusSnapshot {
   /// concatenated corpora would produce. For an image-backed base the
   /// merged relation is written back to image_path() (crash-safe tmp +
   /// rename + fsync) and re-opened; `save_stats`, when non-null, receives
-  /// the per-column compression breakdown of that write. InvalidArgument
-  /// when the chain has no delta.
-  Result<SnapshotPtr> Compact(ImageSaveStats* save_stats = nullptr) const;
+  /// the per-column compression breakdown of that write, and `save_options`
+  /// rides along to it (db::Database stamps the WAL checkpoint LSN there).
+  /// InvalidArgument when the chain has no delta.
+  Result<SnapshotPtr> Compact(ImageSaveStats* save_stats = nullptr,
+                              ImageSaveOptions save_options = {}) const;
 
   /// True when trees have been appended since the base was built/opened.
   bool has_delta() const { return delta_relation_ != nullptr; }
@@ -142,6 +144,12 @@ class CorpusSnapshot {
   bool image_backed() const { return !image_path_.empty(); }
   const std::string& image_path() const { return image_path_; }
 
+  /// The WAL checkpoint LSN stamped into the backing image (0 for built
+  /// snapshots and for images saved without a WAL). Everything the base
+  /// relation covers is at or below it; db::Database replays only the
+  /// records above it on attach.
+  uint64_t base_wal_lsn() const { return base_wal_lsn_; }
+
  private:
   CorpusSnapshot(std::shared_ptr<const Corpus> corpus, NodeRelation relation,
                  RelationOptions options);
@@ -151,6 +159,7 @@ class CorpusSnapshot {
   RelationOptions options_;
   uint64_t id_;
   std::string image_path_;  ///< empty unless opened via Open()
+  uint64_t base_wal_lsn_ = 0;  ///< the opened image's WAL stamp
 
   // The chain's delta link, both null for a plain (delta-free) snapshot.
   // delta_corpus_ holds only the appended trees (local tids 0..delta-1)

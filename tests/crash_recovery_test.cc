@@ -1,0 +1,403 @@
+// End-to-end durability tests for db::Database with a write-ahead log
+// (DatabaseOptions::wal_dir). The contract under test is the ISSUE's
+// headline guarantee: *an acknowledged Ingest survives a crash at any
+// I/O boundary*. A fault-injection sweep kills the process model at
+// every successive I/O operation across an ingest/compact/ingest
+// sequence, then recovers into a fresh Database and proves — by tree
+// count and by query differential against a never-crashed rebuilt
+// reference — that recovery serves exactly the acknowledged batches (a
+// batch whose Append died after its bytes landed but before the ack may
+// legitimately also survive; nothing else may).
+//
+// Also covered here: failed-fsync ingests do not publish, background
+// compaction failures are surfaced (and retried) instead of dropped,
+// and Detach purges pending compaction work and health for the name.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "db/database.h"
+#include "lpath/engines.h"
+#include "storage/io_hooks.h"
+#include "storage/snapshot.h"
+#include "test_util.h"
+#include "tree/bracket_io.h"
+#include "tree/corpus.h"
+
+namespace lpath {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Per-test scratch directory, removed on destruction.
+class TempDir {
+ public:
+  TempDir() {
+    const ::testing::TestInfo* info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    path_ = fs::temp_directory_path() /
+            (std::string("lpathdb_crash_") + info->test_suite_name() + "_" +
+             info->name() + "_" + std::to_string(::getpid()));
+    fs::remove_all(path_);
+    fs::create_directories(path_);
+  }
+  ~TempDir() { fs::remove_all(path_); }
+
+  std::string File(const std::string& name) const {
+    return (path_ / name).string();
+  }
+
+ private:
+  fs::path path_;
+};
+
+SnapshotPtr MustBuild(Corpus corpus) {
+  Result<SnapshotPtr> snap = CorpusSnapshot::Build(std::move(corpus));
+  EXPECT_TRUE(snap.ok()) << snap.status().ToString();
+  return std::move(snap).value();
+}
+
+db::CorpusInfo InfoFor(const db::Database& db, const std::string& name) {
+  for (const db::CorpusInfo& info : db.List()) {
+    if (info.name == name) return info;
+  }
+  ADD_FAILURE() << "corpus not listed: " << name;
+  return {};
+}
+
+constexpr char kName[] = "corpus";
+constexpr uint64_t kBaseSeed = 9000;
+constexpr uint64_t kBatchSeed = 9100;
+constexpr int kBaseTrees = 18;
+constexpr int kBatchTrees = 3;
+constexpr int kBatches = 3;
+
+/// The rebuild-from-scratch reference corpus: the base plus the first
+/// `batches` ingest batches, in ingestion order, one interner.
+Corpus ReferenceCorpus(int batches) {
+  Corpus base = testing::RandomCorpus(kBaseSeed, kBaseTrees);
+  Corpus combined;
+  combined.ResetInterner(base.interner().Clone());
+  combined.AppendFrom(base);
+  for (int b = 0; b < batches; ++b) {
+    combined.AppendFrom(testing::RandomCorpus(kBatchSeed + b, kBatchTrees));
+  }
+  return combined;
+}
+
+/// Differential check: `queries` generated queries must answer
+/// identically through the recovered database and a never-crashed
+/// engine over `reference`'s relation.
+void ExpectMatchesReference(db::Database* db, Corpus reference,
+                            uint64_t query_seed, int queries) {
+  SnapshotPtr rebuilt = MustBuild(std::move(reference));
+  LPathEngine engine(rebuilt->relation());
+  Rng rng(query_seed);
+  testing::QueryGen gen(&rng);
+  for (int i = 0; i < queries; ++i) {
+    const std::string q = gen.Query();
+    Result<QueryResult> want = engine.Run(q);
+    Result<QueryResult> got = db->Query(kName, q);
+    ASSERT_EQ(want.ok(), got.ok())
+        << q << ": " << (want.ok() ? got : want).status().ToString();
+    if (!want.ok()) continue;
+    ASSERT_EQ(want->hits, got->hits) << q;
+  }
+}
+
+/// The crash sweep: with a budget of `fail_after_ops` I/O operations,
+/// run ingest b1, ingest b2, compact, ingest b3 against a durable
+/// corpus, "crash" (every I/O after the budget fails, the Database is
+/// torn down), then recover with a fresh Database over the same wal_dir
+/// and source file. Recovery must serve the base plus an exact prefix
+/// of the batches — every acknowledged one, at most one unacknowledged
+/// one (fully written, crashed before the ack) — and answer queries on
+/// that state identically to a never-crashed rebuild. Sweeps budgets
+/// upward until a run completes with no injected failure, so every I/O
+/// boundary in the sequence gets its own crash.
+void RunCrashSweep(bool image_base) {
+  TempDir dir;
+  for (int64_t budget = 0;; ++budget) {
+    SCOPED_TRACE("fail_after_ops=" + std::to_string(budget));
+    const std::string work = dir.File("run" + std::to_string(budget));
+    fs::remove_all(work);
+    fs::create_directories(work);
+
+    // Clean (unhooked) setup: source file, database, attach.
+    const std::string src =
+        work + (image_base ? "/base.img" : "/base.mrg");
+    Corpus base = testing::RandomCorpus(kBaseSeed, kBaseTrees);
+    if (image_base) {
+      ASSERT_TRUE(MustBuild(std::move(base))->Save(src).ok());
+    } else {
+      ASSERT_TRUE(SaveBracketFile(base, src).ok());
+    }
+    db::DatabaseOptions dopt;
+    dopt.wal_dir = work + "/wal";
+    dopt.compact_delta_trees = 0;  // only the explicit Compact below
+    auto db = std::make_unique<db::Database>(dopt);
+    ASSERT_TRUE(db->Open(kName, src).ok());
+
+    // The faulted sequence. Every acknowledged (OK) Ingest is owed
+    // durability; everything after the first injected failure fails
+    // fast (the "crash" latches).
+    IoHooks hooks;
+    hooks.fail_after_ops.store(budget);
+    int acked = 0;
+    bool failed_ingest = false;
+    {
+      ScopedIoHooks install(&hooks);
+      for (int b = 0; b < kBatches; ++b) {
+        if (b == kBatches - 1) {
+          (void)db->Compact(kName);  // never changes the tree count
+        }
+        const Status st = db->Ingest(
+            kName, testing::RandomCorpus(kBatchSeed + b, kBatchTrees));
+        if (st.ok() && !failed_ingest) ++acked;
+        if (!st.ok()) failed_ingest = true;
+      }
+      db.reset();  // tear down mid-flight state under the fault
+    }
+
+    // "Reboot": recover unhooked from the same wal_dir + source.
+    db::Database recovered(dopt);
+    ASSERT_TRUE(recovered.Open(kName, src).ok());
+    const db::CorpusInfo info = InfoFor(recovered, kName);
+    const size_t with_acked =
+        kBaseTrees + static_cast<size_t>(kBatchTrees) * acked;
+    ASSERT_TRUE(info.trees == with_acked ||
+                (failed_ingest && info.trees == with_acked + kBatchTrees))
+        << "recovered " << info.trees << " trees; " << acked
+        << " batches were acknowledged";
+    const int recovered_batches =
+        static_cast<int>((info.trees - kBaseTrees) / kBatchTrees);
+
+    ExpectMatchesReference(&recovered, ReferenceCorpus(recovered_batches),
+                           kBaseSeed ^ static_cast<uint64_t>(budget), 12);
+
+    if (!hooks.crashed.load()) {
+      // The budget outlasted the whole sequence: every boundary has
+      // now been crashed once, and the final run must be complete.
+      ASSERT_EQ(acked, kBatches);
+      ASSERT_EQ(info.trees, with_acked);
+      break;
+    }
+    ASSERT_LT(budget, 400) << "sweep did not terminate";
+  }
+}
+
+TEST(CrashRecovery, SweepBracketBase) { RunCrashSweep(false); }
+
+TEST(CrashRecovery, SweepImageBase) { RunCrashSweep(true); }
+
+TEST(CrashRecovery, CleanReopenServesIngestedTrees150Queries) {
+  // The no-crash durability path: ingest into a durable corpus, drop
+  // the database without compacting (the delta lives only in the log),
+  // reopen, and differential-check the full reference.
+  TempDir dir;
+  const std::string src = dir.File("base.mrg");
+  ASSERT_TRUE(
+      SaveBracketFile(testing::RandomCorpus(kBaseSeed, kBaseTrees), src)
+          .ok());
+  db::DatabaseOptions dopt;
+  dopt.wal_dir = dir.File("wal");
+  dopt.compact_delta_trees = 0;
+  {
+    db::Database db(dopt);
+    ASSERT_TRUE(db.Open(kName, src).ok());
+    for (int b = 0; b < kBatches; ++b) {
+      ASSERT_TRUE(
+          db.Ingest(kName,
+                    testing::RandomCorpus(kBatchSeed + b, kBatchTrees))
+              .ok());
+    }
+  }
+  db::Database recovered(dopt);
+  ASSERT_TRUE(recovered.Open(kName, src).ok());
+  const db::CorpusInfo info = InfoFor(recovered, kName);
+  EXPECT_EQ(info.trees,
+            kBaseTrees + static_cast<size_t>(kBatchTrees) * kBatches);
+  EXPECT_TRUE(info.wal);
+  EXPECT_EQ(info.wal_last_lsn, static_cast<uint64_t>(kBatches));
+  ExpectMatchesReference(&recovered, ReferenceCorpus(kBatches), kBaseSeed,
+                         150);
+}
+
+TEST(CrashRecovery, FailedFsyncIngestIsNotPublishedAndNotReplayed) {
+  TempDir dir;
+  const std::string src = dir.File("base.mrg");
+  ASSERT_TRUE(
+      SaveBracketFile(testing::RandomCorpus(kBaseSeed, kBaseTrees), src)
+          .ok());
+  db::DatabaseOptions dopt;
+  dopt.wal_dir = dir.File("wal");
+  dopt.compact_delta_trees = 0;
+  {
+    db::Database db(dopt);
+    ASSERT_TRUE(db.Open(kName, src).ok());
+    IoHooks hooks;
+    hooks.fail_fsync.store(true);
+    {
+      ScopedIoHooks install(&hooks);
+      // The commit fsync fails: the batch must be rejected, not served.
+      ASSERT_FALSE(
+          db.Ingest(kName, testing::RandomCorpus(kBatchSeed, kBatchTrees))
+              .ok());
+    }
+    EXPECT_EQ(InfoFor(db, kName).trees, static_cast<size_t>(kBaseTrees));
+    // The log is not wedged by a transient fsync failure: the next
+    // ingest commits normally.
+    ASSERT_TRUE(
+        db.Ingest(kName, testing::RandomCorpus(kBatchSeed + 1, kBatchTrees))
+            .ok());
+  }
+  db::Database recovered(dopt);
+  ASSERT_TRUE(recovered.Open(kName, src).ok());
+  // Only the acknowledged batch replays; ReferenceCorpus can't model a
+  // skipped batch, so check by count plus a spot differential against
+  // base + batch 1 built directly.
+  EXPECT_EQ(InfoFor(recovered, kName).trees,
+            static_cast<size_t>(kBaseTrees + kBatchTrees));
+  Corpus base = testing::RandomCorpus(kBaseSeed, kBaseTrees);
+  Corpus combined;
+  combined.ResetInterner(base.interner().Clone());
+  combined.AppendFrom(base);
+  combined.AppendFrom(testing::RandomCorpus(kBatchSeed + 1, kBatchTrees));
+  ExpectMatchesReference(&recovered, std::move(combined), kBaseSeed + 7, 25);
+}
+
+TEST(CrashRecovery, CompactionFailureSurfacesInListAndClears) {
+  // An image-backed compaction that fails must not vanish: the error is
+  // counted and kept in List() until a later compaction succeeds, and
+  // the failure count itself persists as history.
+  TempDir dir;
+  const std::string src = dir.File("base.img");
+  ASSERT_TRUE(
+      MustBuild(testing::RandomCorpus(kBaseSeed, kBaseTrees))->Save(src).ok());
+  db::DatabaseOptions dopt;
+  dopt.compact_delta_trees = 0;
+  db::Database db(dopt);
+  ASSERT_TRUE(db.Open(kName, src).ok());
+  ASSERT_TRUE(
+      db.Ingest(kName, testing::RandomCorpus(kBatchSeed, kBatchTrees)).ok());
+
+  IoHooks hooks;
+  hooks.fail_rename.store(true);
+  {
+    ScopedIoHooks install(&hooks);
+    ASSERT_FALSE(db.Compact(kName).ok());
+  }
+  db::CorpusInfo info = InfoFor(db, kName);
+  EXPECT_GE(info.compaction_failures, 1u);
+  EXPECT_FALSE(info.last_compaction_error.empty());
+  EXPECT_EQ(info.delta_trees, static_cast<size_t>(kBatchTrees));
+
+  // Unhooked, the same compaction succeeds: the live error clears, the
+  // count stays as history, the delta folds in.
+  ASSERT_TRUE(db.Compact(kName).ok());
+  info = InfoFor(db, kName);
+  EXPECT_GE(info.compaction_failures, 1u);
+  EXPECT_TRUE(info.last_compaction_error.empty());
+  EXPECT_EQ(info.delta_trees, 0u);
+}
+
+TEST(CrashRecovery, BackgroundCompactionRetriesAndRecovers) {
+  // Background compaction failures retry with backoff (visible as a
+  // growing failure count) instead of silently giving up, and once the
+  // fault clears a later ingest's reschedule compacts the delta away.
+  TempDir dir;
+  const std::string src = dir.File("base.img");
+  ASSERT_TRUE(
+      MustBuild(testing::RandomCorpus(kBaseSeed, kBaseTrees))->Save(src).ok());
+  db::DatabaseOptions dopt;
+  dopt.compact_delta_trees = 1;  // every ingest schedules a compaction
+  db::Database db(dopt);
+  ASSERT_TRUE(db.Open(kName, src).ok());
+
+  IoHooks hooks;
+  hooks.fail_rename.store(true);
+  {
+    ScopedIoHooks install(&hooks);
+    ASSERT_TRUE(
+        db.Ingest(kName, testing::RandomCorpus(kBatchSeed, kBatchTrees))
+            .ok());
+    // Poll for at least two recorded failures: the first attempt plus a
+    // backed-off retry (10ms, 20ms, ... — well inside the deadline).
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (InfoFor(db, kName).compaction_failures < 2) {
+      ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+          << "no retry observed";
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  }
+
+  // Fault cleared: a new ingest reschedules from attempt zero and the
+  // delta compacts away in the background.
+  ASSERT_TRUE(
+      db.Ingest(kName, testing::RandomCorpus(kBatchSeed + 1, kBatchTrees))
+          .ok());
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (InfoFor(db, kName).delta_trees > 0) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "background compaction never succeeded";
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  const db::CorpusInfo info = InfoFor(db, kName);
+  EXPECT_GE(info.compaction_failures, 2u);
+  EXPECT_TRUE(info.last_compaction_error.empty());
+  EXPECT_EQ(info.trees,
+            static_cast<size_t>(kBaseTrees) + 2 * kBatchTrees);
+}
+
+TEST(CrashRecovery, DetachPurgesPendingCompactionAndHealth) {
+  // Detach must leave nothing behind for the name: no queued compaction
+  // task resurrects it, and a re-attach under the same name starts with
+  // clean compaction health rather than a ghost's failure history.
+  TempDir dir;
+  const std::string src = dir.File("base.img");
+  ASSERT_TRUE(
+      MustBuild(testing::RandomCorpus(kBaseSeed, kBaseTrees))->Save(src).ok());
+  db::DatabaseOptions dopt;
+  dopt.compact_delta_trees = 1;
+  db::Database db(dopt);
+  ASSERT_TRUE(db.Open(kName, src).ok());
+
+  IoHooks hooks;
+  hooks.fail_rename.store(true);
+  {
+    ScopedIoHooks install(&hooks);
+    // A failing sync compaction seeds health; the ingest enqueues
+    // (failing) background work for the name.
+    ASSERT_TRUE(
+        db.Ingest(kName, testing::RandomCorpus(kBatchSeed, kBatchTrees))
+            .ok());
+    ASSERT_FALSE(db.Compact(kName).ok());
+    ASSERT_GE(InfoFor(db, kName).compaction_failures, 1u);
+    ASSERT_TRUE(db.Detach(kName).ok());
+  }
+
+  // Re-attach a different corpus under the same name, unhooked.
+  ASSERT_TRUE(db.OpenCorpus(
+                    kName, testing::RandomCorpus(kBaseSeed + 1, kBaseTrees / 2))
+                  .ok());
+  // Give any wrongly-surviving queued task time to run and smear state.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  const db::CorpusInfo info = InfoFor(db, kName);
+  EXPECT_EQ(info.compaction_failures, 0u);
+  EXPECT_TRUE(info.last_compaction_error.empty());
+  EXPECT_EQ(info.trees, static_cast<size_t>(kBaseTrees / 2));
+}
+
+}  // namespace
+}  // namespace lpath
