@@ -1,0 +1,315 @@
+// Network front-end benchmark: query throughput and latency through the
+// wire protocol (src/net/) as a function of concurrent connections.
+//
+//   conns:N / PerQuery — mean seconds per query with N client threads,
+//                        each on its own connection, issuing a mixed hot
+//                        query set closed-loop (depth 1).
+//   conns:N / P50, P99 — latency percentiles over every per-query sample
+//                        at that connection count. The p99-vs-p50 gap is
+//                        the queueing the shared pool introduces as
+//                        connections contend.
+//   pipeline:8 / *     — one connection, 8 requests kept in flight
+//                        (request-id multiplexing); per-query time is the
+//                        completion interval, which shows what pipelining
+//                        amortizes versus conns:1.
+//
+// The server and clients share this process (loopback sockets, no remote
+// machine), so numbers include both sides' work — that is the quantity a
+// co-located proxy or test harness sees, and it keeps the trajectory
+// self-contained and comparable across commits.
+//
+// Machine-readable output: set LPATHDB_BENCH_JSON=<path> to dump the table
+// as the BENCH_net.json trajectory (bench_diff.py diffs it against
+// bench/baselines/, warn-only). CI runs the bench_net_report ctest entry.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "db/database.h"
+#include "gen/generator.h"
+#include "net/client.h"
+#include "net/server.h"
+
+namespace lpath {
+namespace bench {
+namespace {
+
+/// The hot set every connection cycles through: cheap and mid-weight
+/// navigations plus one scoped-edge query, all plan-cache hits after the
+/// first round.
+constexpr const char* kQueries[] = {
+    "//VP",
+    "//NP//N",
+    "//S//PP",
+    "//VP{/V-->NP}",
+};
+constexpr int kNumQueries =
+    static_cast<int>(sizeof(kQueries) / sizeof(kQueries[0]));
+constexpr int kQueriesPerThread = 24;
+constexpr int kPipelineDepth = 8;
+
+int NetSentences() { return std::max(100, BenchmarkSentences() / 4); }
+
+struct NetFixture {
+  std::unique_ptr<db::Database> db;
+  std::unique_ptr<net::NetServer> server;
+};
+
+NetFixture*& FixtureSlot() {
+  static NetFixture* fixture = nullptr;
+  return fixture;
+}
+
+NetFixture& GetNetFixture() {
+  NetFixture*& slot = FixtureSlot();
+  if (slot != nullptr) return *slot;
+  auto* fx = new NetFixture();
+  fx->db = std::make_unique<db::Database>();
+  Result<Corpus> corpus = gen::GenerateWsj(NetSentences(), 2006);
+  if (!corpus.ok()) {
+    std::fprintf(stderr, "cannot generate corpus: %s\n",
+                 corpus.status().ToString().c_str());
+    std::exit(1);
+  }
+  Status attached = fx->db->OpenCorpus("wsj", std::move(corpus).value());
+  if (!attached.ok()) {
+    std::fprintf(stderr, "cannot attach corpus: %s\n",
+                 attached.ToString().c_str());
+    std::exit(1);
+  }
+  fx->server = std::make_unique<net::NetServer>(fx->db.get());
+  Status started = fx->server->Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "cannot start server: %s\n",
+                 started.ToString().c_str());
+    std::exit(1);
+  }
+  slot = fx;
+  return *fx;
+}
+
+void FreeFixture() {
+  NetFixture*& slot = FixtureSlot();
+  if (slot == nullptr) return;
+  slot->server->Stop();
+  delete slot;
+  slot = nullptr;
+}
+
+ReportTable& NetTable() {
+  static ReportTable* table = new ReportTable(
+      "Network front end — per-query latency through the wire protocol vs. "
+      "connection count (loopback, closed-loop clients; pipeline row keeps "
+      "8 requests in flight on one connection)");
+  return *table;
+}
+
+std::string RowName(const char* kind, int n) {
+  std::string name = kind;
+  name += ":";
+  name += std::to_string(n);
+  return name;
+}
+
+void RecordRow(const std::string& row, double total_seconds, uint64_t ops,
+               std::vector<double>* samples) {
+  if (ops == 0 || samples->empty()) return;
+  std::sort(samples->begin(), samples->end());
+  const double p50 = (*samples)[samples->size() / 2];
+  const double p99 = (*samples)[samples->size() * 99 / 100];
+  NetTable().Record(row, "PerQuery",
+                    Measurement{total_seconds / static_cast<double>(ops),
+                                static_cast<size_t>(ops), true});
+  NetTable().Record(row, "P50", Measurement{p50, 1, true});
+  NetTable().Record(row, "P99", Measurement{p99, 1, true});
+}
+
+/// N connections, each its own thread, closed-loop over the hot set.
+void BenchConnections(benchmark::State& st, int conns) {
+  NetFixture& fx = GetNetFixture();
+  const uint16_t port = fx.server->port();
+  std::vector<double> samples;
+  std::mutex samples_mu;
+  std::string failure;
+  double total = 0.0;
+  uint64_t ops = 0;
+
+  for (auto _ : st) {
+    Timer wall;
+    std::vector<std::thread> threads;
+    threads.reserve(conns);
+    for (int t = 0; t < conns; ++t) {
+      threads.emplace_back([&, t] {
+        net::Client client;
+        Status s = client.Connect("127.0.0.1", port);
+        if (!s.ok()) {
+          std::lock_guard<std::mutex> lock(samples_mu);
+          failure = s.ToString();
+          return;
+        }
+        std::vector<double> local;
+        local.reserve(kQueriesPerThread);
+        for (int i = 0; i < kQueriesPerThread; ++i) {
+          const char* q = kQueries[(t + i) % kNumQueries];
+          Timer timer;
+          auto r = client.Query("wsj", q);
+          const double seconds = timer.ElapsedSeconds();
+          if (!r.ok()) {
+            std::lock_guard<std::mutex> lock(samples_mu);
+            failure = r.status().ToString();
+            return;
+          }
+          local.push_back(seconds);
+        }
+        client.Close();
+        std::lock_guard<std::mutex> lock(samples_mu);
+        samples.insert(samples.end(), local.begin(), local.end());
+      });
+    }
+    for (std::thread& thread : threads) thread.join();
+    if (!failure.empty()) {
+      st.SkipWithError(failure.c_str());
+      return;
+    }
+    total += wall.ElapsedSeconds();
+    ops += static_cast<uint64_t>(conns) * kQueriesPerThread;
+  }
+
+  st.SetItemsProcessed(static_cast<int64_t>(ops));
+  if (total > 0.0 && ops > 0) {
+    st.counters["qps"] = static_cast<double>(ops) / total;
+  }
+  RecordRow(RowName("conns", conns), total, ops, &samples);
+}
+
+/// One connection, kPipelineDepth requests always in flight: writes the
+/// whole window, then refills as responses complete. The per-op sample is
+/// the inter-completion time, the quantity pipelining optimizes.
+void BenchPipeline(benchmark::State& st) {
+  NetFixture& fx = GetNetFixture();
+  std::vector<double> samples;
+  double total = 0.0;
+  uint64_t ops = 0;
+
+  for (auto _ : st) {
+    net::Client client;
+    Status s = client.Connect("127.0.0.1", fx.server->port());
+    if (!s.ok()) {
+      st.SkipWithError(s.ToString().c_str());
+      return;
+    }
+    std::vector<uint32_t> window;
+    int sent = 0;
+    Timer wall;
+    Timer interval;
+    auto send_one = [&]() -> Status {
+      auto id = client.SendExecute("wsj", kQueries[sent % kNumQueries]);
+      if (!id.ok()) return id.status();
+      window.push_back(*id);
+      ++sent;
+      return Status::OK();
+    };
+    for (int i = 0; i < kPipelineDepth; ++i) {
+      Status sent_ok = send_one();
+      if (!sent_ok.ok()) {
+        st.SkipWithError(sent_ok.ToString().c_str());
+        return;
+      }
+    }
+    for (int done = 0; done < kQueriesPerThread * 4; ++done) {
+      uint32_t id = window.front();
+      window.erase(window.begin());
+      Status response = client.ReadResponse(id, nullptr);
+      if (!response.ok()) {
+        st.SkipWithError(response.ToString().c_str());
+        return;
+      }
+      samples.push_back(interval.ElapsedSeconds());
+      interval = Timer();
+      ++ops;
+      if (done + kPipelineDepth < kQueriesPerThread * 4) {
+        Status sent_ok = send_one();
+        if (!sent_ok.ok()) {
+          st.SkipWithError(sent_ok.ToString().c_str());
+          return;
+        }
+      }
+    }
+    total += wall.ElapsedSeconds();
+    client.Close();
+  }
+
+  st.SetItemsProcessed(static_cast<int64_t>(ops));
+  if (total > 0.0 && ops > 0) {
+    st.counters["qps"] = static_cast<double>(ops) / total;
+  }
+  RecordRow(RowName("pipeline", kPipelineDepth), total, ops, &samples);
+}
+
+void RegisterAll() {
+  for (int conns : {1, 2, 4, 8}) {
+    std::string name = "net/" + RowName("conns", conns);
+    benchmark::RegisterBenchmark(
+        name.c_str(),
+        [conns](benchmark::State& st) { BenchConnections(st, conns); })
+        ->UseRealTime()
+        ->Unit(benchmark::kMillisecond);
+  }
+  benchmark::RegisterBenchmark("net/pipeline:8", BenchPipeline)
+      ->UseRealTime()
+      ->Unit(benchmark::kMillisecond);
+}
+
+void PrintTables() {
+  printf("%s", NetTable().Render({"PerQuery", "P50", "P99"}).c_str());
+  printf("\n(closed-loop loopback clients, %d queries per connection per "
+         "iteration over %d hot queries; scale: %d sentences, "
+         "LPATHDB_SENTENCES overrides)\n",
+         kQueriesPerThread, kNumQueries, NetSentences());
+}
+
+/// Writes the table as the BENCH_net.json trajectory point when
+/// LPATHDB_BENCH_JSON names a path.
+void MaybeWriteJson() {
+  const char* path = std::getenv("LPATHDB_BENCH_JSON");
+  if (path == nullptr || path[0] == '\0') return;
+  std::map<std::string, std::string> extra = RunMetadataJson();
+  extra["benchmark"] = "\"net\"";
+  extra["unit"] = "\"seconds per query\"";
+  extra["sentences"] = std::to_string(NetSentences());
+  extra["queries_per_thread"] = std::to_string(kQueriesPerThread);
+  extra["pipeline_depth"] = std::to_string(kPipelineDepth);
+  const std::string json = NetTable().RenderJson(extra);
+  FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  fputs(json.c_str(), f);
+  std::fclose(f);
+  printf("wrote %s\n", path);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace lpath
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  lpath::bench::RegisterAll();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  lpath::bench::PrintTables();
+  lpath::bench::MaybeWriteJson();
+  lpath::bench::FreeFixture();
+  return 0;
+}

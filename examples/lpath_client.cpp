@@ -1,0 +1,132 @@
+// lpath_client — a command-line client for lpath_serve, and a live demo of
+// the wire protocol (docs/PROTOCOL.md).
+//
+//   ./examples/lpath_client --connect HOST PORT CORPUS QUERY...
+//   ./examples/lpath_client --demo N [QUERY...]
+//
+// --connect runs each QUERY against CORPUS on a running lpath_serve,
+// pipelining them all on one connection, and prints per-query row counts
+// plus the first few rows.
+//
+// --demo needs no daemon: it generates an N-sentence WSJ-profile corpus,
+// starts an in-process server on an ephemeral loopback port, and runs the
+// queries through a real socket — the round trip CI smokes.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "db/database.h"
+#include "gen/generator.h"
+#include "net/client.h"
+#include "net/server.h"
+
+namespace {
+
+using namespace lpath;
+
+int RunQueries(net::Client* client, const std::string& corpus,
+               const std::vector<std::string>& queries) {
+  std::vector<Result<QueryResult>> results =
+      client->Pipeline(corpus, queries);
+  int failures = 0;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    if (!results[i].ok()) {
+      std::printf("%-28s ERROR %s\n", queries[i].c_str(),
+                  results[i].status().ToString().c_str());
+      ++failures;
+      continue;
+    }
+    const std::vector<Hit>& hits = results[i]->hits;
+    std::printf("%-28s %zu rows", queries[i].c_str(), hits.size());
+    for (size_t k = 0; k < hits.size() && k < 3; ++k) {
+      std::printf("  (%d,%d)", hits[k].tid, hits[k].id);
+    }
+    std::printf("%s\n", hits.size() > 3 ? " ..." : "");
+  }
+  return failures;
+}
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --connect HOST PORT CORPUS QUERY...\n"
+               "       %s --demo N [QUERY...]\n",
+               argv0, argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage(argv[0]);
+  std::string mode = argv[1];
+
+  if (mode == "--connect") {
+    if (argc < 6) return Usage(argv[0]);
+    std::string host = argv[2];
+    uint16_t port = static_cast<uint16_t>(std::atoi(argv[3]));
+    std::string corpus = argv[4];
+    std::vector<std::string> queries(argv + 5, argv + argc);
+
+    net::Client client;
+    Status s = client.Connect(host, port);
+    if (!s.ok()) {
+      std::fprintf(stderr, "connect: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("connected to %s (max %u in flight)\n",
+                client.server_software().c_str(), client.max_inflight());
+    int failures = RunQueries(&client, corpus, queries);
+    client.Close();
+    return failures == 0 ? 0 : 1;
+  }
+
+  if (mode == "--demo") {
+    if (argc < 3) return Usage(argv[0]);
+    int sentences = std::atoi(argv[2]);
+    std::vector<std::string> queries(argv + 3, argv + argc);
+    if (queries.empty()) {
+      queries = {"//VP", "//NP/NN", "//VP{/VB-->NP}", "//S//PP"};
+    }
+
+    auto generated = gen::GenerateWsj(sentences);
+    if (!generated.ok()) {
+      std::fprintf(stderr, "generate: %s\n",
+                   generated.status().ToString().c_str());
+      return 1;
+    }
+    db::Database db;
+    Status attached = db.OpenCorpus("wsj", std::move(*generated));
+    if (!attached.ok()) {
+      std::fprintf(stderr, "attach: %s\n", attached.ToString().c_str());
+      return 1;
+    }
+    net::NetServer server(&db);
+    Status started = server.Start();
+    if (!started.ok()) {
+      std::fprintf(stderr, "start: %s\n", started.ToString().c_str());
+      return 1;
+    }
+    std::printf("demo server on 127.0.0.1:%u, %d sentences\n", server.port(),
+                sentences);
+
+    net::Client client;
+    Status s = client.Connect("127.0.0.1", server.port());
+    if (!s.ok()) {
+      std::fprintf(stderr, "connect: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    if (!client.Ping().ok()) {
+      std::fprintf(stderr, "ping failed\n");
+      return 1;
+    }
+    int failures = RunQueries(&client, "wsj", queries);
+    client.Close();
+    server.Stop();
+    return failures == 0 ? 0 : 1;
+  }
+
+  return Usage(argv[0]);
+}

@@ -22,6 +22,10 @@ std::string_view StatusCodeName(StatusCode code) {
       return "AlreadyExists";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kCancelled:
+      return "Cancelled";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
   }
   return "Unknown";
 }

@@ -25,6 +25,8 @@ enum class StatusCode {
   kIOError,          ///< Filesystem failure.
   kAlreadyExists,    ///< Duplicate key / duplicate definition.
   kInternal,         ///< Bug: a "can't happen" branch was taken.
+  kCancelled,        ///< The caller asked the operation to stop early.
+  kResourceExhausted,  ///< Admission control: a capacity limit was hit.
 };
 
 /// Human-readable name of a code, e.g. "InvalidArgument".
@@ -67,6 +69,12 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
 
   Status(StatusCode code, std::string msg)
       : code_(code), message_(std::move(msg)) {}
@@ -87,6 +95,10 @@ class Status {
   bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }
   bool IsIOError() const { return code_ == StatusCode::kIOError; }
   bool IsInternal() const { return code_ == StatusCode::kInternal; }
+  bool IsCancelled() const { return code_ == StatusCode::kCancelled; }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;

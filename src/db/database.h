@@ -194,6 +194,15 @@ class Database {
   Result<service::PendingQuery> Submit(const std::string& name,
                                        const std::string& query);
 
+  /// The network front end's entry point (src/net/): streams batches to
+  /// `sink` and honors the cancellation/completion hooks in `opts`. The
+  /// returned handle, the sink and the hooks all stay valid across a
+  /// concurrent Swap/Detach (the query pins its service and session).
+  Result<service::PendingQuery> Submit(const std::string& name,
+                                       const std::string& query,
+                                       service::RowSink sink,
+                                       service::SubmitOptions opts);
+
   /// Streams `query`'s result rows against corpus `name` (see RowSink).
   Status QueryStream(const std::string& name, const std::string& query,
                      const service::RowSink& sink);

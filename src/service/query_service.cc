@@ -229,13 +229,18 @@ int QueryService::CollectSources(const Session& session,
 
 Result<QueryResult> QueryService::RunSerial(const Session& session,
                                             const CachedPlan& planned,
-                                            const RowSink* sink) {
+                                            const RowSink* sink,
+                                            const std::atomic<bool>* cancel) {
   SourceRun sources[2];
   const int nsources = CollectSources(session, planned, sources);
   QueryResult merged;
   sql::ExecStats total;
   Status failure = Status::OK();
   for (int s = 0; s < nsources; ++s) {
+    if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
+      failure = Status::Cancelled("query cancelled");
+      break;
+    }
     const SourceRun& src = sources[s];
     sql::ExecStats stats;
     Result<QueryResult> r =
@@ -264,7 +269,8 @@ Result<QueryResult> QueryService::RunSerial(const Session& session,
 
 Result<QueryResult> QueryService::RunSharded(const Session& session,
                                              CachedPlanPtr planned,
-                                             const RowSink* sink) {
+                                             const RowSink* sink,
+                                             const std::atomic<bool>* cancel) {
   SourceRun sources[2];
   const int nsources = CollectSources(session, *planned, sources);
   int workers = options_.shards_per_query > 0
@@ -327,7 +333,7 @@ Result<QueryResult> QueryService::RunSharded(const Session& session,
     if (morsels.size() <= 1) serial = true;
   }
   if (serial) {
-    return RunSerial(session, *planned, sink);
+    return RunSerial(session, *planned, sink, cancel);
   }
 
   // Merge stage for streaming: per-morsel results are deduplicated against
@@ -352,7 +358,10 @@ Result<QueryResult> QueryService::RunSharded(const Session& session,
   // this frame returns.
   RunOnPool(count, workers,
             [planned, &sources, &morsels, &results, &stats, &steals, sink,
-             merge](int i, int worker) {
+             merge, cancel](int i, int worker) {
+    // A cancelled query skips its remaining morsels (their result slots
+    // keep the empty default); the terminal status is derived below.
+    if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) return;
     const Morsel& m = morsels[i];
     const SourceRun& src = sources[m.source];
     results[i] = src.executor->ExecuteShard(*src.plan, m.range.tid_lo,
@@ -384,6 +393,9 @@ Result<QueryResult> QueryService::RunSharded(const Session& session,
   total.steal_count += steals.load(std::memory_order_relaxed);
   total.sources = static_cast<uint64_t>(nsources);
   RecordExec(total, /*sharded=*/true);
+  if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
+    return Status::Cancelled("query cancelled");
+  }
   QueryResult merged;
   for (int i = 0; i < count; ++i) {
     if (!results[i].ok()) return results[i].status();
@@ -438,15 +450,16 @@ void QueryService::RunOnPool(int items, int max_workers,
 }
 
 Result<QueryResult> QueryService::QueryOnce(const std::string& query,
-                                            bool sharded, const RowSink* sink) {
+                                            bool sharded, const RowSink* sink,
+                                            const std::atomic<bool>* cancel) {
   Timer timer;
   // One consistent session per query: plan lookup and execution see the
   // same snapshot even if a swap lands mid-query.
   SessionPtr session = CurrentSession();
   Result<QueryResult> r = [&]() -> Result<QueryResult> {
     LPATH_ASSIGN_OR_RETURN(CachedPlanPtr planned, GetPlanIn(*session, query));
-    if (sharded) return RunSharded(*session, std::move(planned), sink);
-    return RunSerial(*session, *planned, sink);
+    if (sharded) return RunSharded(*session, std::move(planned), sink, cancel);
+    return RunSerial(*session, *planned, sink, cancel);
   }();
   RecordQueries(timer.ElapsedSeconds(), !r.ok(), /*count=*/1,
                 /*coalesced=*/0);
@@ -472,12 +485,14 @@ void QueryService::RecordQueries(double seconds, bool error, int count,
 }
 
 Result<QueryResult> QueryService::Query(const std::string& query) {
-  return QueryOnce(query, /*sharded=*/true, /*sink=*/nullptr);
+  return QueryOnce(query, /*sharded=*/true, /*sink=*/nullptr,
+                   /*cancel=*/nullptr);
 }
 
 Status QueryService::QueryStream(const std::string& query,
                                  const RowSink& sink) {
-  return QueryOnce(query, /*sharded=*/true, &sink).status();
+  return QueryOnce(query, /*sharded=*/true, &sink, /*cancel=*/nullptr)
+      .status();
 }
 
 PendingQuery QueryService::Submit(const std::string& query) {
@@ -485,12 +500,22 @@ PendingQuery QueryService::Submit(const std::string& query) {
 }
 
 PendingQuery QueryService::Submit(const std::string& query, RowSink sink) {
-  // The task owns query + sink; the packaged_task's shared state feeds the
-  // caller's handle. Queued tasks are drained by the pool destructor, so a
-  // handle outliving the service still resolves.
+  return Submit(query, std::move(sink), SubmitOptions{});
+}
+
+PendingQuery QueryService::Submit(const std::string& query, RowSink sink,
+                                  SubmitOptions opts) {
+  // The task owns query + sink + hooks; the packaged_task's shared state
+  // feeds the caller's handle. Queued tasks are drained by the pool
+  // destructor, so a handle outliving the service still resolves (and its
+  // `done` hook still fires, exactly once).
   auto task = std::make_shared<std::packaged_task<Result<QueryResult>()>>(
-      [this, query, sink = std::move(sink)]() {
-        return QueryOnce(query, /*sharded=*/true, sink ? &sink : nullptr);
+      [this, query, sink = std::move(sink), opts = std::move(opts)]() {
+        Result<QueryResult> r =
+            QueryOnce(query, /*sharded=*/true, sink ? &sink : nullptr,
+                      opts.cancel ? opts.cancel.get() : nullptr);
+        if (opts.done) opts.done(r.status());
+        return r;
       });
   PendingQuery handle(task->get_future().share());
   pool_->Post([task] { (*task)(); });
@@ -574,7 +599,7 @@ std::vector<Result<QueryResult>> QueryService::QueryBatch(
     ExecGroup& group = groups[g];
     Timer timer;
     Result<QueryResult> r = RunSerial(*session, *group.planned,
-                                      /*sink=*/nullptr);
+                                      /*sink=*/nullptr, /*cancel=*/nullptr);
     for (int member : group.members) results[member] = r;
     RecordQueries(timer.ElapsedSeconds(), !r.ok(),
                   static_cast<int>(group.members.size()),

@@ -148,6 +148,20 @@ struct ServiceStats {
 /// concurrent), but may come from pool threads.
 using RowSink = std::function<void(std::span<const Hit>)>;
 
+/// Streaming-submission hooks for a front end with its own transport (see
+/// src/net/): best-effort cancellation plus a completion callback.
+struct SubmitOptions {
+  /// Checked at source/morsel boundaries while the query executes: once it
+  /// reads true, remaining work is skipped and the query resolves to
+  /// Status::Cancelled. Rows already streamed stay streamed — cancellation
+  /// truncates a stream, it does not roll it back. Null disables the check.
+  std::shared_ptr<const std::atomic<bool>> cancel;
+  /// Invoked exactly once, on the evaluating pool thread, after the final
+  /// sink delivery (or the failure) — the wire protocol's STREAM_END
+  /// trigger. The PendingQuery handle resolves after it returns.
+  std::function<void(const Status&)> done;
+};
+
 /// Future-like handle to a query submitted with QueryService::Submit.
 class PendingQuery {
  public:
@@ -205,6 +219,11 @@ class QueryService {
   /// resolves after the final batch was delivered.
   PendingQuery Submit(const std::string& query);
   PendingQuery Submit(const std::string& query, RowSink sink);
+  /// The front-end form: `sink` streams batches, `opts.cancel` aborts the
+  /// execution at the next morsel/source boundary, `opts.done` fires after
+  /// the final delivery with the query's terminal status.
+  PendingQuery Submit(const std::string& query, RowSink sink,
+                      SubmitOptions opts);
 
   /// Evaluates a batch of LPath queries, spreading them over the pool
   /// workers; results are positionally aligned with `queries`.
@@ -291,13 +310,18 @@ class QueryService {
   static int CollectSources(const Session& session, const CachedPlan& planned,
                             SourceRun* out);
   /// Serial evaluation over every source, hits shifted and merged.
+  /// `cancel` (nullable) is polled between sources.
   Result<QueryResult> RunSerial(const Session& session,
-                                const CachedPlan& planned,
-                                const RowSink* sink);
+                                const CachedPlan& planned, const RowSink* sink,
+                                const std::atomic<bool>* cancel);
+  /// `cancel` (nullable) is polled per morsel: set mid-flight, the
+  /// remaining morsels are skipped and the query resolves to Cancelled.
   Result<QueryResult> RunSharded(const Session& session, CachedPlanPtr planned,
-                                 const RowSink* sink);
+                                 const RowSink* sink,
+                                 const std::atomic<bool>* cancel);
   Result<QueryResult> QueryOnce(const std::string& query, bool sharded,
-                                const RowSink* sink);
+                                const RowSink* sink,
+                                const std::atomic<bool>* cancel);
   /// Records `count` completed queries sharing one wall-clock measurement
   /// (QueryBatch's coalesced groups record every member at the group's
   /// latency; count-1 of them tick the coalesced counter).

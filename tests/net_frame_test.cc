@@ -1,0 +1,271 @@
+// Socketless unit tests for the wire protocol's framing and payload
+// codecs (net/protocol.h): encode/decode roundtrips for every message
+// type, a truncation sweep at every cut byte, a checksum bit-flip battery,
+// oversized-length rejection and the Status <-> WireCode mapping. The
+// live-socket end-to-end suite is net_test.cc.
+
+#include "net/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace lpath {
+namespace net {
+namespace {
+
+std::vector<uint8_t> Framed(MsgType type, uint32_t request_id,
+                            std::span<const uint8_t> payload) {
+  std::vector<uint8_t> out;
+  AppendFrame(type, request_id, payload, &out);
+  return out;
+}
+
+constexpr size_t kMaxPayload = 16u << 20;
+
+TEST(NetFrame, RoundTripEveryType) {
+  const MsgType kTypes[] = {
+      MsgType::kHello,     MsgType::kPrepare,   MsgType::kExecute,
+      MsgType::kStreamBatch, MsgType::kStreamEnd, MsgType::kCancel,
+      MsgType::kError,     MsgType::kPing,      MsgType::kGoodbye,
+  };
+  for (MsgType type : kTypes) {
+    std::vector<uint8_t> payload = {1, 2, 3, 200, 255, 0, 42};
+    std::vector<uint8_t> bytes = Framed(type, 77, payload);
+    ASSERT_EQ(bytes.size(), kFrameHeaderBytes + payload.size());
+
+    Frame frame;
+    size_t consumed = 0;
+    std::string error;
+    ASSERT_EQ(ParseFrame(bytes, kMaxPayload, &frame, &consumed, &error),
+              FrameParse::kFrame)
+        << MsgTypeName(type) << ": " << error;
+    EXPECT_EQ(frame.type, type);
+    EXPECT_EQ(frame.request_id, 77u);
+    EXPECT_EQ(frame.payload, payload);
+    EXPECT_EQ(consumed, bytes.size());
+  }
+}
+
+TEST(NetFrame, EmptyPayloadRoundTrip) {
+  std::vector<uint8_t> bytes = Framed(MsgType::kGoodbye, 0, {});
+  ASSERT_EQ(bytes.size(), kFrameHeaderBytes);
+  Frame frame;
+  size_t consumed = 0;
+  std::string error;
+  EXPECT_EQ(ParseFrame(bytes, kMaxPayload, &frame, &consumed, &error),
+            FrameParse::kFrame);
+  EXPECT_TRUE(frame.payload.empty());
+}
+
+TEST(NetFrame, BackToBackFramesParseInOrder) {
+  std::vector<uint8_t> wire;
+  AppendFrame(MsgType::kPing, 1, std::vector<uint8_t>{9}, &wire);
+  AppendFrame(MsgType::kCancel, 2, {}, &wire);
+
+  Frame frame;
+  size_t consumed = 0;
+  std::string error;
+  ASSERT_EQ(ParseFrame(wire, kMaxPayload, &frame, &consumed, &error),
+            FrameParse::kFrame);
+  EXPECT_EQ(frame.type, MsgType::kPing);
+  std::span<const uint8_t> rest{wire.data() + consumed,
+                                wire.size() - consumed};
+  ASSERT_EQ(ParseFrame(rest, kMaxPayload, &frame, &consumed, &error),
+            FrameParse::kFrame);
+  EXPECT_EQ(frame.type, MsgType::kCancel);
+  EXPECT_EQ(frame.request_id, 2u);
+}
+
+// Every proper prefix of a valid frame must ask for more bytes, never
+// decode and never hard-fail: framing is restartable at any read boundary.
+TEST(NetFrame, TruncationSweep) {
+  std::vector<uint8_t> payload(37);
+  for (size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<uint8_t>(i * 7);
+  }
+  std::vector<uint8_t> bytes = Framed(MsgType::kExecute, 5, payload);
+  for (size_t cut = 0; cut < bytes.size(); ++cut) {
+    Frame frame;
+    size_t consumed = 0;
+    std::string error;
+    FrameParse parse = ParseFrame({bytes.data(), cut}, kMaxPayload, &frame,
+                                  &consumed, &error);
+    EXPECT_EQ(parse, FrameParse::kNeedMore) << "cut at byte " << cut;
+    EXPECT_EQ(consumed, 0u);
+  }
+}
+
+// Flipping any single bit anywhere in the frame must never yield a decoded
+// frame with the original content: either the checksum (or a header
+// validity check) rejects it, or — if the flip lands in the payload-length
+// field and inflates it — the parser asks for bytes that will never come.
+TEST(NetFrame, BitFlipBattery) {
+  std::vector<uint8_t> payload = {'l', 'p', 'a', 't', 'h', 0, 1, 2};
+  std::vector<uint8_t> pristine = Framed(MsgType::kExecute, 9, payload);
+  for (size_t byte = 0; byte < pristine.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::vector<uint8_t> bytes = pristine;
+      bytes[byte] = static_cast<uint8_t>(bytes[byte] ^ (1u << bit));
+      Frame frame;
+      size_t consumed = 0;
+      std::string error;
+      FrameParse parse =
+          ParseFrame(bytes, kMaxPayload, &frame, &consumed, &error);
+      if (parse == FrameParse::kFrame) {
+        ADD_FAILURE() << "corrupted frame decoded (byte " << byte << " bit "
+                      << bit << ")";
+      }
+    }
+  }
+}
+
+TEST(NetFrame, RejectsBadMagicImmediately) {
+  std::vector<uint8_t> bytes = Framed(MsgType::kPing, 1, {});
+  bytes[0] = 'X';
+  Frame frame;
+  size_t consumed = 0;
+  std::string error;
+  // Both the full frame and a two-byte fragment are rejected: damage in
+  // the magic must not park the connection in kNeedMore forever.
+  EXPECT_EQ(ParseFrame(bytes, kMaxPayload, &frame, &consumed, &error),
+            FrameParse::kBad);
+  EXPECT_EQ(ParseFrame({bytes.data(), 2}, kMaxPayload, &frame, &consumed,
+                       &error),
+            FrameParse::kBad);
+}
+
+TEST(NetFrame, RejectsOversizedPayloadLength) {
+  std::vector<uint8_t> bytes = Framed(MsgType::kExecute, 1,
+                                      std::vector<uint8_t>(64, 0xAB));
+  Frame frame;
+  size_t consumed = 0;
+  std::string error;
+  // The declared length alone (bytes [12,16)) triggers rejection — no
+  // amount of further reading can save a frame that exceeds the limit.
+  EXPECT_EQ(ParseFrame(bytes, /*max_payload=*/63, &frame, &consumed, &error),
+            FrameParse::kBad);
+  EXPECT_NE(error.find("exceeds"), std::string::npos);
+}
+
+TEST(NetFrame, RejectsUnknownTypeAndReservedBytes) {
+  std::vector<uint8_t> ok = Framed(MsgType::kPing, 1, {});
+  Frame frame;
+  size_t consumed = 0;
+  std::string error;
+
+  std::vector<uint8_t> bad_type = ok;
+  bad_type[4] = 250;  // not a MsgType
+  EXPECT_EQ(ParseFrame(bad_type, kMaxPayload, &frame, &consumed, &error),
+            FrameParse::kBad);
+
+  std::vector<uint8_t> bad_reserved = ok;
+  bad_reserved[6] = 1;
+  EXPECT_EQ(ParseFrame(bad_reserved, kMaxPayload, &frame, &consumed, &error),
+            FrameParse::kBad);
+}
+
+TEST(NetPayload, HelloRoundTrip) {
+  HelloPayload hello;
+  hello.version = kProtocolVersion;
+  hello.software = "lpathdb-test";
+  hello.max_inflight = 32;
+  auto decoded = DecodeHello(EncodeHello(hello));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->version, hello.version);
+  EXPECT_EQ(decoded->software, hello.software);
+  EXPECT_EQ(decoded->max_inflight, 32u);
+}
+
+TEST(NetPayload, QueryRoundTrip) {
+  auto decoded = DecodeQuery(EncodeQuery({"wsj", "//VP{/VB-->NN}"}));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->corpus, "wsj");
+  EXPECT_EQ(decoded->query, "//VP{/VB-->NN}");
+}
+
+TEST(NetPayload, EndAndErrorRoundTrip) {
+  EndPayload end{WireCode::kCancelled, "query cancelled", 12345};
+  auto end2 = DecodeEnd(EncodeEnd(end));
+  ASSERT_TRUE(end2.ok());
+  EXPECT_EQ(end2->code, WireCode::kCancelled);
+  EXPECT_EQ(end2->message, "query cancelled");
+  EXPECT_EQ(end2->total_rows, 12345u);
+
+  ErrorPayload error{WireCode::kProtocolError, "bad frame"};
+  auto error2 = DecodeError(EncodeError(error));
+  ASSERT_TRUE(error2.ok());
+  EXPECT_EQ(error2->code, WireCode::kProtocolError);
+  EXPECT_EQ(error2->message, "bad frame");
+}
+
+TEST(NetPayload, BatchRoundTrip) {
+  std::vector<Hit> hits = {{0, 1}, {0, 9}, {3, 2}, {-1, -7}};
+  auto decoded = DecodeBatch(EncodeBatch(hits));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, hits);
+
+  auto empty = DecodeBatch(EncodeBatch({}));
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->empty());
+}
+
+// Decoders own the full payload: truncated and padded payloads both fail
+// cleanly (no crash, no partial value) for every codec.
+TEST(NetPayload, TruncatedAndPaddedPayloadsFailCleanly) {
+  auto sweep = [](const std::vector<uint8_t>& bytes, auto decode,
+                  const char* what) {
+    for (size_t cut = 0; cut < bytes.size(); ++cut) {
+      EXPECT_FALSE(decode(std::span<const uint8_t>{bytes.data(), cut}).ok())
+          << what << " decoded from a " << cut << "-byte truncation";
+    }
+    std::vector<uint8_t> padded = bytes;
+    padded.push_back(0);
+    EXPECT_FALSE(decode(padded).ok()) << what << " tolerated trailing bytes";
+  };
+  sweep(EncodeHello({kProtocolVersion, "x", 1}),
+        [](std::span<const uint8_t> p) { return DecodeHello(p); }, "HELLO");
+  sweep(EncodeQuery({"corpus", "//VP"}),
+        [](std::span<const uint8_t> p) { return DecodeQuery(p); }, "EXECUTE");
+  sweep(EncodeEnd({WireCode::kOk, "done", 7}),
+        [](std::span<const uint8_t> p) { return DecodeEnd(p); },
+        "STREAM_END");
+  sweep(EncodeError({WireCode::kProtocolError, "m"}),
+        [](std::span<const uint8_t> p) { return DecodeError(p); }, "ERROR");
+  sweep(EncodeBatch(std::vector<Hit>{{1, 2}, {3, 4}}),
+        [](std::span<const uint8_t> p) { return DecodeBatch(p); },
+        "STREAM_BATCH");
+
+  // A batch whose row count promises more rows than the payload holds.
+  std::vector<uint8_t> lying = EncodeBatch(std::vector<Hit>{{1, 2}});
+  lying[0] = 200;
+  EXPECT_FALSE(DecodeBatch(lying).ok());
+}
+
+TEST(NetWireCode, MirrorsStatusCodes) {
+  EXPECT_EQ(WireCodeFromStatus(Status::OK()), WireCode::kOk);
+  EXPECT_EQ(WireCodeFromStatus(Status::InvalidArgument("x")),
+            WireCode::kInvalidArgument);
+  EXPECT_EQ(WireCodeFromStatus(Status::NotFound("x")), WireCode::kNotFound);
+  EXPECT_EQ(WireCodeFromStatus(Status::Cancelled("x")), WireCode::kCancelled);
+  EXPECT_EQ(WireCodeFromStatus(Status::ResourceExhausted("x")),
+            WireCode::kResourceExhausted);
+
+  // Engine codes roundtrip exactly.
+  Status s = Status::IOError("disk");
+  Status back = StatusFromWire(WireCodeFromStatus(s), s.message());
+  EXPECT_EQ(back, s);
+
+  // Protocol-only codes map onto the documented engine codes.
+  EXPECT_TRUE(StatusFromWire(WireCode::kProtocolError, "x").IsCorruption());
+  EXPECT_TRUE(
+      StatusFromWire(WireCode::kShuttingDown, "x").IsResourceExhausted());
+  EXPECT_TRUE(
+      StatusFromWire(WireCode::kVersionMismatch, "x").IsNotSupported());
+  EXPECT_TRUE(StatusFromWire(WireCode::kOk, "").ok());
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace lpath

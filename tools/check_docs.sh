@@ -1,0 +1,71 @@
+#!/bin/sh
+# Documentation consistency gate (CI: the "docs link-check" step).
+#
+# Two checks, both grep-based so the gate needs nothing beyond POSIX sh:
+#
+#   1. Every relative markdown link in README.md and docs/*.md must point
+#      at a file or directory that exists (anchors and external URLs are
+#      skipped). Catches renames that orphan links.
+#
+#   2. docs/PROTOCOL.md is the normative wire spec: every protocol
+#      constant, message type, and wire code declared in
+#      src/net/protocol.h must be named in it. Catches protocol changes
+#      that skip the spec.
+#
+# Exits nonzero listing every violation. Run from the repository root.
+set -u
+
+fail=0
+
+say() { printf '%s\n' "$*"; }
+
+# --- 1. relative links resolve ------------------------------------------
+
+for doc in README.md docs/*.md; do
+  [ -f "$doc" ] || continue
+  dir=$(dirname "$doc")
+  # Pull out `](target)` link targets, one per line.
+  links=$(grep -o '](\([^)]*\))' "$doc" | sed 's/^](//; s/)$//')
+  for link in $links; do
+    case "$link" in
+      http://*|https://*|mailto:*|\#*) continue ;;
+    esac
+    target=${link%%#*}            # strip in-page anchor
+    [ -n "$target" ] || continue
+    if [ ! -e "$dir/$target" ] && [ ! -e "$target" ]; then
+      say "BROKEN LINK: $doc -> $link"
+      fail=1
+    fi
+  done
+done
+
+# --- 2. PROTOCOL.md names every protocol.h identifier -------------------
+
+header=src/net/protocol.h
+spec=docs/PROTOCOL.md
+if [ -f "$header" ] && [ -f "$spec" ]; then
+  # Constants (kCamelCase constexpr), enum types, and enumerators. The
+  # enumerator grep keys on the "= <value>," initializer style both enums
+  # use; helper-local names never match these shapes.
+  idents=$(
+    grep -o 'constexpr [a-z0-9_]* k[A-Za-z0-9]*' "$header" | awk '{print $3}'
+    grep -o 'enum class [A-Za-z]*' "$header" | awk '{print $3}'
+    grep -o '^  k[A-Za-z0-9]* = [0-9]*' "$header" | awk '{print $1}'
+  )
+  for ident in $(printf '%s\n' "$idents" | sort -u); do
+    if ! grep -q "$ident" "$spec"; then
+      say "UNDOCUMENTED: $header declares $ident but $spec never names it"
+      fail=1
+    fi
+  done
+elif [ -f "$header" ]; then
+  say "MISSING: $spec (normative spec for $header)"
+  fail=1
+fi
+
+if [ "$fail" -ne 0 ]; then
+  say ""
+  say "docs check FAILED (see above)"
+  exit 1
+fi
+say "docs check OK"
